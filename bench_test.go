@@ -1,0 +1,171 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the paper
+// (the E*/T* experiment index in DESIGN.md), plus microbenchmarks for the
+// substrates. Each experiment benchmark performs one full regeneration of
+// its table per iteration at reduced sizing; run
+//
+//	go test -bench=. -benchmem
+//
+// for the whole set, or e.g. -bench=BenchmarkE5Decomposition for one. The
+// full-size tables in EXPERIMENTS.md come from cmd/experiments.
+package intervalsim_test
+
+import (
+	"io"
+	"testing"
+
+	"intervalsim/internal/bpred"
+	"intervalsim/internal/cache"
+	"intervalsim/internal/core"
+	"intervalsim/internal/experiments"
+	"intervalsim/internal/ilp"
+	"intervalsim/internal/trace"
+	"intervalsim/internal/uarch"
+	"intervalsim/internal/workload"
+)
+
+// benchParams keeps one iteration of an experiment benchmark around a
+// second, so the full -bench=. sweep stays tractable.
+func benchParams() experiments.Params { return experiments.QuickParams() }
+
+func runExperiment(b *testing.B, fn func(io.Writer, experiments.Params) error) {
+	b.Helper()
+	p := benchParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fn(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT2Characterization(b *testing.B) { runExperiment(b, experiments.T2) }
+func BenchmarkE1IntervalTimeline(b *testing.B) { runExperiment(b, experiments.E1) }
+func BenchmarkE2IntervalLengths(b *testing.B)  { runExperiment(b, experiments.E2) }
+func BenchmarkE3AvgPenalty(b *testing.B)       { runExperiment(b, experiments.E3) }
+func BenchmarkE4PenaltyVsInterval(b *testing.B) {
+	runExperiment(b, experiments.E4)
+}
+func BenchmarkE5Decomposition(b *testing.B)   { runExperiment(b, experiments.E5) }
+func BenchmarkE6ILPSweep(b *testing.B)        { runExperiment(b, experiments.E6) }
+func BenchmarkE7FULatency(b *testing.B)       { runExperiment(b, experiments.E7) }
+func BenchmarkE8ShortDMiss(b *testing.B)      { runExperiment(b, experiments.E8) }
+func BenchmarkE9ModelValidation(b *testing.B) { runExperiment(b, experiments.E9) }
+func BenchmarkE10DepthROB(b *testing.B)       { runExperiment(b, experiments.E10) }
+
+// --- Substrate microbenchmarks ------------------------------------------
+
+// BenchmarkSimulator measures raw cycle-level simulation speed on a mixed
+// workload; the metric that bounds every experiment above.
+func BenchmarkSimulator(b *testing.B) {
+	wc, _ := workload.SuiteConfig("crafty")
+	tr, err := trace.ReadAll(workload.MustNew(wc, 200_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := uarch.Baseline()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := uarch.Run(tr.Reader(), cfg, uarch.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Insts)*float64(b.N), "insts")
+		}
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkFunctionalProfile measures the fast model-input path.
+func BenchmarkFunctionalProfile(b *testing.B) {
+	wc, _ := workload.SuiteConfig("crafty")
+	tr, err := trace.ReadAll(workload.MustNew(wc, 200_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := uarch.Baseline()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FunctionalProfile(tr.Reader(), cfg, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+func BenchmarkGenerator(b *testing.B) {
+	wc, _ := workload.SuiteConfig("gcc")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := workload.MustNew(wc, 100_000)
+		for {
+			if _, err := g.Next(); err != nil {
+				break
+			}
+		}
+	}
+	b.ReportMetric(100_000*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+func BenchmarkTraceEncodeDecode(b *testing.B) {
+	wc, _ := workload.SuiteConfig("gzip")
+	tr, err := trace.ReadAll(workload.MustNew(wc, 100_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf discardCounter
+		if err := trace.Write(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+type discardCounter struct{ n int64 }
+
+func (d *discardCounter) Write(p []byte) (int, error) {
+	d.n += int64(len(p))
+	return len(p), nil
+}
+
+func BenchmarkGShare(b *testing.B) {
+	g := bpred.NewGShare(16384, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Access(uint64(0x1000+(i%512)*4), i%3 != 0)
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.New(cache.Config{Name: "b", Size: 64 << 10, LineSize: 64, Ways: 4, Repl: cache.LRU})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i%4096) * 64)
+	}
+}
+
+func BenchmarkCriticalPath(b *testing.B) {
+	wc, _ := workload.SuiteConfig("crafty")
+	tr, err := trace.ReadAll(workload.MustNew(wc, 4096))
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := tr.Insts[:128]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ilp.CriticalPathTo(window, ilp.UnitLatency)
+	}
+}
+
+func BenchmarkE11CPIStacks(b *testing.B)        { runExperiment(b, experiments.E11) }
+func BenchmarkA1ModelAblation(b *testing.B)     { runExperiment(b, experiments.A1) }
+func BenchmarkA2PredictorSweep(b *testing.B)    { runExperiment(b, experiments.A2) }
+func BenchmarkE12Predication(b *testing.B)      { runExperiment(b, experiments.E12) }
+func BenchmarkA3SampledSimulation(b *testing.B) { runExperiment(b, experiments.A3) }

@@ -1,0 +1,72 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-insts N] [-warmup N] [-quick] <id>|all
+//
+// where id is one of t1, t2, e1..e12, a1..a3 (see DESIGN.md's experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"intervalsim/internal/experiments"
+)
+
+func main() {
+	insts := flag.Int("insts", 0, "dynamic instructions per run (default per -quick)")
+	warmup := flag.Uint64("warmup", 0, "warmup instructions excluded from statistics")
+	quick := flag.Bool("quick", false, "use reduced sizing for a fast smoke run")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	p := experiments.DefaultParams()
+	if *quick {
+		p = experiments.QuickParams()
+	}
+	if *insts > 0 {
+		p.Insts = *insts
+	}
+	if *warmup > 0 {
+		p.Warmup = *warmup
+	}
+
+	id := strings.ToLower(flag.Arg(0))
+	if id == "all" {
+		if err := experiments.All(os.Stdout, p); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	reg := experiments.Registry()
+	fn, ok := reg[id]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+		usage()
+		os.Exit(2)
+	}
+	if err := fn(os.Stdout, p); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	ids := make([]string, 0)
+	for id := range experiments.Registry() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Fprintf(os.Stderr, "usage: experiments [-insts N] [-warmup N] [-quick] <%s|all>\n",
+		strings.Join(ids, "|"))
+	flag.PrintDefaults()
+}

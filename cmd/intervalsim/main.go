@@ -1,0 +1,170 @@
+// Command intervalsim runs one cycle-level simulation and prints the
+// interval-analysis view of it: performance, the miss-event population,
+// interval statistics, and the five-way misprediction penalty decomposition.
+//
+// The input is either a built-in synthetic benchmark (-bench, see
+// tracegen -list) or a binary trace file (-trace, produced by tracegen).
+//
+// Usage:
+//
+//	intervalsim -bench gcc [-insts N] [-warmup N] [-depth L] [-rob N] [-pred kind]
+//	intervalsim -trace gcc.ivtr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"intervalsim/internal/core"
+	"intervalsim/internal/report"
+	"intervalsim/internal/trace"
+	"intervalsim/internal/uarch"
+	"intervalsim/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "built-in benchmark name")
+	traceFile := flag.String("trace", "", "binary trace file")
+	insts := flag.Int("insts", 1_000_000, "dynamic instructions (generator input only)")
+	warmup := flag.Uint64("warmup", 100_000, "instructions excluded from statistics")
+	depth := flag.Int("depth", 0, "override frontend pipeline depth")
+	rob := flag.Int("rob", 0, "override ROB size")
+	pred := flag.String("pred", "", "override predictor kind (perfect|taken|not-taken|bimodal|gshare|local|tournament|perceptron)")
+	topBranches := flag.Int("topbranches", 0, "also list the N costliest static branches")
+	flag.Parse()
+
+	if (*bench == "") == (*traceFile == "") {
+		fmt.Fprintln(os.Stderr, "intervalsim: give exactly one of -bench or -trace")
+		os.Exit(2)
+	}
+
+	cfg := uarch.Baseline()
+	if *depth > 0 {
+		cfg.FrontendDepth = *depth
+	}
+	if *rob > 0 {
+		cfg.ROBSize = *rob
+		if cfg.IQSize > cfg.ROBSize {
+			cfg.IQSize = cfg.ROBSize
+		}
+	}
+	if *pred != "" {
+		cfg.Pred.Kind = *pred
+	}
+
+	tr, name, err := loadTrace(*bench, *traceFile, *insts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "intervalsim:", err)
+		os.Exit(1)
+	}
+
+	res, err := uarch.Run(tr.Reader(), cfg, uarch.Options{
+		RecordEvents:      true,
+		RecordMispredicts: true,
+		RecordLoadLevels:  true,
+		WarmupInsts:       *warmup,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "intervalsim:", err)
+		os.Exit(1)
+	}
+	if err := printReport(os.Stdout, name, tr, res, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "intervalsim:", err)
+		os.Exit(1)
+	}
+	if *topBranches > 0 {
+		fmt.Println()
+		if err := printTopBranches(os.Stdout, tr, res, *topBranches); err != nil {
+			fmt.Fprintln(os.Stderr, "intervalsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printTopBranches lists the static branches responsible for the most
+// misprediction cycles — the paper's motivating use case.
+func printTopBranches(w io.Writer, tr *trace.Trace, res *uarch.Result, n int) error {
+	costs := core.CostliestBranches(tr, res, n)
+	t := report.New(fmt.Sprintf("top %d costliest static branches", len(costs)),
+		"pc", "mispredicts", "total cycles", "avg penalty")
+	for _, c := range costs {
+		t.AddRow(fmt.Sprintf("%#x", c.PC),
+			fmt.Sprintf("%d", c.Mispredicts),
+			fmt.Sprintf("%.0f", c.TotalPenalty),
+			fmt.Sprintf("%.1f", c.AvgPenalty()),
+		)
+	}
+	return t.Fprint(w)
+}
+
+func loadTrace(bench, traceFile string, insts int) (*trace.Trace, string, error) {
+	if bench != "" {
+		wc, ok := workload.SuiteConfig(bench)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown benchmark %q", bench)
+		}
+		tr, err := trace.ReadAll(workload.MustNew(wc, insts))
+		return tr, bench, err
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	return tr, traceFile, err
+}
+
+func printReport(w io.Writer, name string, tr *trace.Trace, res *uarch.Result, cfg uarch.Config) error {
+	perKI := func(n uint64) float64 { return float64(n) / float64(res.Insts) * 1000 }
+
+	t := report.New(fmt.Sprintf("%s on %s (%d insts measured, %d warmup)",
+		name, cfg.Name, res.Insts, tr.Len()-int(res.Insts)),
+		"metric", "value")
+	t.AddRow("cycles", fmt.Sprintf("%d", res.Cycles))
+	t.AddRow("IPC / CPI", fmt.Sprintf("%.3f / %.3f", res.IPC(), res.CPI()))
+	t.AddRow("branch mispredicts", fmt.Sprintf("%d (%.2f MPKI; %d direction, %d BTB)",
+		res.Mispredicts, perKI(res.Mispredicts), res.Bpred.DirMispredict, res.Bpred.BTBMispredict))
+	t.AddRow("I-cache misses", fmt.Sprintf("%d (%.2f /KI)", res.ICacheMisses, perKI(res.ICacheMisses)))
+	t.AddRow("short D-misses (L2 hits)", fmt.Sprintf("%d (%.2f /KI)", res.ShortDMisses, perKI(res.ShortDMisses)))
+	t.AddRow("long D-misses (memory)", fmt.Sprintf("%d (%.2f /KI)", res.LongDMisses, perKI(res.LongDMisses)))
+	t.AddRow("avg mispredict penalty", fmt.Sprintf("%.1f cycles (frontend depth %d)",
+		res.AvgMispredictPenalty(), cfg.FrontendDepth))
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	ivs, err := core.Segment(res.Events, uint64(tr.Len()))
+	if err != nil {
+		return err
+	}
+	sum := core.Summarize(ivs, 16)
+	t2 := report.New("interval analysis", "metric", "value")
+	t2.AddRow("intervals", fmt.Sprintf("%d", sum.Count))
+	t2.AddRow("mean / max length", fmt.Sprintf("%.0f / %.0f insts", sum.Lengths.Mean(), sum.Lengths.Max()))
+	for kind, n := range sum.ByKind {
+		t2.AddRow("  ending in "+kind.String(), fmt.Sprintf("%d", n))
+	}
+	if err := t2.Fprint(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	dec, err := core.NewDecomposer(tr, res)
+	if err != nil {
+		return err
+	}
+	m := core.Mean(dec.DecomposeAll())
+	t3 := report.New("misprediction penalty decomposition (mean cycles)", "contributor", "cycles")
+	t3.AddRow("(i)   frontend refill", fmt.Sprintf("%.1f", m.Frontend))
+	t3.AddRow("(ii+iii) window drain @ unit latency", fmt.Sprintf("%.1f", m.BaseILP))
+	t3.AddRow("(iv)  functional-unit latencies", fmt.Sprintf("%.1f", m.FULatency))
+	t3.AddRow("(v)   short (L1) D-cache misses", fmt.Sprintf("%.1f", m.ShortDMiss))
+	t3.AddRow("      long D-miss overlap", fmt.Sprintf("%.1f", m.LongDMiss))
+	t3.AddRow("      residual (contention)", fmt.Sprintf("%.1f", m.Residual))
+	t3.AddRow("total", fmt.Sprintf("%.1f", m.Total))
+	return t3.Fprint(w)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"intervalsim/internal/uarch"
+)
+
+func TestLoadTraceFromBenchmark(t *testing.T) {
+	tr, name, err := loadTrace("gzip", "", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "gzip" || tr.Len() != 5000 {
+		t.Fatalf("loaded %q with %d insts", name, tr.Len())
+	}
+}
+
+func TestLoadTraceUnknownBenchmark(t *testing.T) {
+	if _, _, err := loadTrace("nonesuch", "", 100); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestLoadTraceMissingFile(t *testing.T) {
+	if _, _, err := loadTrace("", "/definitely/not/here.ivtr", 0); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}
+
+func TestPrintReportAndTopBranches(t *testing.T) {
+	tr, _, err := loadTrace("twolf", "", 80_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.Baseline()
+	res, err := uarch.Run(tr.Reader(), cfg, uarch.Options{
+		RecordEvents:      true,
+		RecordMispredicts: true,
+		RecordLoadLevels:  true,
+		WarmupInsts:       20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := printReport(&sb, "twolf", tr, res, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"IPC / CPI", "branch mispredicts", "interval analysis",
+		"(i)   frontend refill", "(v)   short (L1) D-cache misses", "total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+
+	sb.Reset()
+	if err := printTopBranches(&sb, tr, res, 5); err != nil {
+		t.Fatal(err)
+	}
+	top := sb.String()
+	if !strings.Contains(top, "costliest static branches") || !strings.Contains(top, "0x") {
+		t.Errorf("top-branches output = %q", top)
+	}
+	if lines := strings.Count(top, "\n"); lines != 8 { // title + header + rule + 5 rows
+		t.Errorf("top-branches has %d lines", lines)
+	}
+}

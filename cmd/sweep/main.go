@@ -1,0 +1,99 @@
+// Command sweep explores the design space: it runs one benchmark over a
+// grid of (dispatch width, frontend depth, ROB size) points and emits a CSV
+// of IPC and misprediction-penalty statistics, ready for plotting. This is
+// the "what if" harness interval analysis exists to support: the penalty
+// columns show how the five contributors shift across the design space.
+//
+// Usage:
+//
+//	sweep [-bench crafty] [-insts N] [-warmup N] > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"intervalsim/internal/core"
+	"intervalsim/internal/report"
+	"intervalsim/internal/trace"
+	"intervalsim/internal/uarch"
+	"intervalsim/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "crafty", "benchmark to sweep")
+	insts := flag.Int("insts", 1_000_000, "dynamic instructions per point")
+	warmup := flag.Uint64("warmup", 200_000, "warmup instructions per point")
+	flag.Parse()
+
+	wc, ok := workload.SuiteConfig(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sweep: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	if err := run(wc, *insts, *warmup); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wc workload.Config, insts int, warmup uint64) error {
+	tr, err := trace.ReadAll(workload.MustNew(wc, insts))
+	if err != nil {
+		return err
+	}
+
+	t := report.New("", "width", "depth", "rob", "ipc", "avg_penalty",
+		"penalty_frontend", "penalty_drain", "penalty_fu", "penalty_shortd", "penalty_longd")
+	for _, width := range []int{2, 4, 8} {
+		for _, depth := range []int{3, 7, 11} {
+			for _, rob := range []int{64, 128, 256} {
+				cfg := point(width, depth, rob)
+				res, err := uarch.Run(tr.Reader(), cfg, uarch.Options{
+					RecordMispredicts: true,
+					RecordLoadLevels:  true,
+					WarmupInsts:       warmup,
+				})
+				if err != nil {
+					return err
+				}
+				dec, err := core.NewDecomposer(tr, res)
+				if err != nil {
+					return err
+				}
+				m := core.Mean(dec.DecomposeAll())
+				t.AddRow(
+					fmt.Sprintf("%d", width), fmt.Sprintf("%d", depth), fmt.Sprintf("%d", rob),
+					fmt.Sprintf("%.3f", res.IPC()),
+					fmt.Sprintf("%.2f", m.Total),
+					fmt.Sprintf("%.2f", m.Frontend),
+					fmt.Sprintf("%.2f", m.BaseILP),
+					fmt.Sprintf("%.2f", m.FULatency),
+					fmt.Sprintf("%.2f", m.ShortDMiss),
+					fmt.Sprintf("%.2f", m.LongDMiss),
+				)
+			}
+		}
+	}
+	return t.FprintCSV(os.Stdout)
+}
+
+// point builds a machine at one design point, scaling FU counts with width.
+func point(width, depth, rob int) uarch.Config {
+	cfg := uarch.Baseline()
+	cfg.Name = fmt.Sprintf("w%d-d%d-r%d", width, depth, rob)
+	cfg.FetchWidth = width
+	cfg.DispatchWidth = width
+	cfg.IssueWidth = width
+	cfg.CommitWidth = width
+	cfg.FrontendDepth = depth
+	cfg.ROBSize = rob
+	cfg.IQSize = rob / 2
+	cfg.FU.IntALU.Count = width
+	if width > 4 {
+		cfg.FU.MemPort.Count = 4
+		cfg.FU.IntMul.Count = 4
+	}
+	return cfg
+}

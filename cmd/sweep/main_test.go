@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"intervalsim/internal/uarch"
+	"intervalsim/internal/workload"
+)
+
+func TestPointConfigsValid(t *testing.T) {
+	for _, width := range []int{2, 4, 8} {
+		for _, depth := range []int{3, 7, 11} {
+			for _, rob := range []int{64, 128, 256} {
+				cfg := point(width, depth, rob)
+				if err := cfg.Validate(); err != nil {
+					t.Errorf("point(%d,%d,%d): %v", width, depth, rob, err)
+				}
+				if cfg.DispatchWidth != width || cfg.FrontendDepth != depth || cfg.ROBSize != rob {
+					t.Errorf("point(%d,%d,%d) mis-set: %+v", width, depth, rob, cfg)
+				}
+			}
+		}
+	}
+}
+
+func TestSweepRowShape(t *testing.T) {
+	// One tiny point through the same plumbing run() uses: the decomposition
+	// columns must be available at every grid point.
+	wc, _ := workload.SuiteConfig("gzip")
+	cfg := point(2, 3, 64)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = wc
+	if !strings.Contains(cfg.Name, "w2-d3-r64") {
+		t.Errorf("point name = %q", cfg.Name)
+	}
+	if cfg.FU.IntALU.Count != 2 {
+		t.Errorf("ALU count not scaled with width: %d", cfg.FU.IntALU.Count)
+	}
+	wide := point(8, 3, 64)
+	if wide.FU.MemPort.Count != 4 || wide.FU.IntMul.Count != 4 {
+		t.Errorf("wide point FU scaling wrong: %+v", wide.FU)
+	}
+	if uarch.Baseline().FU.MemPort.Count != 2 {
+		t.Error("baseline mutated by point()")
+	}
+}

@@ -1,0 +1,96 @@
+// Command tracedump inspects binary traces written by tracegen: it prints
+// summary statistics, converts to the human-readable text format, or both.
+//
+// Usage:
+//
+//	tracedump file.ivtr             # statistics only
+//	tracedump -text file.ivtr      # dump instructions as text to stdout
+//	tracedump -head 20 file.ivtr   # dump only the first 20 instructions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"intervalsim/internal/isa"
+	"intervalsim/internal/report"
+	"intervalsim/internal/trace"
+)
+
+func main() {
+	text := flag.Bool("text", false, "dump instructions in the text format")
+	head := flag.Int("head", 0, "with -text, dump only the first N instructions (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracedump [-text] [-head N] file.ivtr")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Arg(0), *text, *head); err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, path string, text bool, head int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+
+	if text {
+		out := tr
+		if head > 0 && head < tr.Len() {
+			out = &trace.Trace{Insts: tr.Insts[:head]}
+		}
+		return trace.WriteText(w, out)
+	}
+
+	var classes [isa.NumClasses]uint64
+	pcs := make(map[uint64]struct{})
+	var taken, branches uint64
+	minAddr, maxAddr := ^uint64(0), uint64(0)
+	memOps := 0
+	for i := range tr.Insts {
+		in := &tr.Insts[i]
+		classes[in.Class]++
+		pcs[in.PC] = struct{}{}
+		if in.Class == isa.Branch {
+			branches++
+			if in.Taken {
+				taken++
+			}
+		}
+		if in.Class.IsMem() {
+			memOps++
+			if in.Addr < minAddr {
+				minAddr = in.Addr
+			}
+			if in.Addr > maxAddr {
+				maxAddr = in.Addr
+			}
+		}
+	}
+
+	t := report.New(fmt.Sprintf("%s: %d dynamic instructions", path, tr.Len()), "metric", "value")
+	t.AddRow("static instructions (distinct PCs)", fmt.Sprintf("%d", len(pcs)))
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if classes[c] == 0 {
+			continue
+		}
+		t.AddRow("  "+c.String(), fmt.Sprintf("%d (%.1f%%)", classes[c], float64(classes[c])/float64(tr.Len())*100))
+	}
+	if branches > 0 {
+		t.AddRow("taken branch ratio", fmt.Sprintf("%.2f", float64(taken)/float64(branches)))
+	}
+	if memOps > 0 {
+		t.AddRow("data address range", fmt.Sprintf("%#x – %#x", minAddr, maxAddr))
+	}
+	return t.Fprint(w)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"intervalsim/internal/trace"
+	"intervalsim/internal/workload"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	wc, ok := workload.SuiteConfig("gzip")
+	if !ok {
+		t.Fatal("suite missing gzip")
+	}
+	tr, err := trace.ReadAll(workload.MustNew(wc, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.ivtr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunStats(t *testing.T) {
+	path := writeTestTrace(t)
+	var sb strings.Builder
+	if err := run(&sb, path, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"3000 dynamic instructions", "IntALU", "Branch", "taken branch ratio", "data address range"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats missing %q", want)
+		}
+	}
+}
+
+func TestRunTextHead(t *testing.T) {
+	path := writeTestTrace(t)
+	var sb strings.Builder
+	if err := run(&sb, path, true, 7); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != 7 {
+		t.Errorf("head 7 produced %d lines", lines)
+	}
+	// The text output must parse back.
+	if _, err := trace.ReadText(strings.NewReader(sb.String())); err != nil {
+		t.Errorf("text output does not parse: %v", err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run(&strings.Builder{}, "/no/such/file", false, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.ivtr")
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&strings.Builder{}, path, false, 0); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}

@@ -1,0 +1,102 @@
+// Command tracegen generates the synthetic benchmark traces to disk in the
+// compact binary format, so experiments can run from files instead of
+// regenerating (and so traces can be inspected or shipped).
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen [-n insts] [-out dir] [name ...]
+//	tracegen -config bench.json [-n insts] [-out dir]
+//
+// With no names, the whole suite is generated; -config generates a custom
+// benchmark described by a JSON file (see workload.ParseConfig).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"intervalsim/internal/trace"
+	"intervalsim/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 1_000_000, "dynamic instructions per trace")
+	out := flag.String("out", ".", "output directory")
+	list := flag.Bool("list", false, "list available benchmarks and exit")
+	configFile := flag.String("config", "", "JSON workload configuration file")
+	flag.Parse()
+
+	if *list {
+		for _, c := range workload.Suite() {
+			fmt.Printf("%-8s regions=%d blocks=%d data=%dKB static≈%d insts\n",
+				c.Name, c.Regions, c.BlocksPerRegion, c.DataFootprint>>10, c.StaticInsts())
+		}
+		return
+	}
+
+	if *configFile != "" {
+		f, err := os.Open(*configFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		cfg, err := workload.ParseConfig(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		if err := writeTrace(cfg, *n, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		for _, c := range workload.Suite() {
+			names = append(names, c.Name)
+		}
+	}
+	for _, name := range names {
+		cfg, ok := workload.SuiteConfig(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown benchmark %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		if err := writeTrace(cfg, *n, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeTrace(cfg workload.Config, n int, dir string) error {
+	tr, err := trace.ReadAll(workload.MustNew(cfg, n))
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, cfg.Name+".ivtr")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, tr); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %d insts -> %s (%.1f MB, %.1f B/inst)\n",
+		cfg.Name, tr.Len(), path, float64(st.Size())/(1<<20), float64(st.Size())/float64(tr.Len()))
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"intervalsim/internal/trace"
+	"intervalsim/internal/workload"
+)
+
+func TestWriteTraceRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	cfg, ok := workload.SuiteConfig("vpr")
+	if !ok {
+		t.Fatal("suite missing vpr")
+	}
+	if err := writeTrace(cfg, 2000, dir); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "vpr.ivtr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("decoded %d insts", tr.Len())
+	}
+	// The file must be identical to a fresh generation (determinism).
+	want, err := trace.ReadAll(workload.MustNew(cfg, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Insts {
+		if want.Insts[i] != tr.Insts[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}
+
+func TestWriteTraceBadDir(t *testing.T) {
+	cfg, _ := workload.SuiteConfig("vpr")
+	if err := writeTrace(cfg, 100, "/no/such/dir"); err == nil {
+		t.Fatal("unwritable directory accepted")
+	}
+}

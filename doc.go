@@ -1,0 +1,11 @@
+// Package intervalsim reproduces "Characterizing the branch misprediction
+// penalty" (Eyerman, Smith, Eeckhout; ISPASS 2006): interval analysis of
+// superscalar performance and the five-way decomposition of the branch
+// misprediction penalty.
+//
+// The code lives in internal packages (see DESIGN.md for the map); the
+// public surface is the three commands under cmd/ and the runnable programs
+// under examples/. This file anchors the module root so the repository-wide
+// benchmark harness (bench_test.go), which regenerates every table and
+// figure of the paper, has a package to attach to.
+package intervalsim

@@ -1,0 +1,3 @@
+module intervalsim
+
+go 1.22

@@ -1,0 +1,366 @@
+// Package bpred implements the branch-prediction substrate: conditional
+// direction predictors (static, bimodal, gshare, two-level local,
+// tournament, perfect), a branch target buffer, and a frontend prediction
+// Unit that combines them the way a fetch stage does.
+//
+// Predictors use the trace-driven simulator convention: one Access call per
+// dynamic branch performs predict-then-train and reports whether the
+// prediction was correct. This is what lets a perfect predictor exist as an
+// ordinary implementation, and keeps simulator loops branch-predictor
+// agnostic.
+package bpred
+
+import (
+	"fmt"
+
+	"intervalsim/internal/isa"
+)
+
+// Predictor models a conditional-branch direction predictor.
+type Predictor interface {
+	// Access predicts the branch at pc, trains on the actual outcome, and
+	// reports whether the prediction was correct.
+	Access(pc uint64, taken bool) bool
+	// Name identifies the configuration for reports.
+	Name() string
+}
+
+// --- Static ---------------------------------------------------------------
+
+// Static predicts every branch the same direction and never learns.
+type Static struct {
+	Taken bool
+}
+
+// Access implements Predictor.
+func (s *Static) Access(_ uint64, taken bool) bool { return taken == s.Taken }
+
+// Name implements Predictor.
+func (s *Static) Name() string {
+	if s.Taken {
+		return "static-taken"
+	}
+	return "static-not-taken"
+}
+
+// --- Perfect ---------------------------------------------------------------
+
+// Perfect is an oracle: every prediction is correct. It isolates the other
+// miss events in experiments that need mispredictions switched off.
+type Perfect struct{}
+
+// Access implements Predictor.
+func (Perfect) Access(_ uint64, _ bool) bool { return true }
+
+// Name implements Predictor.
+func (Perfect) Name() string { return "perfect" }
+
+// --- Saturating counters ----------------------------------------------------
+
+// counter2 is a 2-bit saturating counter; values 0–1 predict not-taken,
+// 2–3 predict taken.
+type counter2 uint8
+
+func (c counter2) taken() bool { return c >= 2 }
+
+func (c counter2) train(taken bool) counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+// --- Bimodal ----------------------------------------------------------------
+
+// Bimodal is a PC-indexed table of 2-bit saturating counters.
+type Bimodal struct {
+	table []counter2
+	mask  uint64
+}
+
+// NewBimodal returns a bimodal predictor with entries counters; entries must
+// be a positive power of two.
+func NewBimodal(entries int) *Bimodal {
+	checkPow2(entries, "bimodal entries")
+	t := make([]counter2, entries)
+	for i := range t {
+		t[i] = 2 // weakly taken: matches common hardware reset state
+	}
+	return &Bimodal{table: t, mask: uint64(entries - 1)}
+}
+
+func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Access implements Predictor.
+func (b *Bimodal) Access(pc uint64, taken bool) bool {
+	i := b.index(pc)
+	pred := b.table[i].taken()
+	b.table[i] = b.table[i].train(taken)
+	return pred == taken
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal-%d", len(b.table)) }
+
+// --- GShare -----------------------------------------------------------------
+
+// GShare XORs a global branch-history register with the PC to index a table
+// of 2-bit counters, exposing correlations between branches.
+type GShare struct {
+	table    []counter2
+	history  uint64
+	histBits uint
+	mask     uint64
+}
+
+// NewGShare returns a gshare predictor with entries counters (a positive
+// power of two) and histBits bits of global history (clamped to the index
+// width).
+func NewGShare(entries int, histBits uint) *GShare {
+	checkPow2(entries, "gshare entries")
+	idxBits := uint(0)
+	for 1<<idxBits < entries {
+		idxBits++
+	}
+	if histBits > idxBits {
+		histBits = idxBits
+	}
+	t := make([]counter2, entries)
+	for i := range t {
+		t[i] = 2
+	}
+	return &GShare{table: t, histBits: histBits, mask: uint64(entries - 1)}
+}
+
+func (g *GShare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.history) & g.mask
+}
+
+// Access implements Predictor.
+func (g *GShare) Access(pc uint64, taken bool) bool {
+	i := g.index(pc)
+	pred := g.table[i].taken()
+	g.table[i] = g.table[i].train(taken)
+	g.history = (g.history << 1) & ((1 << g.histBits) - 1)
+	if taken {
+		g.history |= 1
+	}
+	return pred == taken
+}
+
+// Name implements Predictor.
+func (g *GShare) Name() string {
+	return fmt.Sprintf("gshare-%d-h%d", len(g.table), g.histBits)
+}
+
+// --- Two-level local ----------------------------------------------------------
+
+// Local is a two-level predictor: a PC-indexed table of per-branch history
+// registers selects a pattern-table counter, capturing periodic per-branch
+// behaviour (e.g. loop branches) that bimodal cannot.
+type Local struct {
+	histories []uint16
+	pattern   []counter2
+	histBits  uint
+	l1mask    uint64
+}
+
+// NewLocal returns a local predictor with l1entries history registers of
+// histBits bits each (pattern table size 2^histBits). l1entries must be a
+// positive power of two and histBits in [1, 16].
+func NewLocal(l1entries int, histBits uint) *Local {
+	checkPow2(l1entries, "local level-1 entries")
+	if histBits < 1 || histBits > 16 {
+		panic("bpred: local history bits out of [1,16]")
+	}
+	p := make([]counter2, 1<<histBits)
+	for i := range p {
+		p[i] = 2
+	}
+	return &Local{
+		histories: make([]uint16, l1entries),
+		pattern:   p,
+		histBits:  histBits,
+		l1mask:    uint64(l1entries - 1),
+	}
+}
+
+// Access implements Predictor.
+func (l *Local) Access(pc uint64, taken bool) bool {
+	h := (pc >> 2) & l.l1mask
+	idx := uint64(l.histories[h]) & ((1 << l.histBits) - 1)
+	pred := l.pattern[idx].taken()
+	l.pattern[idx] = l.pattern[idx].train(taken)
+	l.histories[h] <<= 1
+	if taken {
+		l.histories[h] |= 1
+	}
+	return pred == taken
+}
+
+// Name implements Predictor.
+func (l *Local) Name() string {
+	return fmt.Sprintf("local-%d-h%d", len(l.histories), l.histBits)
+}
+
+// --- Tournament -----------------------------------------------------------------
+
+// Tournament combines two component predictors with a PC-indexed chooser of
+// 2-bit counters, in the style of the Alpha 21264 meta predictor.
+type Tournament struct {
+	a, b    Predictor
+	chooser []counter2
+	mask    uint64
+}
+
+// NewTournament returns a tournament predictor choosing between a and b with
+// chooserEntries counters (a positive power of two). Counter high means
+// "trust a".
+func NewTournament(a, b Predictor, chooserEntries int) *Tournament {
+	checkPow2(chooserEntries, "tournament chooser entries")
+	c := make([]counter2, chooserEntries)
+	for i := range c {
+		c[i] = 2
+	}
+	return &Tournament{a: a, b: b, chooser: c, mask: uint64(chooserEntries - 1)}
+}
+
+// Access implements Predictor.
+func (t *Tournament) Access(pc uint64, taken bool) bool {
+	i := (pc >> 2) & t.mask
+	useA := t.chooser[i].taken()
+	// Train both components; their Access results say who was right.
+	aCorrect := t.a.Access(pc, taken)
+	bCorrect := t.b.Access(pc, taken)
+	if aCorrect != bCorrect {
+		t.chooser[i] = t.chooser[i].train(aCorrect)
+	}
+	if useA {
+		return aCorrect
+	}
+	return bCorrect
+}
+
+// Name implements Predictor.
+func (t *Tournament) Name() string {
+	return fmt.Sprintf("tournament(%s,%s)", t.a.Name(), t.b.Name())
+}
+
+// --- BTB ---------------------------------------------------------------------
+
+// BTB is a direct-mapped branch target buffer: tag + target per entry. A
+// taken control transfer whose target is absent redirects fetch late, which
+// the frontend treats as a misprediction.
+type BTB struct {
+	tags    []uint64
+	targets []uint64
+	valid   []bool
+	mask    uint64
+}
+
+// NewBTB returns a BTB with entries slots; entries must be a positive power
+// of two.
+func NewBTB(entries int) *BTB {
+	checkPow2(entries, "BTB entries")
+	return &BTB{
+		tags:    make([]uint64, entries),
+		targets: make([]uint64, entries),
+		valid:   make([]bool, entries),
+		mask:    uint64(entries - 1),
+	}
+}
+
+// Access looks up pc, installs/updates the mapping pc→target, and reports
+// whether the lookup hit with the correct target.
+func (b *BTB) Access(pc, target uint64) bool {
+	i := (pc >> 2) & b.mask
+	hit := b.valid[i] && b.tags[i] == pc && b.targets[i] == target
+	b.tags[i], b.targets[i], b.valid[i] = pc, target, true
+	return hit
+}
+
+// --- Unit ---------------------------------------------------------------------
+
+// Stats counts the prediction outcomes a Unit has seen.
+type Stats struct {
+	Branches      uint64 // conditional branches seen
+	Jumps         uint64 // unconditional transfers seen
+	DirMispredict uint64 // wrong conditional direction
+	BTBMispredict uint64 // right direction (or unconditional) but target missing
+}
+
+// Mispredicts returns the total frontend redirects.
+func (s Stats) Mispredicts() uint64 { return s.DirMispredict + s.BTBMispredict }
+
+// MPKI returns mispredictions per thousand instructions given the total
+// instruction count.
+func (s Stats) MPKI(totalInsts uint64) float64 {
+	if totalInsts == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts()) / float64(totalInsts) * 1000
+}
+
+// Unit is the frontend prediction unit: a direction predictor plus a BTB.
+// A nil BTB disables target misses (ideal target prediction).
+type Unit struct {
+	Dir   Predictor
+	BTB   *BTB
+	Stats Stats
+}
+
+// Access simulates prediction of one control-flow instruction and reports
+// whether the frontend mispredicted it (wrong direction, or taken with an
+// unknown target). A Perfect direction predictor makes the whole frontend
+// ideal: target misses are suppressed too, so experiments can switch branch
+// miss events off entirely.
+func (u *Unit) Access(in *isa.Inst) bool {
+	_, ideal := u.Dir.(Perfect)
+	switch in.Class {
+	case isa.Branch:
+		u.Stats.Branches++
+		correct := u.Dir.Access(in.PC, in.Taken)
+		// Warm the BTB on every taken branch regardless of direction outcome.
+		btbHit := true
+		if in.Taken && u.BTB != nil {
+			btbHit = u.BTB.Access(in.PC, in.Target)
+		}
+		if ideal {
+			return false
+		}
+		if !correct {
+			u.Stats.DirMispredict++
+			return true
+		}
+		if !btbHit {
+			u.Stats.BTBMispredict++
+			return true
+		}
+		return false
+	case isa.Jump:
+		u.Stats.Jumps++
+		btbHit := true
+		if u.BTB != nil {
+			btbHit = u.BTB.Access(in.PC, in.Target)
+		}
+		if ideal || btbHit {
+			return false
+		}
+		u.Stats.BTBMispredict++
+		return true
+	default:
+		panic(fmt.Sprintf("bpred: Access on non-control %v", in.Class))
+	}
+}
+
+func checkPow2(n int, what string) {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("bpred: %s must be a positive power of two, got %d", what, n))
+	}
+}

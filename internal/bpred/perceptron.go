@@ -1,0 +1,92 @@
+package bpred
+
+import "fmt"
+
+// Perceptron is Jiménez & Lin's perceptron branch predictor: a PC-indexed
+// table of weight vectors dotted with the global history. It captures
+// linearly separable correlations longer than a counter-table predictor can,
+// at the cost of an adder tree in hardware. Included as an extension beyond
+// the paper's setup: interval analysis is predictor-agnostic, and the A2
+// experiment uses this to show how the *number* of miss events scales while
+// the per-event penalty structure stays put.
+type Perceptron struct {
+	weights [][]int16 // [entry][history+1], index 0 is the bias weight
+	history []int8    // ±1 per past outcome, most recent first
+	mask    uint64
+	theta   int32 // training threshold ≈ 1.93·h + 14 (from the paper)
+}
+
+// NewPerceptron returns a perceptron predictor with entries weight vectors
+// (a positive power of two) over hist bits of global history.
+func NewPerceptron(entries int, hist int) *Perceptron {
+	checkPow2(entries, "perceptron entries")
+	if hist < 1 || hist > 64 {
+		panic("bpred: perceptron history out of [1,64]")
+	}
+	w := make([][]int16, entries)
+	for i := range w {
+		w[i] = make([]int16, hist+1)
+	}
+	return &Perceptron{
+		weights: w,
+		history: make([]int8, hist),
+		mask:    uint64(entries - 1),
+		theta:   int32(1.93*float64(hist) + 14),
+	}
+}
+
+// Access implements Predictor.
+func (p *Perceptron) Access(pc uint64, taken bool) bool {
+	w := p.weights[(pc>>2)&p.mask]
+	sum := int32(w[0])
+	for i, h := range p.history {
+		sum += int32(w[i+1]) * int32(h)
+	}
+	pred := sum >= 0
+	correct := pred == taken
+
+	// Train on a wrong prediction or a low-confidence right one.
+	if !correct || abs32(sum) <= p.theta {
+		t := int16(-1)
+		if taken {
+			t = 1
+		}
+		w[0] = clampW(w[0] + t)
+		for i, h := range p.history {
+			w[i+1] = clampW(w[i+1] + t*int16(h))
+		}
+	}
+
+	// Shift the new outcome into the history (most recent first).
+	copy(p.history[1:], p.history[:len(p.history)-1])
+	if taken {
+		p.history[0] = 1
+	} else {
+		p.history[0] = -1
+	}
+	return correct
+}
+
+// Name implements Predictor.
+func (p *Perceptron) Name() string {
+	return fmt.Sprintf("perceptron-%d-h%d", len(p.weights), len(p.history))
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// clampW keeps weights in the 8-bit signed range hardware would use.
+func clampW(v int16) int16 {
+	const lim = 127
+	if v > lim {
+		return lim
+	}
+	if v < -lim {
+		return -lim
+	}
+	return v
+}

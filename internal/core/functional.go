@@ -1,0 +1,161 @@
+package core
+
+import (
+	"io"
+
+	"intervalsim/internal/cache"
+	"intervalsim/internal/isa"
+	"intervalsim/internal/trace"
+	"intervalsim/internal/uarch"
+)
+
+// Profile is the outcome of fast functional simulation: the miss-event
+// stream and rates interval analysis needs, gathered by driving only the
+// branch predictor and the cache hierarchy over the trace in program order —
+// no timing, no window, roughly an order of magnitude faster than the
+// cycle-level simulator. This is the input side of the paper's analytic
+// model: penalties are then *predicted* from these events rather than
+// measured.
+type Profile struct {
+	Insts  uint64 // instructions processed, including warmup
+	Warmup uint64 // leading instructions excluded from counts and events
+	Events []uarch.MissEvent
+
+	Branches     uint64
+	Jumps        uint64
+	TakenXfers   uint64 // taken branches + jumps: fetch-group breaks
+	Mispredicts  uint64
+	ICacheMisses uint64
+	Loads        uint64
+	ShortDMisses uint64
+	LongDMisses  uint64
+	LongSerial   uint64 // long misses address-dependent on a prior in-window long miss
+}
+
+// ShortMissRatio returns the fraction of loads served by the L2.
+func (p *Profile) ShortMissRatio() float64 {
+	if p.Loads == 0 {
+		return 0
+	}
+	return float64(p.ShortDMisses) / float64(p.Loads)
+}
+
+// FunctionalProfile runs the predictor-and-caches functional simulation of
+// the stream from r on the machine cfg, up to maxInsts instructions (0 =
+// all). The first warmup instructions train the predictor and caches but are
+// excluded from every count and from the event stream, mirroring
+// uarch.Options.WarmupInsts so model predictions and detailed measurements
+// cover the same steady-state region.
+func FunctionalProfile(r trace.Reader, cfg uarch.Config, warmup, maxInsts uint64) (*Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pred, err := cfg.Pred.Build()
+	if err != nil {
+		return nil, err
+	}
+	mem := cache.NewHierarchy(cfg.Mem)
+	lineMask := ^uint64(mem.LineSizeI() - 1)
+	p := &Profile{Warmup: warmup}
+	var curLine uint64
+	haveLine := false
+	// Dataflow taint: for each register, the trace index of the most recent
+	// long D-miss in its producing chain (-1 if none). A long-missing load
+	// whose address register is tainted by a miss still inside one reorder
+	// window is serialized behind it (pointer chasing).
+	var taint [isa.NumRegs]int64
+	for i := range taint {
+		taint[i] = -1
+	}
+	taintOf := func(r int8) int64 {
+		if r == isa.NoReg {
+			return -1
+		}
+		return taint[r]
+	}
+	for maxInsts == 0 || p.Insts < maxInsts {
+		in, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		idx := p.Insts
+		p.Insts++
+		counting := idx >= warmup
+
+		if line := in.PC & lineMask; !haveLine || line != curLine {
+			curLine = line
+			haveLine = true
+			if lvl, _ := mem.Fetch(in.PC); lvl != cache.L1Hit && counting {
+				p.ICacheMisses++
+				p.Events = append(p.Events, uarch.MissEvent{
+					Kind: uarch.EvICacheMiss, Index: idx, Level: lvl,
+				})
+			}
+		}
+
+		switch {
+		case in.Class == isa.Load:
+			lvl, _ := mem.Data(in.Addr)
+			addrTaint := taintOf(in.Src1)
+			var dstTaint int64 = -1
+			if counting {
+				p.Loads++
+			}
+			switch lvl {
+			case cache.ShortMiss:
+				if counting {
+					p.ShortDMisses++
+				}
+			case cache.LongMiss:
+				serial := addrTaint >= 0 && idx-uint64(addrTaint) < uint64(cfg.ROBSize)
+				if counting {
+					p.LongDMisses++
+					ev := uarch.MissEvent{Kind: uarch.EvLongDMiss, Index: idx, Level: lvl}
+					if serial {
+						p.LongSerial++
+						ev.Serial = true
+						ev.Parent = uint64(addrTaint)
+					}
+					p.Events = append(p.Events, ev)
+				}
+				dstTaint = int64(idx)
+			}
+			if in.Dst != isa.NoReg {
+				taint[in.Dst] = dstTaint
+			}
+		case in.Class == isa.Store:
+			mem.Data(in.Addr)
+		case in.Class.IsControl():
+			mispredicted := pred.Access(&in)
+			if !counting {
+				break
+			}
+			if in.Class == isa.Branch {
+				p.Branches++
+			} else {
+				p.Jumps++
+			}
+			if in.Taken {
+				p.TakenXfers++
+			}
+			if mispredicted {
+				p.Mispredicts++
+				p.Events = append(p.Events, uarch.MissEvent{
+					Kind: uarch.EvBranchMispredict, Index: idx,
+				})
+			}
+		default:
+			if in.Dst != isa.NoReg {
+				t := taintOf(in.Src1)
+				if t2 := taintOf(in.Src2); t2 > t {
+					t = t2
+				}
+				taint[in.Dst] = t
+			}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"intervalsim/internal/cache"
+	"intervalsim/internal/rng"
+	"intervalsim/internal/uarch"
+)
+
+func TestSegmentEmpty(t *testing.T) {
+	ivs, err := Segment(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 || !ivs[0].Final || ivs[0].Len() != 100 {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+}
+
+func TestSegmentBasic(t *testing.T) {
+	events := []uarch.MissEvent{
+		{Kind: uarch.EvBranchMispredict, Index: 9},
+		{Kind: uarch.EvICacheMiss, Index: 39, Level: cache.ShortMiss},
+		{Kind: uarch.EvLongDMiss, Index: 59, Level: cache.LongMiss},
+	}
+	ivs, err := Segment(events, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 4 {
+		t.Fatalf("got %d intervals", len(ivs))
+	}
+	want := []Interval{
+		{Start: 0, End: 10, Kind: uarch.EvBranchMispredict},
+		{Start: 10, End: 40, Kind: uarch.EvICacheMiss, Level: cache.ShortMiss},
+		{Start: 40, End: 60, Kind: uarch.EvLongDMiss, Level: cache.LongMiss},
+		{Start: 60, End: 100, Final: true},
+	}
+	for i, w := range want {
+		if ivs[i] != w {
+			t.Errorf("interval %d = %+v, want %+v", i, ivs[i], w)
+		}
+	}
+	if ivs[0].Len() != 10 || ivs[3].Len() != 40 {
+		t.Error("lengths wrong")
+	}
+}
+
+func TestSegmentUnsortedEvents(t *testing.T) {
+	// Long D-miss events are detected out of order by the OoO simulator.
+	events := []uarch.MissEvent{
+		{Kind: uarch.EvLongDMiss, Index: 50},
+		{Kind: uarch.EvBranchMispredict, Index: 10},
+	}
+	ivs, err := Segment(events, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ivs[0].Kind != uarch.EvBranchMispredict || ivs[1].Kind != uarch.EvLongDMiss {
+		t.Errorf("intervals = %+v", ivs)
+	}
+}
+
+func TestSegmentCollapsesSameIndex(t *testing.T) {
+	events := []uarch.MissEvent{
+		{Kind: uarch.EvICacheMiss, Index: 20},
+		{Kind: uarch.EvBranchMispredict, Index: 20},
+	}
+	ivs, err := Segment(events, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 2 {
+		t.Fatalf("got %d intervals, want 2", len(ivs))
+	}
+	if ivs[0].Kind != uarch.EvBranchMispredict {
+		t.Errorf("collapsed kind = %v, want mispredict priority", ivs[0].Kind)
+	}
+}
+
+func TestSegmentRejectsOutOfRange(t *testing.T) {
+	if _, err := Segment([]uarch.MissEvent{{Index: 100}}, 100); err == nil {
+		t.Fatal("event at trace length accepted")
+	}
+}
+
+func TestSegmentNoFinalWhenEventAtEnd(t *testing.T) {
+	ivs, err := Segment([]uarch.MissEvent{{Kind: uarch.EvBranchMispredict, Index: 99}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 || ivs[0].Final {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+}
+
+// Property: intervals exactly tile [0, N) for any event set.
+func TestSegmentTilesProperty(t *testing.T) {
+	f := func(seed uint64, n16 uint16, k8 uint8) bool {
+		n := uint64(n16%1000) + 1
+		k := int(k8 % 20)
+		s := rng.New(seed)
+		events := make([]uarch.MissEvent, k)
+		for i := range events {
+			events[i] = uarch.MissEvent{
+				Kind:  uarch.EventKind(s.Intn(3)),
+				Index: uint64(s.Intn(int(n))),
+			}
+		}
+		ivs, err := Segment(events, n)
+		if err != nil {
+			return false
+		}
+		var pos uint64
+		for _, iv := range ivs {
+			if iv.Start != pos || iv.End <= iv.Start {
+				return false
+			}
+			pos = iv.End
+		}
+		return pos == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ivs := []Interval{
+		{Start: 0, End: 4, Kind: uarch.EvBranchMispredict},
+		{Start: 4, End: 20, Kind: uarch.EvBranchMispredict},
+		{Start: 20, End: 52, Kind: uarch.EvLongDMiss},
+		{Start: 52, End: 60, Final: true},
+	}
+	s := Summarize(ivs, 12)
+	if s.Count != 3 {
+		t.Errorf("count = %d, want 3 (final excluded)", s.Count)
+	}
+	if s.ByKind[uarch.EvBranchMispredict] != 2 || s.ByKind[uarch.EvLongDMiss] != 1 {
+		t.Errorf("by kind = %v", s.ByKind)
+	}
+	wantMean := (4.0 + 16.0 + 32.0) / 3
+	if s.Lengths.Mean() != wantMean {
+		t.Errorf("mean length = %v, want %v", s.Lengths.Mean(), wantMean)
+	}
+	if s.LengthLog.Total() != 3 {
+		t.Errorf("log histogram total = %d", s.LengthLog.Total())
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+
+	"intervalsim/internal/cache"
+	"intervalsim/internal/ilp"
+	"intervalsim/internal/isa"
+	"intervalsim/internal/trace"
+	"intervalsim/internal/uarch"
+)
+
+// Model is the analytic interval model: it predicts branch misprediction
+// penalties and whole-program CPI from (a) the machine configuration, (b)
+// the program's ILP characteristic, and (c) a functional miss-event profile.
+// Nothing here requires cycle-level simulation; the detailed simulator is
+// used only to validate the predictions (experiment E9).
+type Model struct {
+	Cfg uarch.Config
+
+	// KUnit is the unit-latency ILP characteristic (inherent ILP).
+	KUnit ilp.Characteristic
+	// KLat is the characteristic under machine latencies: functional-unit
+	// latencies, the L1 load-use latency, and the expected short-miss uplift
+	// on loads (contributors iv and v folded into the drain curve).
+	KLat ilp.Characteristic
+	// KRes is the branch-resolution characteristic under machine latencies:
+	// the mean critical path ending at a branch over the occupancy preceding
+	// it. It saturates at the typical branch-chain depth, which is what a
+	// mispredicted branch actually waits for.
+	KRes ilp.Characteristic
+
+	// Opts disables individual model refinements for ablation studies
+	// (experiment A1). The zero value is the full model.
+	Opts ModelOptions
+}
+
+// ModelOptions switches off individual refinements of the analytic model so
+// their contribution to accuracy can be measured. All false = full model.
+type ModelOptions struct {
+	// NoSerialMisses treats every long D-miss as overlappable, ignoring the
+	// pointer-chase dependence detection.
+	NoSerialMisses bool
+	// NoOverlapCredit charges isolated long misses the full memory latency
+	// instead of crediting the window-fill overlap.
+	NoOverlapCredit bool
+	// NoFetchCap removes the taken-transfer fetch-break cap on the
+	// steady-state dispatch rate.
+	NoFetchCap bool
+	// NoILPCap removes the inherent-ILP cap on the dispatch rate.
+	NoILPCap bool
+	// NaiveResolution replaces the scheduled branch-resolution
+	// characteristic with the raw whole-window critical path — the
+	// difference is the execution-overlap credit old window contents earn
+	// while the branch travels the frontend.
+	NaiveResolution bool
+}
+
+// BuildModel profiles the program twice (unit and machine latencies) over at
+// most maxInsts instructions. mk must return a fresh reader over the same
+// trace on each call; shortRatio is the program's short-miss ratio from a
+// functional profile.
+func BuildModel(mk func() trace.Reader, cfg uarch.Config, shortRatio float64, maxInsts int) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	windows := windowLadder(cfg.ROBSize)
+	kunit, err := ilp.Profile(mk(), windows, ilp.UnitLatency, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	klat, err := ilp.Profile(mk(), windows, MachineLatency(cfg, shortRatio), maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	kres, err := ilp.ProfileResolution(mk(), windows, MachineLatency(cfg, shortRatio), cfg.DispatchWidth, maxInsts, 4)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Cfg: cfg, KUnit: kunit, KLat: klat, KRes: kres}, nil
+}
+
+// windowLadder returns power-of-two window sizes up to and including the
+// ROB size.
+func windowLadder(rob int) []int {
+	var out []int
+	for w := 2; w < rob; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, rob)
+}
+
+// MachineLatency is the expected-value latency function of the machine:
+// class latencies from the FU pools, loads at L1 latency plus the expected
+// short-miss uplift shortRatio·(L2−L1).
+func MachineLatency(cfg uarch.Config, shortRatio float64) ilp.LatencyFunc {
+	lat := cfg.Mem.Lat
+	loadLat := float64(lat.L1) + shortRatio*float64(lat.L2-lat.L1)
+	return func(_ int, in *isa.Inst) float64 {
+		if in.Class == isa.Load {
+			return loadLat
+		}
+		return float64(cfg.FU.OpLatency(in.Class))
+	}
+}
+
+// dispatchToIssue is the modeled gap between an instruction entering the
+// window and its earliest issue.
+const dispatchToIssue = 1
+
+// MispredictPenalty predicts the penalty of a misprediction occurring
+// sinceLast instructions after the previous miss event: the window drain
+// (bounded by how much of the window could refill since the last event —
+// contributor ii — and shaped by the ILP characteristic under machine
+// latencies — contributors iii, iv, v) plus the frontend refill
+// (contributor i).
+func (m *Model) MispredictPenalty(sinceLast uint64) float64 {
+	occ := sinceLast
+	if occ > uint64(m.Cfg.ROBSize) {
+		occ = uint64(m.Cfg.ROBSize)
+	}
+	drain := 0.0
+	if occ > 0 {
+		if m.Opts.NaiveResolution {
+			drain = m.KLat.EvalInterp(int(occ))
+		} else {
+			drain = m.KRes.EvalInterp(int(occ))
+		}
+	}
+	return drain + dispatchToIssue + float64(m.Cfg.FrontendDepth)
+}
+
+// CPIBreakdown is the model's cycle stack, in total cycles. The paper's
+// equation: C = N/Deff + Σ penalties.
+type CPIBreakdown struct {
+	Insts    uint64
+	Base     float64 // N / effective dispatch rate
+	Bpred    float64 // Σ misprediction penalties
+	ICache   float64 // Σ I-cache miss delays
+	LongData float64 // Σ serialized long D-miss delays (MLP-aware)
+}
+
+// Total returns the predicted cycle count.
+func (b CPIBreakdown) Total() float64 { return b.Base + b.Bpred + b.ICache + b.LongData }
+
+// CPI returns the predicted cycles per instruction.
+func (b CPIBreakdown) CPI() float64 {
+	if b.Insts == 0 {
+		return 0
+	}
+	return b.Total() / float64(b.Insts)
+}
+
+// PredictCPI evaluates the interval model over a functional profile.
+func (m *Model) PredictCPI(p *Profile) (CPIBreakdown, error) {
+	intervals, err := Segment(p.Events, p.Insts)
+	if err != nil {
+		return CPIBreakdown{}, err
+	}
+	b := CPIBreakdown{Insts: p.Insts - p.Warmup}
+	dEff := m.effectiveDispatch(p)
+	b.Base = float64(b.Insts) / dEff
+
+	lat := m.Cfg.Mem.Lat
+	// Overlap credit for an isolated (non-serial) long miss: while the miss
+	// is outstanding, dispatch continues until the reorder buffer fills, so
+	// the observable stall is the memory latency minus the window-fill time
+	// (Karkhanis-Smith first-order treatment). Serial (pointer-chase) misses
+	// find the window already blocked and pay in full.
+	longCredit := float64(m.Cfg.ROBSize) / dEff
+	longCost := float64(lat.Mem) - longCredit
+	if longCost < float64(lat.Mem)/4 {
+		longCost = float64(lat.Mem) / 4
+	}
+	if m.Opts.NoOverlapCredit {
+		longCost = float64(lat.Mem)
+	}
+	parent := make(map[uint64]uint64, p.LongSerial)
+	if !m.Opts.NoSerialMisses {
+		for _, ev := range p.Events {
+			if ev.Kind == uarch.EvLongDMiss && ev.Serial {
+				parent[ev.Index] = ev.Parent
+			}
+		}
+	}
+	// Long D-miss handling: misses whose leading edges fall within one
+	// reorder window form a cluster that overlaps in memory (MLP). Within a
+	// cluster, address-dependent misses (pointer chases) form chains that
+	// serialize, while parallel chains still overlap each other — so the
+	// cluster pays its deepest local dependence chain times the memory
+	// latency, with the window-fill credit applied once.
+	var clusterStart uint64
+	var clusterDepths map[uint64]float64
+	var clusterMax float64
+	flushCluster := func() {
+		if clusterDepths != nil {
+			b.LongData += clusterMax*float64(lat.Mem) - (float64(lat.Mem) - longCost)
+			clusterDepths = nil
+		}
+	}
+	for _, iv := range intervals {
+		if iv.Final {
+			continue
+		}
+		evIdx := iv.End - 1
+		switch iv.Kind {
+		case uarch.EvBranchMispredict:
+			b.Bpred += m.MispredictPenalty(iv.Len() - 1)
+		case uarch.EvICacheMiss:
+			if iv.Level == cache.LongMiss {
+				b.ICache += float64(lat.Mem)
+			} else {
+				b.ICache += float64(lat.L2)
+			}
+		case uarch.EvLongDMiss:
+			if clusterDepths == nil || evIdx-clusterStart >= uint64(m.Cfg.ROBSize) {
+				flushCluster()
+				clusterStart = evIdx
+				clusterDepths = make(map[uint64]float64, 8)
+				clusterMax = 0
+			}
+			depth := 1.0
+			if par, ok := parent[evIdx]; ok {
+				if pd, in := clusterDepths[par]; in {
+					depth = pd + 1
+				}
+			}
+			clusterDepths[evIdx] = depth
+			if depth > clusterMax {
+				clusterMax = depth
+			}
+		}
+	}
+	flushCluster()
+	return b, nil
+}
+
+// effectiveDispatch returns the steady-state dispatch rate between miss
+// events: the design width, capped by the program's inherent ILP under
+// machine latencies (a full window cannot drain faster than ROB/K(ROB)) and
+// by the fetch rate under taken-transfer fetch breaks (a fetch group ends at
+// a taken branch, so groups of g instructions need about g/width + 1/2
+// cycles).
+func (m *Model) effectiveDispatch(p *Profile) float64 {
+	dEff := float64(m.Cfg.DispatchWidth)
+	if k := m.KLat.EvalInterp(m.Cfg.ROBSize); k > 0 && !m.Opts.NoILPCap {
+		if lim := float64(m.Cfg.ROBSize) / k; lim < dEff {
+			dEff = lim
+		}
+	}
+	if p.TakenXfers > 0 && !m.Opts.NoFetchCap {
+		// A taken transfer ends the fetch group; the refetch starts aligned
+		// at the target, so a group of g instructions costs E[ceil(g/W)] ≈
+		// g/W + (W−1)/2W cycles (uniform residual in the last fetch cycle).
+		w := float64(m.Cfg.FetchWidth)
+		g := float64(p.Insts-p.Warmup) / float64(p.TakenXfers)
+		fetchRate := g / (g/w + (w-1)/(2*w))
+		if fetchRate < dEff {
+			dEff = fetchRate
+		}
+	}
+	return dEff
+}
+
+// ValidationError compares the model's CPI prediction with a measured
+// cycle-level result and returns the signed relative error.
+func ValidationError(predicted CPIBreakdown, measured *uarch.Result) (float64, error) {
+	if measured.Insts == 0 || measured.CPI() == 0 {
+		return 0, fmt.Errorf("core: measured result is empty")
+	}
+	return (predicted.CPI() - measured.CPI()) / measured.CPI(), nil
+}

@@ -1,0 +1,6 @@
+package experiments
+
+import "time"
+
+// timeNow returns a monotonic nanosecond timestamp for speedup measurements.
+func timeNow() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyParams keeps the full-experiment integration tests fast while still
+// exercising every code path end to end.
+func tinyParams() Params { return Params{Insts: 80_000, Warmup: 20_000} }
+
+func TestT1PrintsConfiguration(t *testing.T) {
+	var sb strings.Builder
+	if err := T1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"frontend pipeline depth", "ROB", "L1I", "L2", "tournament"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T1 output missing %q", want)
+		}
+	}
+}
+
+// TestEveryExperimentRuns exercises each experiment end to end at tiny
+// sizing and sanity-checks the rendered output.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiments skipped in -short mode")
+	}
+	wants := map[string][]string{
+		"t2":  {"benchmark", "gzip", "mcf", "ILP beta"},
+		"e1":  {"mispredicted branch dispatches", "dispatch resumes", "pipeline refill"},
+		"e2":  {"interval length distribution", "gzip", "twolf"},
+		"e3":  {"avg penalty", "penalty/L"},
+		"e4":  {"since last miss event", "occupancy", "model"},
+		"e5":  {"frontend(i)", "drain ILP(ii+iii)", "shortD(v)", "total"},
+		"e6":  {"low-ilp", "high-ilp", "chain prob"},
+		"e7":  {"×1 penalty", "×3 penalty"},
+		"e8":  {"shortD/KI", "shortD component"},
+		"e9":  {"sim CPI", "model CPI", "err%"},
+		"e10": {"frontend pipeline depth", "ROB", "occupancy"},
+		"e11": {"cycle stacks", "mdl base", "sim bpred"},
+		"a1":  {"full model", "serial-miss", "mean |err|"},
+		"a2":  {"predictor sweep", "perceptron", "perfect"},
+		"e12": {"if-conversion", "targeted IPC", "arbitrary IPC"},
+		"a3":  {"sampled simulation", "err%", "speedup"},
+	}
+	reg := Registry()
+	for id, needles := range wants {
+		id, needles := id, needles
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			fn, ok := reg[id]
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			var sb strings.Builder
+			if err := fn(&sb, tinyParams()); err != nil {
+				t.Fatalf("%s failed: %v", id, err)
+			}
+			out := sb.String()
+			if len(out) < 100 {
+				t.Fatalf("%s produced only %d bytes", id, len(out))
+			}
+			for _, needle := range needles {
+				if !strings.Contains(out, needle) {
+					t.Errorf("%s output missing %q", id, needle)
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryCoversAll(t *testing.T) {
+	reg := Registry()
+	for _, id := range []string{"t1", "t2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3"} {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("registry missing %s", id)
+		}
+	}
+	if len(reg) != 17 {
+		t.Errorf("registry has %d entries, want 17", len(reg))
+	}
+}
+
+func TestParams(t *testing.T) {
+	d, q := DefaultParams(), QuickParams()
+	if d.Insts <= q.Insts || d.Warmup <= q.Warmup {
+		t.Error("default params should exceed quick params")
+	}
+	if q.Warmup >= uint64(q.Insts) {
+		t.Error("warmup must leave instructions to measure")
+	}
+}
+
+// TestExperimentsDeterministic verifies the whole pipeline (generator →
+// simulator → analysis → formatting) is bit-reproducible across runs.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiments skipped in -short mode")
+	}
+	render := func() string {
+		var sb strings.Builder
+		if err := E3(&sb, tinyParams()); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if render() != render() {
+		t.Fatal("E3 output not reproducible")
+	}
+}

@@ -1,0 +1,358 @@
+// Package ilp analyzes the inherent instruction-level parallelism of a
+// dynamic instruction stream through dependence-graph critical paths.
+//
+// Two of the paper's five misprediction-penalty contributors live here:
+// the inherent ILP of the program (the unit-latency critical path of the
+// instructions in the window when a mispredicted branch enters it) and the
+// amplification of that path by functional-unit and short-miss latencies.
+// The package also measures the program's ILP characteristic K(w) — the
+// mean critical path over windows of w instructions — with the power-law
+// fit K(w) ≈ (w/α)^(1/β) used by first-order superscalar models, which the
+// analytic interval model in package core consumes.
+package ilp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"intervalsim/internal/isa"
+	"intervalsim/internal/trace"
+)
+
+// LatencyFunc assigns an execution latency (in cycles) to an instruction;
+// idx is the instruction's position within the slice being analyzed, letting
+// callers key latencies off side tables (e.g. observed per-load cache
+// levels). Fractional values are allowed so expected-value latencies (e.g.
+// an average short-miss uplift on loads) can be modeled.
+type LatencyFunc func(idx int, in *isa.Inst) float64
+
+// UnitLatency treats every instruction as single-cycle: the latency function
+// of the paper's "inherent ILP" contributor.
+func UnitLatency(int, *isa.Inst) float64 { return 1 }
+
+// CriticalPath returns the longest dependence chain through insts under lat,
+// honoring register read-after-write dependences and store→load forwarding
+// on exact word addresses. An empty slice yields 0.
+func CriticalPath(insts []isa.Inst, lat LatencyFunc) float64 {
+	_, max := pathDepths(insts, lat)
+	return max
+}
+
+// CriticalPathTo returns the length of the longest dependence chain ending
+// at the last instruction of insts — the resolution time of a branch sitting
+// at the end of the window. An empty slice yields 0.
+func CriticalPathTo(insts []isa.Inst, lat LatencyFunc) float64 {
+	depths, _ := pathDepths(insts, lat)
+	if len(depths) == 0 {
+		return 0
+	}
+	return depths[len(depths)-1]
+}
+
+// pathDepths returns, for each instruction, the earliest completion time of
+// its dependence chain (its "depth"), plus the maximum depth.
+func pathDepths(insts []isa.Inst, lat LatencyFunc) ([]float64, float64) {
+	if len(insts) == 0 {
+		return nil, 0
+	}
+	depths := make([]float64, len(insts))
+	var regDepth [isa.NumRegs]float64
+	storeDepth := make(map[uint64]float64)
+	var maxDepth float64
+	for i := range insts {
+		in := &insts[i]
+		var ready float64
+		if r := in.Src1; r != isa.NoReg && regDepth[r] > ready {
+			ready = regDepth[r]
+		}
+		if r := in.Src2; r != isa.NoReg && regDepth[r] > ready {
+			ready = regDepth[r]
+		}
+		if in.Class == isa.Load {
+			if d, ok := storeDepth[in.Addr/8]; ok && d > ready {
+				ready = d
+			}
+		}
+		d := ready + lat(i, in)
+		depths[i] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+		if in.Dst != isa.NoReg {
+			regDepth[in.Dst] = d
+		}
+		if in.Class == isa.Store {
+			storeDepth[in.Addr/8] = d
+		}
+	}
+	return depths, maxDepth
+}
+
+// Characteristic is a program's ILP profile: the mean unit-latency critical
+// path K(w) over windows of w consecutive instructions, together with the
+// power-law fit K(w) ≈ (w/Alpha)^(1/Beta). Beta ≈ 2 corresponds to the
+// square-root ILP scaling of classic first-order models; larger Beta means
+// more parallelism.
+type Characteristic struct {
+	Windows []int     // window sizes profiled, ascending
+	K       []float64 // mean critical path per window size
+	Alpha   float64
+	Beta    float64
+}
+
+// IPC returns the steady-state ILP limit w/K(w) for window size w using the
+// fitted model.
+func (c Characteristic) IPC(w int) float64 {
+	k := c.Eval(w)
+	if k <= 0 {
+		return 0
+	}
+	return float64(w) / k
+}
+
+// Eval returns the fitted K(w).
+func (c Characteristic) Eval(w int) float64 {
+	if w <= 0 {
+		return 0
+	}
+	if c.Alpha <= 0 || c.Beta <= 0 {
+		return float64(w) // degenerate fit: fully serial
+	}
+	return math.Pow(float64(w)/c.Alpha, 1/c.Beta)
+}
+
+// EvalInterp returns K(w) by piecewise-linear interpolation of the measured
+// points, extrapolating with the power-law fit outside the profiled range.
+func (c Characteristic) EvalInterp(w int) float64 {
+	if len(c.Windows) == 0 {
+		return c.Eval(w)
+	}
+	if w <= c.Windows[0] || w > c.Windows[len(c.Windows)-1] {
+		if w == c.Windows[0] {
+			return c.K[0]
+		}
+		return c.Eval(w)
+	}
+	for i := 1; i < len(c.Windows); i++ {
+		if w <= c.Windows[i] {
+			w0, w1 := float64(c.Windows[i-1]), float64(c.Windows[i])
+			f := (float64(w) - w0) / (w1 - w0)
+			return c.K[i-1]*(1-f) + c.K[i]*f
+		}
+	}
+	return c.K[len(c.K)-1]
+}
+
+// Profile measures the ILP characteristic of the stream from r under lat.
+// It computes critical paths over non-overlapping windows of each size in
+// windows (which must be positive and ascending) across at most maxInsts
+// instructions (0 = the whole stream).
+func Profile(r trace.Reader, windows []int, lat LatencyFunc, maxInsts int) (Characteristic, error) {
+	if len(windows) == 0 {
+		return Characteristic{}, fmt.Errorf("ilp: no window sizes given")
+	}
+	for i, w := range windows {
+		if w <= 0 || (i > 0 && w <= windows[i-1]) {
+			return Characteristic{}, fmt.Errorf("ilp: window sizes must be positive and ascending")
+		}
+	}
+	largest := windows[len(windows)-1]
+	buf := make([]isa.Inst, 0, largest)
+	sums := make([]float64, len(windows))
+	counts := make([]int, len(windows))
+	total := 0
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		for i, w := range windows {
+			// Chop the buffer into non-overlapping windows of size w.
+			for off := 0; off+w <= len(buf); off += w {
+				sums[i] += CriticalPath(buf[off:off+w], lat)
+				counts[i]++
+			}
+		}
+		buf = buf[:0]
+	}
+	for maxInsts <= 0 || total < maxInsts {
+		in, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Characteristic{}, err
+		}
+		buf = append(buf, in)
+		total++
+		if len(buf) == largest {
+			flush()
+		}
+	}
+	flush()
+	c := Characteristic{Windows: append([]int(nil), windows...), K: make([]float64, len(windows))}
+	for i := range windows {
+		if counts[i] > 0 {
+			c.K[i] = sums[i] / float64(counts[i])
+		}
+	}
+	c.fit()
+	return c, nil
+}
+
+// fit performs a least-squares power-law fit of the measured (w, K) points
+// in log space: log K = (1/β) log w − (1/β) log α.
+func (c *Characteristic) fit() {
+	var n float64
+	var sx, sy, sxx, sxy float64
+	for i, w := range c.Windows {
+		if c.K[i] <= 0 {
+			continue
+		}
+		x, y := math.Log(float64(w)), math.Log(c.K[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	if n < 2 {
+		return
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	if slope <= 0 {
+		return
+	}
+	c.Beta = 1 / slope
+	c.Alpha = math.Exp(-intercept / slope)
+}
+
+// DefaultWindows is the window-size ladder used by the experiments: powers
+// of two through a 256-entry window.
+func DefaultWindows() []int {
+	return []int{2, 4, 8, 16, 32, 64, 128, 256}
+}
+
+// ScheduledResolution estimates the resolution time of the last instruction
+// of insts (a branch) on a machine dispatching width instructions per cycle,
+// with unlimited functional units. Instruction i dispatches at cycle
+// (i+1-n)·/width relative to the branch (which dispatches at cycle 0),
+// issues no earlier than one cycle after dispatch and when its producers
+// complete, and completes lat(i) cycles later. Unlike a raw critical path,
+// this credits older window contents with the execution time they already
+// had before the branch arrived — which is why measured branch resolution
+// saturates well below the whole-window critical path.
+func ScheduledResolution(insts []isa.Inst, lat LatencyFunc, width int) float64 {
+	n := len(insts)
+	if n == 0 {
+		return 0
+	}
+	if width <= 0 {
+		width = 1
+	}
+	completion := make([]float64, n)
+	var regDone [isa.NumRegs]float64
+	for i := range regDone {
+		regDone[i] = negInf
+	}
+	storeDone := make(map[uint64]float64)
+	for i := range insts {
+		in := &insts[i]
+		issue := float64(i+1-n)/float64(width) + 1
+		if r := in.Src1; r != isa.NoReg && regDone[r] > issue {
+			issue = regDone[r]
+		}
+		if r := in.Src2; r != isa.NoReg && regDone[r] > issue {
+			issue = regDone[r]
+		}
+		if in.Class == isa.Load {
+			if d, ok := storeDone[in.Addr/8]; ok && d > issue {
+				issue = d
+			}
+		}
+		done := issue + lat(i, in)
+		completion[i] = done
+		if in.Dst != isa.NoReg {
+			regDone[in.Dst] = done
+		}
+		if in.Class == isa.Store {
+			storeDone[in.Addr/8] = done
+		}
+	}
+	res := completion[n-1]
+	if res < 0 {
+		return 0
+	}
+	return res
+}
+
+const negInf = float64(-1 << 40)
+
+// ProfileResolution measures the branch-resolution characteristic: for each
+// window size w, the mean ScheduledResolution of a conditional branch over
+// the w instructions leading up to and including it, on a width-wide
+// machine. This is the drain curve a mispredicted branch actually sees — it
+// saturates once w exceeds the typical depth of the chains feeding branches,
+// unlike the whole-window characteristic which keeps growing. Branches are
+// sampled (every sample-th) to bound cost; sample <= 0 means every branch.
+func ProfileResolution(r trace.Reader, windows []int, lat LatencyFunc, width, maxInsts, sample int) (Characteristic, error) {
+	if len(windows) == 0 {
+		return Characteristic{}, fmt.Errorf("ilp: no window sizes given")
+	}
+	for i, w := range windows {
+		if w <= 0 || (i > 0 && w <= windows[i-1]) {
+			return Characteristic{}, fmt.Errorf("ilp: window sizes must be positive and ascending")
+		}
+	}
+	if sample <= 0 {
+		sample = 1
+	}
+	largest := windows[len(windows)-1]
+	buf := make([]isa.Inst, 0, 2*largest)
+	sums := make([]float64, len(windows))
+	counts := make([]int, len(windows))
+	total, branchSeen := 0, 0
+	for maxInsts <= 0 || total < maxInsts {
+		in, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Characteristic{}, err
+		}
+		if len(buf) == 2*largest {
+			copy(buf, buf[largest:])
+			buf = buf[:largest]
+		}
+		buf = append(buf, in)
+		total++
+		if in.Class != isa.Branch {
+			continue
+		}
+		branchSeen++
+		if branchSeen%sample != 0 {
+			continue
+		}
+		for i, w := range windows {
+			lo := len(buf) - w
+			if lo < 0 {
+				continue
+			}
+			sums[i] += ScheduledResolution(buf[lo:], lat, width)
+			counts[i]++
+		}
+	}
+	c := Characteristic{Windows: append([]int(nil), windows...), K: make([]float64, len(windows))}
+	for i := range windows {
+		if counts[i] > 0 {
+			c.K[i] = sums[i] / float64(counts[i])
+		}
+	}
+	c.fit()
+	return c, nil
+}

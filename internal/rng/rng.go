@@ -1,0 +1,148 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator and the synthetic workload
+// generator.
+//
+// The standard library's math/rand is avoided deliberately: its generator
+// and the stream produced by convenience helpers have changed across Go
+// releases, while reproducing the paper's experiments requires traces that
+// are bit-identical for a given seed, forever. The implementation here is
+// SplitMix64 (Steele, Lea, Flood; public domain reference constants), which
+// is trivially seedable, passes BigCrush when used as a 64-bit stream, and
+// is more than random enough to drive workload synthesis.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic SplitMix64 pseudo-random generator.
+// The zero value is a valid generator seeded with 0. Source is not safe for
+// concurrent use; give each goroutine its own (use Split).
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. Distinct seeds yield streams that
+// are statistically independent for simulation purposes.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Split derives a new independent Source from s. The derived stream does not
+// overlap the parent's continuation in any way that matters statistically:
+// the child is seeded with the parent's next output, golden-ratio scrambled.
+func (s *Source) Split() *Source {
+	return &Source{state: s.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded output.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		hi, lo := bits.Mul64(s.Uint64(), bound)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Geometric returns a sample from the geometric distribution with success
+// probability p, counting the number of failures before the first success
+// (support {0, 1, 2, ...}, mean (1-p)/p). It panics unless 0 < p <= 1.
+func (s *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric needs 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := s.Float64()
+	// Inverse-CDF; guard u == 0 to avoid log(0).
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return int(math.Log(u) / math.Log(1-p))
+}
+
+// Zipf returns a sample in [0, n) from a Zipf-like distribution with
+// exponent theta (theta = 0 is uniform; larger theta concentrates mass on
+// small values). It uses rejection-inversion and is exact for theta >= 0.
+// It panics if n <= 0 or theta < 0.
+func (s *Source) Zipf(n int, theta float64) int {
+	if n <= 0 {
+		panic("rng: Zipf with non-positive n")
+	}
+	if theta < 0 {
+		panic("rng: Zipf with negative theta")
+	}
+	if theta == 0 {
+		return s.Intn(n)
+	}
+	// Harmonic-sum inversion. n is small in all our uses (≤ a few thousand),
+	// so an O(log n) search over a cached prefix table would be overkill;
+	// approximate inversion via the continuous CDF is exact enough and
+	// allocation free.
+	if theta == 1 {
+		// CDF(x) ∝ ln(1+x); invert.
+		u := s.Float64()
+		x := math.Exp(u*math.Log(float64(n)+1)) - 1
+		i := int(x)
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	u := s.Float64()
+	oneMinus := 1 - theta
+	x := math.Pow(u*(math.Pow(float64(n)+1, oneMinus)-1)+1, 1/oneMinus) - 1
+	i := int(x)
+	if i >= n {
+		i = n - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// Perm fills dst with a uniformly random permutation of [0, len(dst)).
+func (s *Source) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+)
+
+// byteWriter batches small writes and defers error handling to flush, which
+// keeps the encoder hot loop free of per-byte error checks.
+type byteWriter struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func newByteWriter(w io.Writer) *byteWriter {
+	return &byteWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (b *byteWriter) byte(v byte) {
+	if b.err == nil {
+		b.err = b.w.WriteByte(v)
+	}
+}
+
+func (b *byteWriter) bytes(v []byte) {
+	if b.err == nil {
+		_, b.err = b.w.Write(v)
+	}
+}
+
+func (b *byteWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(b.buf[:], v)
+	b.bytes(b.buf[:n])
+}
+
+func (b *byteWriter) svarint(v int64) {
+	n := binary.PutVarint(b.buf[:], v)
+	b.bytes(b.buf[:n])
+}
+
+func (b *byteWriter) flush() error {
+	if b.err != nil {
+		return b.err
+	}
+	return b.w.Flush()
+}
+
+// byteReader adapts an io.Reader for varint decoding with buffering.
+type byteReader struct {
+	r *bufio.Reader
+}
+
+func newByteReader(r io.Reader) *byteReader {
+	return &byteReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (b *byteReader) read(p []byte) error {
+	_, err := io.ReadFull(b.r, p)
+	return err
+}
+
+func (b *byteReader) readByte() (byte, error) { return b.r.ReadByte() }
+
+func (b *byteReader) uvarint() (uint64, error) { return binary.ReadUvarint(b.r) }
+
+func (b *byteReader) svarint() (int64, error) { return binary.ReadVarint(b.r) }

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead asserts the binary decoder never panics and never silently
+// accepts input it cannot faithfully re-encode.
+func FuzzRead(f *testing.F) {
+	// Seed with a small valid trace and a few mutations of it.
+	valid := randomTrace(99, 32)
+	var buf bytes.Buffer
+	if err := Write(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("IVTR\x01\x00"))
+	f.Add([]byte("IVTR"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), buf.Bytes()...)
+	if len(mutated) > 10 {
+		mutated[9] ^= 0xff
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine
+		}
+		// Accepted input must round-trip.
+		var out bytes.Buffer
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		tr2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if tr.Len() != tr2.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", tr.Len(), tr2.Len())
+		}
+	})
+}
+
+// FuzzReadText asserts the text decoder never panics and that accepted
+// input re-encodes.
+func FuzzReadText(f *testing.F) {
+	valid := randomTrace(98, 16)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("0x1000 IntALU r1 r2 r3\n")
+	f.Add("# only a comment\n\n")
+	f.Add("0x1000 Load r1 - r2 @0x8000 garbage")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadText(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteText(&out, tr); err != nil {
+			t.Fatalf("accepted text trace failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"intervalsim/internal/isa"
+)
+
+// WriteText encodes t in a line-oriented, human-readable format, one
+// instruction per line:
+//
+//	<pc> <class> [src1] [src2] [dst] [@addr] [T|N -> target]
+//
+// with registers as rN or "-", addresses in hex. The format round-trips via
+// ReadText and exists for debugging and for diffing traces in reviews; the
+// binary format is ~6 bytes/inst, the text format ~40.
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for i := range t.Insts {
+		in := &t.Insts[i]
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		fmt.Fprintf(bw, "%#x %s %s %s %s", in.PC, in.Class, regText(in.Src1), regText(in.Src2), regText(in.Dst))
+		if in.Class.IsMem() {
+			fmt.Fprintf(bw, " @%#x", in.Addr)
+		}
+		if in.Class.IsControl() {
+			dir := "N"
+			if in.Taken {
+				dir = "T"
+			}
+			fmt.Fprintf(bw, " %s->%#x", dir, in.Target)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes the text format produced by WriteText. Blank lines and
+// lines starting with '#' are skipped.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		in, err := parseTextLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrCorrupt, lineNo, err)
+		}
+		t.Insts = append(t.Insts, in)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseTextLine(line string) (isa.Inst, error) {
+	var in isa.Inst
+	fields := strings.Fields(line)
+	if len(fields) < 5 {
+		return in, fmt.Errorf("want at least 5 fields, got %d", len(fields))
+	}
+	pc, err := strconv.ParseUint(fields[0], 0, 64)
+	if err != nil {
+		return in, fmt.Errorf("bad pc %q", fields[0])
+	}
+	in.PC = pc
+	cls, ok := classByName(fields[1])
+	if !ok {
+		return in, fmt.Errorf("unknown class %q", fields[1])
+	}
+	in.Class = cls
+	for i, p := range []*int8{&in.Src1, &in.Src2, &in.Dst} {
+		r, err := parseReg(fields[2+i])
+		if err != nil {
+			return in, err
+		}
+		*p = r
+	}
+	for _, f := range fields[5:] {
+		switch {
+		case strings.HasPrefix(f, "@"):
+			a, err := strconv.ParseUint(f[1:], 0, 64)
+			if err != nil {
+				return in, fmt.Errorf("bad address %q", f)
+			}
+			in.Addr = a
+		case strings.HasPrefix(f, "T->"), strings.HasPrefix(f, "N->"):
+			tgt, err := strconv.ParseUint(f[3:], 0, 64)
+			if err != nil {
+				return in, fmt.Errorf("bad target %q", f)
+			}
+			in.Target = tgt
+			in.Taken = f[0] == 'T'
+		default:
+			return in, fmt.Errorf("unexpected field %q", f)
+		}
+	}
+	if err := in.Validate(); err != nil {
+		return in, err
+	}
+	return in, nil
+}
+
+func regText(r int8) string {
+	if r == isa.NoReg {
+		return "-"
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+func parseReg(s string) (int8, error) {
+	if s == "-" {
+		return isa.NoReg, nil
+	}
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return int8(n), nil
+}
+
+func classByName(name string) (isa.Class, bool) {
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return 0, false
+}

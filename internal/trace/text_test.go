@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	orig := randomTrace(21, 2000)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Insts, got.Insts) {
+		t.Fatal("text round trip changed the trace")
+	}
+}
+
+func TestTextRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, sz uint16) bool {
+		orig := randomTrace(seed, int(sz%256))
+		var buf bytes.Buffer
+		if err := WriteText(&buf, orig); err != nil {
+			return false
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			return false
+		}
+		return len(orig.Insts) == 0 || reflect.DeepEqual(orig.Insts, got.Insts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextSkipsCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+0x1000 IntALU r1 r2 r3
+
+0x1004 Load r1 - r2 @0x8000
+`
+	tr, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("parsed %d insts, want 2", tr.Len())
+	}
+}
+
+func TestTextHumanReadable(t *testing.T) {
+	orig := randomTrace(22, 10)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0x") {
+		t.Error("no hex addresses in text output")
+	}
+	if lines := strings.Count(out, "\n"); lines != 10 {
+		t.Errorf("%d lines for 10 insts", lines)
+	}
+}
+
+func TestTextRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"0x1000",                           // too few fields
+		"zzz IntALU r1 r2 r3",              // bad pc
+		"0x1000 Frobnicate r1 r2 r3",       // bad class
+		"0x1000 IntALU rX r2 r3",           // bad register
+		"0x1000 IntALU r1 r2 r99",          // register out of range
+		"0x1000 Load r1 - r2 @nope",        // bad address
+		"0x1000 Branch r1 - - T->nope",     // bad target
+		"0x1000 IntALU r1 r2 r3 wat",       // trailing junk
+		"0x1000 Load r1 - r2",              // load without address (Validate)
+		"0x1000 IntALU r1 r2 r3 T->0x2000", // control fields on ALU (Validate)
+	}
+	for _, line := range bad {
+		if _, err := ReadText(strings.NewReader(line)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("line %q: err = %v, want ErrCorrupt", line, err)
+		}
+	}
+}
+
+func TestWriteTextRejectsInvalid(t *testing.T) {
+	tr := randomTrace(23, 3)
+	tr.Insts[1].Class = 200
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err == nil {
+		t.Fatal("invalid instruction accepted")
+	}
+}

@@ -1,0 +1,261 @@
+// Package trace provides the dynamic-instruction trace infrastructure: an
+// in-memory trace type, streaming reader interfaces, and a compact binary
+// on-disk format with delta/varint encoding.
+//
+// Everything downstream of the workload generator — the cycle-level
+// simulator, the ILP profiler, and interval analysis — consumes traces
+// through the Reader interface, so experiments can run either directly from
+// a generator or from files produced once by cmd/tracegen.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"intervalsim/internal/isa"
+)
+
+// Reader streams dynamic instructions in program order.
+// Next returns io.EOF after the last instruction.
+type Reader interface {
+	Next() (isa.Inst, error)
+}
+
+// Trace is an in-memory dynamic instruction trace.
+type Trace struct {
+	Insts []isa.Inst
+}
+
+// Len returns the number of dynamic instructions.
+func (t *Trace) Len() int { return len(t.Insts) }
+
+// Reader returns a fresh streaming reader over the trace.
+func (t *Trace) Reader() Reader { return &sliceReader{insts: t.Insts} }
+
+type sliceReader struct {
+	insts []isa.Inst
+	pos   int
+}
+
+func (r *sliceReader) Next() (isa.Inst, error) {
+	if r.pos >= len(r.insts) {
+		return isa.Inst{}, io.EOF
+	}
+	in := r.insts[r.pos]
+	r.pos++
+	return in, nil
+}
+
+// ReadAll drains r into an in-memory trace.
+func ReadAll(r Reader) (*Trace, error) {
+	t := &Trace{}
+	for {
+		in, err := r.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Insts = append(t.Insts, in)
+	}
+}
+
+// Collect drains up to max instructions from r (all of them if max <= 0).
+func Collect(r Reader, max int) (*Trace, error) {
+	t := &Trace{}
+	for max <= 0 || len(t.Insts) < max {
+		in, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Insts = append(t.Insts, in)
+	}
+	return t, nil
+}
+
+// LimitReader returns a Reader that yields at most n instructions from r.
+func LimitReader(r Reader, n int) Reader { return &limitReader{r: r, n: n} }
+
+type limitReader struct {
+	r Reader
+	n int
+}
+
+func (l *limitReader) Next() (isa.Inst, error) {
+	if l.n <= 0 {
+		return isa.Inst{}, io.EOF
+	}
+	l.n--
+	return l.r.Next()
+}
+
+// --- Binary format -----------------------------------------------------
+//
+// Layout:
+//
+//	magic "IVTR" | version byte | varint count
+//	count records, each:
+//	  head byte: class (low 4 bits) | taken flag (bit 4)
+//	  src1, src2, dst bytes (0xff encodes NoReg)
+//	  zigzag varint pc delta from previous record's pc
+//	  for memory ops:  zigzag varint addr delta from previous memory addr
+//	  for control ops: zigzag varint target delta from this record's pc
+//
+// Deltas keep typical records at 6–8 bytes. The format is self-terminating
+// (count up front) so truncation is always detected.
+
+var magic = [4]byte{'I', 'V', 'T', 'R'}
+
+const formatVersion = 1
+
+// ErrCorrupt is wrapped by all decoding errors caused by malformed input.
+var ErrCorrupt = errors.New("trace: corrupt input")
+
+// Write encodes t to w in the binary format.
+func Write(w io.Writer, t *Trace) error {
+	bw := newByteWriter(w)
+	bw.bytes(magic[:])
+	bw.byte(formatVersion)
+	bw.uvarint(uint64(len(t.Insts)))
+	var prevPC, prevAddr uint64
+	for i := range t.Insts {
+		in := &t.Insts[i]
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		head := byte(in.Class)
+		if in.Taken {
+			head |= 1 << 4
+		}
+		bw.byte(head)
+		bw.byte(regByte(in.Src1))
+		bw.byte(regByte(in.Src2))
+		bw.byte(regByte(in.Dst))
+		bw.svarint(int64(in.PC - prevPC))
+		prevPC = in.PC
+		if in.Class.IsMem() {
+			bw.svarint(int64(in.Addr - prevAddr))
+			prevAddr = in.Addr
+		}
+		if in.Class.IsControl() {
+			bw.svarint(int64(in.Target - in.PC))
+		}
+	}
+	return bw.flush()
+}
+
+// Read decodes an entire binary trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	dec, n, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Insts: make([]isa.Inst, 0, n)}
+	for {
+		in, err := dec.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Insts = append(t.Insts, in)
+	}
+}
+
+// Decoder streams instructions from a binary-format trace.
+type Decoder struct {
+	br       *byteReader
+	remain   uint64
+	prevPC   uint64
+	prevAddr uint64
+}
+
+// NewDecoder validates the header of a binary trace on r and returns a
+// streaming decoder plus the declared instruction count.
+func NewDecoder(r io.Reader) (*Decoder, uint64, error) {
+	br := newByteReader(r)
+	var hdr [4]byte
+	if err := br.read(hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if hdr != magic {
+		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:])
+	}
+	ver, err := br.readByte()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: missing version: %v", ErrCorrupt, err)
+	}
+	if ver != formatVersion {
+		return nil, 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
+	}
+	n, err := br.uvarint()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: missing count: %v", ErrCorrupt, err)
+	}
+	return &Decoder{br: br, remain: n}, n, nil
+}
+
+// Next implements Reader.
+func (d *Decoder) Next() (isa.Inst, error) {
+	if d.remain == 0 {
+		return isa.Inst{}, io.EOF
+	}
+	var in isa.Inst
+	head, err := d.br.readByte()
+	if err != nil {
+		return in, fmt.Errorf("%w: truncated record: %v", ErrCorrupt, err)
+	}
+	in.Class = isa.Class(head & 0x0f)
+	in.Taken = head&(1<<4) != 0
+	regs := [3]*int8{&in.Src1, &in.Src2, &in.Dst}
+	for _, p := range regs {
+		b, err := d.br.readByte()
+		if err != nil {
+			return in, fmt.Errorf("%w: truncated operands: %v", ErrCorrupt, err)
+		}
+		if b == 0xff {
+			*p = isa.NoReg
+		} else {
+			*p = int8(b)
+		}
+	}
+	dpc, err := d.br.svarint()
+	if err != nil {
+		return in, fmt.Errorf("%w: truncated pc: %v", ErrCorrupt, err)
+	}
+	in.PC = d.prevPC + uint64(dpc)
+	d.prevPC = in.PC
+	if in.Class.IsMem() {
+		da, err := d.br.svarint()
+		if err != nil {
+			return in, fmt.Errorf("%w: truncated addr: %v", ErrCorrupt, err)
+		}
+		in.Addr = d.prevAddr + uint64(da)
+		d.prevAddr = in.Addr
+	}
+	if in.Class.IsControl() {
+		dt, err := d.br.svarint()
+		if err != nil {
+			return in, fmt.Errorf("%w: truncated target: %v", ErrCorrupt, err)
+		}
+		in.Target = in.PC + uint64(dt)
+	}
+	if err := in.Validate(); err != nil {
+		return in, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	d.remain--
+	return in, nil
+}
+
+func regByte(r int8) byte {
+	if r == isa.NoReg {
+		return 0xff
+	}
+	return byte(r)
+}

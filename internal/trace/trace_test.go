@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"intervalsim/internal/isa"
+	"intervalsim/internal/rng"
+)
+
+// randomTrace builds a structurally valid random trace for round-trip tests.
+func randomTrace(seed uint64, n int) *Trace {
+	s := rng.New(seed)
+	t := &Trace{Insts: make([]isa.Inst, 0, n)}
+	pc := uint64(0x400000)
+	for i := 0; i < n; i++ {
+		var in isa.Inst
+		in.PC = pc
+		in.Class = isa.Class(s.Intn(int(isa.NumClasses)))
+		pick := func() int8 {
+			if s.Bool(0.2) {
+				return isa.NoReg
+			}
+			return int8(s.Intn(isa.NumRegs))
+		}
+		in.Src1, in.Src2, in.Dst = pick(), pick(), pick()
+		switch {
+		case in.Class.IsMem():
+			in.Addr = 0x10000000 + uint64(s.Intn(1<<20))*8
+		case in.Class.IsControl():
+			in.Target = pc + uint64(s.Intn(4096))*4 - 8192
+			in.Taken = s.Bool(0.6) || in.Class == isa.Jump
+		}
+		t.Insts = append(t.Insts, in)
+		pc += 4
+		if s.Bool(0.05) {
+			pc += uint64(s.Intn(256)) * 4 // occasional jump in PC
+		}
+	}
+	return t
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("expected empty trace, got %d insts", got.Len())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := randomTrace(1, 5000)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Insts, got.Insts) {
+		t.Fatal("round trip changed the trace")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, sz uint16) bool {
+		orig := randomTrace(seed, int(sz%512))
+		var buf bytes.Buffer
+		if err := Write(&buf, orig); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(orig.Insts) != len(got.Insts) {
+			return false
+		}
+		return len(orig.Insts) == 0 || reflect.DeepEqual(orig.Insts, got.Insts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	tr := randomTrace(2, 10000)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	perInst := float64(buf.Len()) / float64(tr.Len())
+	if perInst > 12 {
+		t.Errorf("encoding too large: %.1f bytes/inst", perInst)
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	tr := &Trace{Insts: []isa.Inst{{Class: isa.NumClasses}}}
+	if err := Write(io.Discard, tr); err == nil {
+		t.Fatal("Write accepted invalid instruction")
+	}
+}
+
+func TestReadBadMagic(t *testing.T) {
+	_, err := Read(bytes.NewReader([]byte("NOPE\x01\x00")))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestReadBadVersion(t *testing.T) {
+	_, err := Read(bytes.NewReader([]byte("IVTR\x63\x00")))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	orig := randomTrace(3, 100)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every proper prefix must produce an error, never a panic or silent success.
+	for cut := 0; cut < len(full)-1; cut += 17 {
+		_, err := Read(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestReadGarbageBody(t *testing.T) {
+	// Valid header claiming 1000 records followed by noise: must error.
+	var buf bytes.Buffer
+	buf.WriteString("IVTR\x01")
+	buf.WriteByte(0xe8) // uvarint 1000 = 0xe8 0x07
+	buf.WriteByte(0x07)
+	for i := 0; i < 64; i++ {
+		buf.WriteByte(byte(0xf0 | i))
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("garbage body accepted")
+	}
+}
+
+func TestDecoderStreamsCount(t *testing.T) {
+	orig := randomTrace(4, 321)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	dec, n, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 321 {
+		t.Fatalf("declared count = %d, want 321", n)
+	}
+	got := 0
+	for {
+		_, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got++
+	}
+	if got != 321 {
+		t.Fatalf("decoded %d records, want 321", got)
+	}
+}
+
+func TestReadAllAndCollect(t *testing.T) {
+	orig := randomTrace(5, 50)
+	all, err := ReadAll(orig.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Insts, all.Insts) {
+		t.Fatal("ReadAll mismatch")
+	}
+	ten, err := Collect(orig.Reader(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten.Len() != 10 || !reflect.DeepEqual(orig.Insts[:10], ten.Insts) {
+		t.Fatal("Collect(10) mismatch")
+	}
+	everything, err := Collect(orig.Reader(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if everything.Len() != orig.Len() {
+		t.Fatal("Collect(0) should drain the reader")
+	}
+}
+
+func TestLimitReader(t *testing.T) {
+	orig := randomTrace(6, 50)
+	lim := LimitReader(orig.Reader(), 7)
+	count := 0
+	for {
+		_, err := lim.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != 7 {
+		t.Fatalf("LimitReader yielded %d, want 7", count)
+	}
+}
+
+func TestSliceReaderEOFIsSticky(t *testing.T) {
+	r := (&Trace{}).Reader()
+	for i := 0; i < 3; i++ {
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("call %d: want io.EOF, got %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package uarch implements a cycle-level, trace-driven model of an
+// out-of-order superscalar processor: a depth-configurable frontend pipeline,
+// branch prediction unit, reorder buffer and issue queue, per-class
+// functional-unit pools, and a two-level cache hierarchy.
+//
+// It is the measurement substrate of the reproduction: the detailed
+// simulator the paper validates interval analysis against. Beyond aggregate
+// cycle counts it records exactly the artifacts interval analysis consumes —
+// the ordered stream of miss events (branch mispredictions, I-cache misses,
+// long D-cache misses) and, per misprediction, the reorder-buffer occupancy,
+// the distance to the previous miss event, and the dispatch/resolve/refill
+// timing that defines the misprediction penalty.
+//
+// Like the paper's simulator, it is trace driven: wrong-path instructions
+// are not fetched (their second-order cache effects are outside the model),
+// so a misprediction stalls fetch until the branch resolves and then pays
+// the frontend refill, which is precisely the penalty structure under study.
+package uarch
+
+import (
+	"fmt"
+
+	"intervalsim/internal/bpred"
+	"intervalsim/internal/cache"
+	"intervalsim/internal/isa"
+)
+
+// FUPool configures one class of functional units.
+type FUPool struct {
+	Count     int  // number of units
+	Latency   int  // execution latency in cycles (loads use cache latency instead)
+	Pipelined bool // can a unit accept a new op every cycle?
+}
+
+// FUs configures every functional-unit pool. Branches and jumps execute on
+// the IntALU pool; loads and stores share the MemPort pool (load latency
+// comes from the cache hierarchy, stores retire into a store buffer in one
+// cycle).
+type FUs struct {
+	IntALU  FUPool
+	IntMul  FUPool
+	IntDiv  FUPool
+	FPAdd   FUPool
+	FPMul   FUPool
+	FPDiv   FUPool
+	MemPort FUPool
+}
+
+// Scale returns a copy with every latency multiplied by factor (minimum 1),
+// used by the functional-unit-latency experiments.
+func (f FUs) Scale(factor float64) FUs {
+	s := func(p FUPool) FUPool {
+		l := int(float64(p.Latency)*factor + 0.5)
+		if l < 1 {
+			l = 1
+		}
+		p.Latency = l
+		return p
+	}
+	return FUs{
+		IntALU: s(f.IntALU), IntMul: s(f.IntMul), IntDiv: s(f.IntDiv),
+		FPAdd: s(f.FPAdd), FPMul: s(f.FPMul), FPDiv: s(f.FPDiv),
+		MemPort: f.MemPort,
+	}
+}
+
+// PredictorSpec selects and sizes the branch prediction unit.
+type PredictorSpec struct {
+	Kind       string // "perfect", "taken", "not-taken", "bimodal", "gshare", "local", "tournament", "perceptron"
+	Entries    int    // table entries for table-based kinds
+	HistBits   uint   // history length for gshare/local
+	BTBEntries int    // 0 disables target misses
+}
+
+// Build constructs the configured prediction unit.
+func (p PredictorSpec) Build() (*bpred.Unit, error) {
+	var dir bpred.Predictor
+	switch p.Kind {
+	case "perfect":
+		dir = bpred.Perfect{}
+	case "taken":
+		dir = &bpred.Static{Taken: true}
+	case "not-taken":
+		dir = &bpred.Static{Taken: false}
+	case "bimodal":
+		dir = bpred.NewBimodal(p.Entries)
+	case "gshare":
+		dir = bpred.NewGShare(p.Entries, p.HistBits)
+	case "local":
+		dir = bpred.NewLocal(p.Entries, p.HistBits)
+	case "tournament":
+		dir = bpred.NewTournament(
+			bpred.NewGShare(p.Entries, p.HistBits),
+			bpred.NewBimodal(p.Entries),
+			p.Entries,
+		)
+	case "perceptron":
+		dir = bpred.NewPerceptron(p.Entries, int(p.HistBits))
+	default:
+		return nil, fmt.Errorf("uarch: unknown predictor kind %q", p.Kind)
+	}
+	u := &bpred.Unit{Dir: dir}
+	if p.BTBEntries > 0 {
+		u.BTB = bpred.NewBTB(p.BTBEntries)
+	}
+	return u, nil
+}
+
+// Config describes the modeled processor.
+type Config struct {
+	Name string
+
+	FetchWidth    int // instructions fetched per cycle
+	DispatchWidth int // rename/dispatch width — the D of interval analysis
+	IssueWidth    int // maximum instructions issued to FUs per cycle
+	CommitWidth   int // maximum instructions retired per cycle
+
+	// FrontendDepth is the number of pipeline stages between fetch and
+	// dispatch: the classic "misprediction penalty" that the paper shows to
+	// be only one of five contributors.
+	FrontendDepth int
+
+	ROBSize int // reorder buffer entries
+	IQSize  int // issue queue entries (dispatched but not yet issued)
+
+	FU   FUs
+	Pred PredictorSpec
+	Mem  cache.HierarchyConfig
+}
+
+// Validate reports the first configuration problem, if any.
+func (c Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"FetchWidth", c.FetchWidth}, {"DispatchWidth", c.DispatchWidth},
+		{"IssueWidth", c.IssueWidth}, {"CommitWidth", c.CommitWidth},
+		{"FrontendDepth", c.FrontendDepth}, {"ROBSize", c.ROBSize},
+		{"IQSize", c.IQSize},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("uarch %s: %s must be positive", c.Name, f.name)
+		}
+	}
+	if c.IQSize > c.ROBSize {
+		return fmt.Errorf("uarch %s: IQSize %d exceeds ROBSize %d", c.Name, c.IQSize, c.ROBSize)
+	}
+	pools := []struct {
+		name string
+		p    FUPool
+	}{
+		{"IntALU", c.FU.IntALU}, {"IntMul", c.FU.IntMul}, {"IntDiv", c.FU.IntDiv},
+		{"FPAdd", c.FU.FPAdd}, {"FPMul", c.FU.FPMul}, {"FPDiv", c.FU.FPDiv},
+		{"MemPort", c.FU.MemPort},
+	}
+	for _, pl := range pools {
+		if pl.p.Count <= 0 || pl.p.Latency <= 0 {
+			return fmt.Errorf("uarch %s: FU pool %s needs positive count and latency", c.Name, pl.name)
+		}
+	}
+	if _, err := c.Pred.Build(); err != nil {
+		return err
+	}
+	return c.Mem.Validate()
+}
+
+// poolFor maps an instruction class to its functional-unit pool index.
+// Branches and jumps resolve on integer ALUs; loads and stores share ports.
+func poolFor(class isa.Class) int {
+	switch class {
+	case isa.IntALU, isa.Branch, isa.Jump:
+		return 0
+	case isa.IntMul:
+		return 1
+	case isa.IntDiv:
+		return 2
+	case isa.FPAdd:
+		return 3
+	case isa.FPMul:
+		return 4
+	case isa.FPDiv:
+		return 5
+	default: // Load, Store
+		return 6
+	}
+}
+
+const numPools = 7
+
+// pools returns the pool configurations indexed by poolFor.
+func (f FUs) pools() [numPools]FUPool {
+	return [numPools]FUPool{f.IntALU, f.IntMul, f.IntDiv, f.FPAdd, f.FPMul, f.FPDiv, f.MemPort}
+}
+
+// OpLatency returns the fixed execution latency for class, or 0 for loads
+// (whose latency comes from the cache hierarchy).
+func (f FUs) OpLatency(class isa.Class) int {
+	switch class {
+	case isa.IntALU, isa.Branch, isa.Jump:
+		return f.IntALU.Latency
+	case isa.IntMul:
+		return f.IntMul.Latency
+	case isa.IntDiv:
+		return f.IntDiv.Latency
+	case isa.FPAdd:
+		return f.FPAdd.Latency
+	case isa.FPMul:
+		return f.FPMul.Latency
+	case isa.FPDiv:
+		return f.FPDiv.Latency
+	case isa.Store:
+		return 1 // into the store buffer
+	default: // Load
+		return 0
+	}
+}
+
+// Baseline returns the paper-style 4-wide baseline processor (Table T1 of
+// DESIGN.md): 4-wide dispatch/issue/commit, 5-stage frontend, 128-entry ROB,
+// tournament predictor + BTB, 64KB L1s, 1MB L2, 250-cycle memory.
+func Baseline() Config {
+	return Config{
+		Name:          "base4w",
+		FetchWidth:    4,
+		DispatchWidth: 4,
+		IssueWidth:    4,
+		CommitWidth:   4,
+		FrontendDepth: 5,
+		ROBSize:       128,
+		IQSize:        64,
+		FU: FUs{
+			IntALU:  FUPool{Count: 4, Latency: 1, Pipelined: true},
+			IntMul:  FUPool{Count: 2, Latency: 3, Pipelined: true},
+			IntDiv:  FUPool{Count: 1, Latency: 20, Pipelined: false},
+			FPAdd:   FUPool{Count: 2, Latency: 2, Pipelined: true},
+			FPMul:   FUPool{Count: 1, Latency: 4, Pipelined: true},
+			FPDiv:   FUPool{Count: 1, Latency: 12, Pipelined: false},
+			MemPort: FUPool{Count: 2, Latency: 1, Pipelined: true},
+		},
+		Pred: PredictorSpec{Kind: "tournament", Entries: 16384, HistBits: 12, BTBEntries: 4096},
+		Mem: cache.HierarchyConfig{
+			L1I: cache.Config{Name: "L1I", Size: 64 << 10, LineSize: 64, Ways: 2, Repl: cache.LRU},
+			L1D: cache.Config{Name: "L1D", Size: 64 << 10, LineSize: 64, Ways: 4, Repl: cache.LRU},
+			L2:  cache.Config{Name: "L2", Size: 1 << 20, LineSize: 64, Ways: 8, Repl: cache.LRU},
+			Lat: cache.Latencies{L1: 3, L2: 12, Mem: 250},
+		},
+	}
+}

@@ -1,0 +1,120 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"intervalsim/internal/cache"
+	"intervalsim/internal/trace"
+	"intervalsim/internal/workload"
+)
+
+// randomWorkload derives a structurally valid workload configuration from a
+// seed, spanning the knob space the generator supports.
+func randomWorkload(seed uint64) workload.Config {
+	// Derive knobs from seed bits; keep everything within Validate() bounds.
+	pick := func(shift uint, mod int) int { return int((seed >> shift) % uint64(mod)) }
+	return workload.Config{
+		Name: "prop", Seed: seed,
+		Regions:          1 + pick(0, 12),
+		BlocksPerRegion:  2 + pick(4, 16),
+		BlockSize:        workload.Range{Min: 1 + pick(8, 4), Max: 5 + pick(10, 8)},
+		LoopTrip:         workload.Range{Min: 1 + pick(12, 8), Max: 10 + pick(14, 30)},
+		RegionTheta:      float64(pick(16, 15)) / 10,
+		LoadFrac:         float64(pick(20, 30)) / 100,
+		StoreFrac:        float64(pick(24, 15)) / 100,
+		MulFrac:          float64(pick(26, 5)) / 100,
+		DivFrac:          float64(pick(28, 2)) / 100,
+		ChainProb:        float64(pick(30, 10)) / 10,
+		RandomBranchFrac: float64(pick(34, 40)) / 100, RandomBranchBias: 0.5,
+		PatternBranchFrac: float64(pick(38, 30)) / 100, TakenBias: 0.8 + float64(pick(42, 19))/100,
+		DataFootprint: 64 << (10 + pick(46, 8)),
+		StrideFrac:    float64(pick(50, 10)) / 10,
+		Locality:      float64(pick(54, 18)) / 10,
+	}
+}
+
+// TestSimulatorInvariantsProperty runs randomized workloads through the
+// detailed simulator and checks the invariants any result must satisfy.
+func TestSimulatorInvariantsProperty(t *testing.T) {
+	cfg := testConfig()
+	cfg.Pred = PredictorSpec{Kind: "gshare", Entries: 1024, HistBits: 8, BTBEntries: 256}
+	f := func(seed uint64) bool {
+		wc := randomWorkload(seed)
+		if err := wc.Validate(); err != nil {
+			t.Logf("seed %d produced invalid config: %v", seed, err)
+			return false
+		}
+		tr, err := trace.ReadAll(workload.MustNew(wc, 20_000))
+		if err != nil {
+			return false
+		}
+		res, err := Run(tr.Reader(), cfg, Options{
+			RecordEvents:      true,
+			RecordMispredicts: true,
+			RecordLoadLevels:  true,
+		})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Every instruction commits.
+		if res.Insts != uint64(tr.Len()) {
+			return false
+		}
+		// Cycles bounded below by the dispatch-width limit.
+		if res.Cycles < res.Insts/uint64(cfg.DispatchWidth) {
+			return false
+		}
+		// Events lie within the trace and are cycle-ordered.
+		var lastCycle uint64
+		for _, ev := range res.Events {
+			if ev.Index >= uint64(tr.Len()) || ev.Cycle < lastCycle {
+				return false
+			}
+			lastCycle = ev.Cycle
+		}
+		// Records are self-consistent.
+		for _, r := range res.Records {
+			if r.Occupancy < 0 || r.Occupancy >= cfg.ROBSize {
+				return false
+			}
+			if r.OldestInROB > r.Index {
+				return false
+			}
+			if r.ResumeCycle != 0 && r.Penalty() < float64(cfg.FrontendDepth) {
+				return false
+			}
+		}
+		// Mispredict event count matches the record count.
+		return res.Mispredicts == uint64(len(res.Records))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerfectEverythingApproachesWidth gives the machine a perfect frontend
+// and unmissable caches (huge L1s): IPC must approach the ILP/width limit on
+// a high-ILP workload.
+func TestPerfectEverythingApproachesWidth(t *testing.T) {
+	wc, _ := workload.SuiteConfig("gap")
+	wc.ChainProb = 0
+	cfg := testConfig()
+	cfg.Pred = PredictorSpec{Kind: "perfect"}
+	// Flat memory: cold misses cost almost nothing, isolating the core.
+	cfg.Mem.Lat = cache.Latencies{L1: 1, L2: 2, Mem: 3}
+	tr, err := trace.ReadAll(workload.MustNew(wc, 100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr.Reader(), cfg, Options{WarmupInsts: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Taken-branch fetch breaks keep it below 4; anything under 2 would
+	// indicate a phantom bottleneck.
+	if res.IPC() < 2 {
+		t.Errorf("idealized machine IPC = %.2f, want > 2", res.IPC())
+	}
+}

@@ -1,0 +1,643 @@
+package uarch
+
+import (
+	"fmt"
+	"io"
+
+	"intervalsim/internal/bpred"
+	"intervalsim/internal/cache"
+	"intervalsim/internal/isa"
+	"intervalsim/internal/trace"
+)
+
+// Run simulates the instruction stream from r on the processor described by
+// cfg and returns the measured result. The same reader can only be consumed
+// once; generators and decoders are cheap to recreate.
+func Run(r trace.Reader, cfg Config, opts Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newSimulator(r, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+const noDep = int64(-1)
+
+// robEntry is one in-flight instruction. Its sequence number equals its
+// dynamic trace index, so slot = seq % ROBSize.
+type robEntry struct {
+	inst    isa.Inst
+	dep1    int64 // producer sequence numbers, noDep if none
+	dep2    int64
+	depMem  int64 // youngest in-flight store to the same word (loads only)
+	issueAt uint64
+	doneAt  uint64
+	issued  bool
+	redirct bool // this is the pending mispredicted control instruction
+}
+
+// fqEntry is one instruction in the frontend pipe between fetch and dispatch.
+type fqEntry struct {
+	inst      isa.Inst
+	readyAt   uint64 // earliest dispatch cycle (fetch cycle + frontend depth)
+	mispredct bool
+}
+
+type simulator struct {
+	cfg  Config
+	opts Options
+	pred *bpred.Unit
+	mem  *cache.Hierarchy
+
+	r      trace.Reader
+	peeked *isa.Inst
+	srcEOF bool
+
+	cycle uint64
+
+	// Reorder buffer: entries [head, tail), slot = seq % ROBSize.
+	rob      []robEntry
+	head     uint64
+	tail     uint64
+	unissued int // issue-queue occupancy
+
+	regProducer [isa.NumRegs]int64
+	storeProd   map[uint64]uint64 // word address → youngest pending store seq
+
+	fus [numPools][]uint64 // per pool, per unit: first cycle it can accept
+
+	fq    []fqEntry
+	fqCap int
+
+	fetchIdx      uint64 // trace index of the next instruction to fetch
+	curFetchLine  uint64
+	haveFetchLine bool
+	fetchResumeAt uint64 // fetch blocked until this cycle (I-miss or redirect)
+	awaitResolve  bool   // fetch blocked until the pending mispredict issues
+
+	lastMissIdx   uint64 // trace index of the most recent miss event
+	pendingResume int    // index into res.Records awaiting ResumeCycle; -1 none
+
+	// Sampled simulation state: instructions left in the current phase.
+	detailedPhase bool
+	phaseLeft     uint64
+	startSkipped  bool
+
+	// Wrong-path fetch state (Options.WrongPathFetch).
+	wrongActive bool
+	wrongPC     uint64
+	wrongLine   uint64
+	haveWrong   bool
+
+	committed      uint64
+	lastCommitTick uint64
+	warm           *warmSnapshot
+
+	res *Result
+}
+
+func newSimulator(r trace.Reader, cfg Config, opts Options) (*simulator, error) {
+	pred, err := cfg.Pred.Build()
+	if err != nil {
+		return nil, err
+	}
+	s := &simulator{
+		cfg:           cfg,
+		opts:          opts,
+		pred:          pred,
+		mem:           cache.NewHierarchy(cfg.Mem),
+		r:             r,
+		rob:           make([]robEntry, cfg.ROBSize),
+		fqCap:         cfg.FetchWidth * (cfg.FrontendDepth + 2),
+		pendingResume: -1,
+		res:           &Result{Config: cfg},
+	}
+	for i := range s.regProducer {
+		s.regProducer[i] = noDep
+	}
+	s.storeProd = make(map[uint64]uint64)
+	pools := cfg.FU.pools()
+	for p := range s.fus {
+		s.fus[p] = make([]uint64, pools[p].Count)
+	}
+	if opts.TimelineCycles > 0 {
+		s.res.Timeline = make([]uint8, 0, opts.TimelineCycles)
+	}
+	if opts.sampling() {
+		s.detailedPhase = true
+		s.phaseLeft = opts.SampleDetailed
+	}
+	if opts.fastForwarded() {
+		s.res.Sampled = true
+	}
+	return s, nil
+}
+
+// peek returns the next trace instruction without consuming it, or false at
+// end of trace (or the MaxInsts limit).
+func (s *simulator) peek() (*isa.Inst, bool, error) {
+	if s.opts.MaxInsts > 0 && s.fetchIdx >= s.opts.MaxInsts {
+		return nil, false, nil
+	}
+	if s.peeked != nil {
+		return s.peeked, true, nil
+	}
+	if s.srcEOF {
+		return nil, false, nil
+	}
+	in, err := s.r.Next()
+	if err == io.EOF {
+		s.srcEOF = true
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	s.peeked = &in
+	return s.peeked, true, nil
+}
+
+func (s *simulator) consume() {
+	s.peeked = nil
+	s.fetchIdx++
+}
+
+func (s *simulator) run() (*Result, error) {
+	for {
+		_, more, err := s.peek()
+		if err != nil {
+			return nil, err
+		}
+		if !more && len(s.fq) == 0 && s.head == s.tail {
+			break
+		}
+		s.cycle++
+		s.commit()
+		s.issue()
+		if err := s.dispatch(); err != nil {
+			return nil, err
+		}
+		if err := s.fetch(); err != nil {
+			return nil, err
+		}
+		if s.cycle-s.lastCommitTick > 1_000_000 {
+			return nil, fmt.Errorf("uarch: no commit in 1M cycles at cycle %d (likely a model deadlock)", s.cycle)
+		}
+	}
+	s.res.Insts = s.committed
+	s.res.Cycles = s.cycle
+	s.res.Bpred = s.pred.Stats
+	s.res.Caches = CacheStats{L1I: s.mem.L1I.Stats, L1D: s.mem.L1D.Stats, L2: s.mem.L2.Stats}
+	s.subtractWarmup()
+	return s.res, nil
+}
+
+// subtractWarmup removes the pre-warmup epoch from every reported statistic.
+func (s *simulator) subtractWarmup() {
+	if s.opts.WarmupInsts == 0 || s.warm == nil {
+		return
+	}
+	w := s.warm
+	r := s.res
+	r.Insts -= w.insts
+	r.Cycles -= w.cycles
+	r.Mispredicts -= w.mispredicts
+	r.ICacheMisses -= w.icacheMisses
+	r.LongDMisses -= w.longDMisses
+	r.ShortDMisses -= w.shortDMisses
+	r.LoadsExecuted -= w.loads
+	r.Bpred.Branches -= w.bpred.Branches
+	r.Bpred.Jumps -= w.bpred.Jumps
+	r.Bpred.DirMispredict -= w.bpred.DirMispredict
+	r.Bpred.BTBMispredict -= w.bpred.BTBMispredict
+	r.Caches.L1I = subStats(r.Caches.L1I, w.caches.L1I)
+	r.Caches.L1D = subStats(r.Caches.L1D, w.caches.L1D)
+	r.Caches.L2 = subStats(r.Caches.L2, w.caches.L2)
+	r.Stalls.BranchResolve -= w.stalls.BranchResolve
+	r.Stalls.Refill -= w.stalls.Refill
+	r.Stalls.ICacheMiss -= w.stalls.ICacheMiss
+	r.Stalls.ROBFull -= w.stalls.ROBFull
+	r.Stalls.IQFull -= w.stalls.IQFull
+	r.Stalls.Other -= w.stalls.Other
+	if w.events <= len(r.Events) {
+		r.Events = r.Events[w.events:]
+	}
+	if w.records <= len(r.Records) {
+		r.Records = r.Records[w.records:]
+	}
+}
+
+// warmSnapshot freezes statistics at the warmup boundary.
+type warmSnapshot struct {
+	insts, cycles uint64
+	mispredicts   uint64
+	icacheMisses  uint64
+	longDMisses   uint64
+	shortDMisses  uint64
+	loads         uint64
+	bpred         bpred.Stats
+	caches        CacheStats
+	stalls        StallCycles
+	events        int
+	records       int
+}
+
+func (s *simulator) takeWarmSnapshot() {
+	s.warm = &warmSnapshot{
+		insts:        s.committed,
+		cycles:       s.cycle,
+		mispredicts:  s.res.Mispredicts,
+		icacheMisses: s.res.ICacheMisses,
+		longDMisses:  s.res.LongDMisses,
+		shortDMisses: s.res.ShortDMisses,
+		loads:        s.res.LoadsExecuted,
+		bpred:        s.pred.Stats,
+		caches:       CacheStats{L1I: s.mem.L1I.Stats, L1D: s.mem.L1D.Stats, L2: s.mem.L2.Stats},
+		stalls:       s.res.Stalls,
+		events:       len(s.res.Events),
+		records:      len(s.res.Records),
+	}
+}
+
+func subStats(a, b cache.Stats) cache.Stats {
+	return cache.Stats{Accesses: a.Accesses - b.Accesses, Misses: a.Misses - b.Misses}
+}
+
+func (s *simulator) commit() {
+	n := 0
+	for s.head < s.tail && n < s.cfg.CommitWidth {
+		e := &s.rob[s.head%uint64(s.cfg.ROBSize)]
+		if !e.issued || e.doneAt > s.cycle {
+			break
+		}
+		if e.inst.Class == isa.Store {
+			w := e.inst.Addr / 8
+			if seq, ok := s.storeProd[w]; ok && seq == s.head {
+				delete(s.storeProd, w)
+			}
+		}
+		s.head++
+		s.committed++
+		s.lastCommitTick = s.cycle
+		n++
+		if s.opts.WarmupInsts > 0 && s.warm == nil && s.committed >= s.opts.WarmupInsts {
+			s.takeWarmSnapshot()
+		}
+	}
+}
+
+// depReady reports whether the producer with sequence number dep has its
+// result available at the current cycle.
+func (s *simulator) depReady(dep int64) bool {
+	if dep == noDep || uint64(dep) < s.head {
+		return true // no dependence, or producer already committed
+	}
+	p := &s.rob[uint64(dep)%uint64(s.cfg.ROBSize)]
+	return p.issued && p.doneAt <= s.cycle
+}
+
+func (s *simulator) issue() {
+	issued := 0
+	rob := uint64(s.cfg.ROBSize)
+	for seq := s.head; seq < s.tail && issued < s.cfg.IssueWidth; seq++ {
+		e := &s.rob[seq%rob]
+		if e.issued {
+			continue
+		}
+		if !s.depReady(e.dep1) || !s.depReady(e.dep2) || !s.depReady(e.depMem) {
+			continue
+		}
+		pool := poolFor(e.inst.Class)
+		unit := -1
+		for u, freeAt := range s.fus[pool] {
+			if freeAt <= s.cycle {
+				unit = u
+				break
+			}
+		}
+		if unit < 0 {
+			continue // structural hazard
+		}
+		lat := s.cfg.FU.OpLatency(e.inst.Class)
+		switch e.inst.Class {
+		case isa.Load:
+			lvl, l := s.mem.Data(e.inst.Addr)
+			lat = l
+			s.res.LoadsExecuted++
+			if s.opts.RecordLoadLevels {
+				for uint64(len(s.res.LoadLevels)) <= seq {
+					s.res.LoadLevels = append(s.res.LoadLevels, 0)
+				}
+				s.res.LoadLevels[seq] = uint8(lvl) + 1
+			}
+			switch lvl {
+			case cache.ShortMiss:
+				s.res.ShortDMisses++
+			case cache.LongMiss:
+				s.res.LongDMisses++
+				s.event(EvLongDMiss, seq, lvl)
+			}
+		case isa.Store:
+			s.mem.Data(e.inst.Addr) // allocate + stats; retires via store buffer
+		}
+		e.issueAt = s.cycle
+		e.doneAt = s.cycle + uint64(lat)
+		e.issued = true
+		s.unissued--
+		pools := s.cfg.FU.pools()
+		if pools[pool].Pipelined {
+			s.fus[pool][unit] = s.cycle + 1
+		} else {
+			s.fus[pool][unit] = e.doneAt
+		}
+		if e.redirct {
+			// The mispredicted control instruction resolves: fetch restarts
+			// down the correct path when it completes.
+			s.awaitResolve = false
+			s.fetchResumeAt = e.doneAt
+			if s.pendingResume >= 0 && s.opts.RecordMispredicts {
+				rec := &s.res.Records[s.pendingResume]
+				rec.IssueCycle = s.cycle
+				rec.ResolveCycle = e.doneAt
+			}
+		}
+		issued++
+	}
+}
+
+func (s *simulator) dispatch() error {
+	n := 0
+	rob := uint64(s.cfg.ROBSize)
+	for n < s.cfg.DispatchWidth && len(s.fq) > 0 {
+		f := &s.fq[0]
+		if f.readyAt > s.cycle {
+			if n == 0 {
+				s.res.Stalls.Refill++
+			}
+			break
+		}
+		if s.tail-s.head >= rob {
+			if n == 0 {
+				s.res.Stalls.ROBFull++
+			}
+			break
+		}
+		if s.unissued >= s.cfg.IQSize {
+			if n == 0 {
+				s.res.Stalls.IQFull++
+			}
+			break
+		}
+		seq := s.tail
+		e := &s.rob[seq%rob]
+		*e = robEntry{inst: f.inst, dep1: noDep, dep2: noDep, depMem: noDep}
+		if r := f.inst.Src1; r != isa.NoReg {
+			e.dep1 = s.producerOf(r)
+		}
+		if r := f.inst.Src2; r != isa.NoReg {
+			e.dep2 = s.producerOf(r)
+		}
+		switch f.inst.Class {
+		case isa.Load:
+			if p, ok := s.storeProd[f.inst.Addr/8]; ok {
+				e.depMem = int64(p)
+			}
+		case isa.Store:
+			s.storeProd[f.inst.Addr/8] = seq
+		}
+		if d := f.inst.Dst; d != isa.NoReg {
+			s.regProducer[d] = int64(seq)
+		}
+
+		// Close out the previous misprediction's penalty window: the first
+		// instruction dispatched after the mispredicted branch is the first
+		// correct-path instruction past the redirect (it may itself be
+		// another mispredicted branch).
+		if s.pendingResume >= 0 {
+			if s.opts.RecordMispredicts {
+				s.res.Records[s.pendingResume].ResumeCycle = s.cycle
+			}
+			s.pendingResume = -1
+		}
+
+		if f.mispredct {
+			e.redirct = true
+			s.res.Mispredicts++
+			s.event(EvBranchMispredict, seq, cache.L1Hit)
+			if s.opts.RecordMispredicts {
+				s.res.Records = append(s.res.Records, MispredictRecord{
+					Index:         seq,
+					OldestInROB:   s.head,
+					Occupancy:     int(seq - s.head),
+					SinceLastMiss: seq - minU64(s.lastMissIdx, seq),
+					DispatchCycle: s.cycle,
+				})
+				s.pendingResume = len(s.res.Records) - 1
+			} else {
+				s.pendingResume = 0 // sentinel so the next dispatch clears it
+			}
+			s.lastMissIdx = seq
+		}
+
+		s.fq = s.fq[1:]
+		if len(s.fq) == 0 {
+			s.fq = nil // release the backing array periodically
+		}
+		s.tail++
+		s.unissued++
+		n++
+	}
+	if n == 0 && len(s.fq) == 0 {
+		switch {
+		case s.awaitResolve:
+			s.res.Stalls.BranchResolve++
+		case s.cycle < s.fetchResumeAt:
+			s.res.Stalls.ICacheMiss++
+		default:
+			s.res.Stalls.Other++
+		}
+	}
+	if s.opts.TimelineCycles > 0 && len(s.res.Timeline) < s.opts.TimelineCycles {
+		s.res.Timeline = append(s.res.Timeline, uint8(n))
+	}
+	return nil
+}
+
+// producerOf returns the pending producer of register r, or noDep.
+func (s *simulator) producerOf(r int8) int64 {
+	p := s.regProducer[r]
+	if p == noDep || uint64(p) < s.head {
+		return noDep
+	}
+	return p
+}
+
+func (s *simulator) fetch() error {
+	if s.awaitResolve || s.cycle < s.fetchResumeAt {
+		if s.wrongActive {
+			s.fetchWrongPath()
+		}
+		return nil
+	}
+	s.wrongActive = false
+	if n := s.opts.SampleStartSkip; n > 0 && !s.startSkipped {
+		// Initial fast-forward past the cold-start region.
+		s.startSkipped = true
+		if err := s.skipFunctional(n); err != nil {
+			return err
+		}
+	}
+	if s.opts.sampling() && !s.detailedPhase {
+		// Fast-forward: warm the caches and predictor functionally, no
+		// timing. The backend keeps draining the last detailed phase.
+		if err := s.skipFunctional(s.opts.SampleSkip); err != nil {
+			return err
+		}
+		s.detailedPhase = true
+		s.phaseLeft = s.opts.SampleDetailed
+	}
+	lineMask := ^uint64(s.mem.LineSizeI() - 1)
+	n := 0
+	for n < s.cfg.FetchWidth && len(s.fq) < s.fqCap {
+		in, ok, err := s.peek()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		line := in.PC & lineMask
+		if !s.haveFetchLine || line != s.curFetchLine {
+			lvl, lat := s.mem.Fetch(in.PC)
+			s.curFetchLine = line
+			s.haveFetchLine = true
+			if lvl != cache.L1Hit {
+				// The line is being filled; fetch resumes when it arrives.
+				s.res.ICacheMisses++
+				s.event(EvICacheMiss, s.fetchIdx, lvl)
+				s.lastMissIdx = s.fetchIdx
+				s.fetchResumeAt = s.cycle + uint64(lat)
+				return nil
+			}
+		}
+		inst := *in
+		s.consume()
+		if s.opts.sampling() {
+			s.phaseLeft--
+			if s.phaseLeft == 0 {
+				s.detailedPhase = false
+				s.phaseLeft = s.opts.SampleSkip
+			}
+		}
+		entry := fqEntry{inst: inst, readyAt: s.cycle + uint64(s.cfg.FrontendDepth)}
+		if inst.Class.IsControl() {
+			if s.pred.Access(&inst) {
+				entry.mispredct = true
+				s.fq = append(s.fq, entry)
+				// Wrong path ahead: no useful fetch until resolution.
+				s.awaitResolve = true
+				if s.opts.WrongPathFetch {
+					s.wrongActive = true
+					s.haveWrong = false
+					if inst.Class == isa.Branch && !inst.Taken {
+						// Predicted taken (or misfetched): the frontend went
+						// to the branch target.
+						s.wrongPC = inst.Target
+					} else {
+						// Predicted not-taken: the frontend fell through.
+						s.wrongPC = inst.PC + 4
+					}
+				}
+				return nil
+			}
+			s.fq = append(s.fq, entry)
+			n++
+			if inst.Taken || inst.Class == isa.Jump {
+				// Fetch break: a taken transfer ends the fetch group.
+				return nil
+			}
+			continue
+		}
+		s.fq = append(s.fq, entry)
+		n++
+	}
+	return nil
+}
+
+// fetchWrongPath advances the frontend down the mispredicted path for one
+// cycle, touching the I-cache hierarchy line by line. A wrong-path I-miss
+// parks the wrong-path fetch (the redirect always arrives before a
+// realistic frontend would chase it further).
+func (s *simulator) fetchWrongPath() {
+	lineBytes := uint64(s.mem.LineSizeI())
+	lineMask := ^(lineBytes - 1)
+	for i := 0; i < s.cfg.FetchWidth; i++ {
+		line := s.wrongPC & lineMask
+		if !s.haveWrong || line != s.wrongLine {
+			s.wrongLine = line
+			s.haveWrong = true
+			switch s.mem.FetchWrongPath(s.wrongPC) {
+			case cache.ShortMiss:
+				s.res.WrongPathIMisses++
+				return // the L2 fill occupies this fetch cycle
+			case cache.LongMiss:
+				s.res.WrongPathIMisses++
+				s.wrongActive = false // abandoned until the redirect
+				return
+			}
+		}
+		s.wrongPC += 4
+	}
+}
+
+// skipFunctional consumes the skip phase's instructions through the caches
+// and the branch predictor only. It runs "instantly": no cycles elapse and
+// nothing is dispatched, so the skipped instructions never appear in
+// committed counts, events, or records.
+func (s *simulator) skipFunctional(n uint64) error {
+	lineMask := ^uint64(s.mem.LineSizeI() - 1)
+	left := n
+	for left > 0 {
+		in, ok, err := s.peek()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if line := in.PC & lineMask; !s.haveFetchLine || line != s.curFetchLine {
+			s.curFetchLine = line
+			s.haveFetchLine = true
+			s.mem.Fetch(in.PC)
+		}
+		switch {
+		case in.Class.IsMem():
+			s.mem.Data(in.Addr)
+		case in.Class.IsControl():
+			s.pred.Access(in)
+		}
+		s.consume()
+		left--
+	}
+	return nil
+}
+
+func (s *simulator) event(kind EventKind, idx uint64, lvl cache.Level) {
+	if kind != EvBranchMispredict && idx > s.lastMissIdx {
+		// Track burstiness distance for non-branch events too.
+		s.lastMissIdx = idx
+	}
+	if s.opts.RecordEvents {
+		s.res.Events = append(s.res.Events, MissEvent{Kind: kind, Index: idx, Cycle: s.cycle, Level: lvl})
+	}
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,307 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"intervalsim/internal/isa"
+	"intervalsim/internal/rng"
+	"intervalsim/internal/trace"
+)
+
+// Register convention: r0–r7 are long-lived bases/counters that the
+// generated code reads but never writes (like stack/global pointers and loop
+// bounds); r8 and up are the allocatable pool.
+const (
+	liveRegs = 8
+	poolLo   = int8(liveRegs)
+)
+
+// build synthesizes the static program for cfg. All structure derives from
+// cfg.Seed; the dynamic execution stream uses an independent split of the
+// same seed so structure and behaviour are individually stable.
+func build(cfg Config) *program {
+	s := rng.New(cfg.Seed)
+	p := &program{cfg: cfg, dispatchPC: codeBase}
+	pc := uint64(codeBase) + instBytes // dispatcher occupies the first slot
+
+	// A small pool of shared streams: static stride instructions are bound
+	// to one of a handful of sequential streams (the arrays a real program
+	// walks), rather than each owning a private region — otherwise the
+	// streaming footprint would be multiplied by static code size.
+	streamFoot := uint64(cfg.DataFootprint / 16)
+	if streamFoot < 8<<10 {
+		streamFoot = 8 << 10
+	}
+	if streamFoot > 48<<10 {
+		streamFoot = 48 << 10
+	}
+	streams := make([]*memPattern, 4)
+	for i := range streams {
+		streams[i] = &memPattern{
+			kind:      strideMem,
+			base:      strideBase + uint64(i)*(1<<26),
+			footprint: streamFoot,
+			stride:    uint64(8 << s.Intn(2)), // 8 or 16 bytes
+		}
+	}
+	newMem := func() *memPattern {
+		if s.Bool(cfg.StrideFrac) {
+			return streams[s.Intn(len(streams))]
+		}
+		return &memPattern{
+			kind:      zipfMem,
+			base:      dataBase,
+			footprint: uint64(cfg.DataFootprint),
+			theta:     cfg.Locality,
+		}
+	}
+
+	newInst := func(prevDst int8) staticInst {
+		var in staticInst
+		r := s.Float64()
+		switch {
+		case r < cfg.LoadFrac:
+			in.class = isa.Load
+		case r < cfg.LoadFrac+cfg.StoreFrac:
+			in.class = isa.Store
+		case r < cfg.LoadFrac+cfg.StoreFrac+cfg.MulFrac:
+			in.class = isa.IntMul
+		case r < cfg.LoadFrac+cfg.StoreFrac+cfg.MulFrac+cfg.DivFrac:
+			in.class = isa.IntDiv
+		case r < cfg.LoadFrac+cfg.StoreFrac+cfg.MulFrac+cfg.DivFrac+cfg.FPFrac:
+			if s.Bool(0.5) {
+				in.class = isa.FPAdd
+			} else {
+				in.class = isa.FPMul
+			}
+		default:
+			in.class = isa.IntALU
+		}
+		pick := func() int8 { return poolLo + int8(s.Intn(isa.NumRegs-liveRegs)) }
+		// First source: continue the block's serial chain with ChainProb,
+		// otherwise an arbitrary register (a long-lived one 25% of the time).
+		if prevDst != isa.NoReg && s.Bool(cfg.ChainProb) {
+			in.src1 = prevDst
+		} else if s.Bool(0.25) {
+			in.src1 = int8(s.Intn(liveRegs))
+		} else {
+			in.src1 = pick()
+		}
+		if s.Bool(0.5) {
+			in.src2 = pick()
+		} else {
+			in.src2 = isa.NoReg
+		}
+		switch in.class {
+		case isa.Store:
+			in.dst = isa.NoReg
+			if in.src2 == isa.NoReg {
+				in.src2 = pick() // the stored value
+			}
+			in.mem = newMem()
+		case isa.Load:
+			in.dst = pick()
+			in.src2 = isa.NoReg // address register only
+			in.mem = newMem()
+		default:
+			in.dst = pick()
+		}
+		return in
+	}
+
+	newPattern := func() []bool {
+		n := 3 + s.Intn(5) // period 3–7
+		pat := make([]bool, n)
+		ones := 0
+		for i := range pat {
+			pat[i] = s.Bool(0.5)
+			if pat[i] {
+				ones++
+			}
+		}
+		// Degenerate all-same patterns are just biased branches; force a mix.
+		if ones == 0 {
+			pat[0] = true
+		} else if ones == n {
+			pat[0] = false
+		}
+		return pat
+	}
+
+	p.regions = make([]region, cfg.Regions)
+	for ri := range p.regions {
+		reg := &p.regions[ri]
+		reg.blocks = make([]block, cfg.BlocksPerRegion)
+		n := cfg.BlocksPerRegion
+		for bi := 0; bi < n; bi++ {
+			b := &reg.blocks[bi]
+			b.pc = pc
+			size := cfg.BlockSize.sample(s)
+			b.insts = make([]staticInst, 0, size)
+			prevDst := isa.NoReg
+			for k := 0; k < size; k++ {
+				in := newInst(prevDst)
+				b.insts = append(b.insts, in)
+				if in.dst != isa.NoReg {
+					prevDst = in.dst
+				}
+				pc += instBytes
+			}
+			t := &terminator{pc: pc, src1: prevDst, fall: bi + 1}
+			pc += instBytes
+			if bi == n-1 {
+				t.kind = loopBranch
+				t.taken = 0
+				t.fall = -1 // region exit
+			} else {
+				r := s.Float64()
+				switch {
+				case r < cfg.RandomBranchFrac:
+					t.kind = randomBranch
+					t.bias = cfg.RandomBranchBias
+				case r < cfg.RandomBranchFrac+cfg.PatternBranchFrac:
+					t.kind = patternBranch
+					t.pattern = newPattern()
+				default:
+					t.kind = biasedBranch
+					t.bias = cfg.TakenBias
+				}
+				// Taken skips the next block (bounded by the back-edge block).
+				t.taken = bi + 2
+				if t.taken > n-1 {
+					t.taken = n - 1
+				}
+			}
+			b.term = t
+		}
+		reg.retPC = pc // region's return jump to the dispatcher
+		pc += instBytes
+	}
+	return p
+}
+
+// Generator executes the static program and streams its dynamic trace.
+// It implements trace.Reader; Next returns io.EOF after Length instructions.
+type Generator struct {
+	prog   *program
+	run    *rng.Source // runtime randomness: branch outcomes, addresses, trips
+	length int
+	count  int
+
+	atDispatch bool
+	returning  bool // emit the region's return jump next
+	regionIdx  int
+	blockIdx   int
+	instPos    int
+	tripsLeft  int
+}
+
+// New validates cfg and returns a generator producing length dynamic
+// instructions.
+func New(cfg Config, length int) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if length <= 0 {
+		return nil, fmt.Errorf("workload %s: non-positive trace length %d", cfg.Name, length)
+	}
+	return &Generator{
+		prog:       buildCached(cfg),
+		run:        rng.New(cfg.Seed).Split(),
+		length:     length,
+		atDispatch: true,
+	}, nil
+}
+
+// MustNew is New for known-good configurations (the built-in suite).
+func MustNew(cfg Config, length int) *Generator {
+	g, err := New(cfg, length)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// buildCached is a seam for tests; currently a direct call.
+func buildCached(cfg Config) *program { return build(cfg) }
+
+var _ trace.Reader = (*Generator)(nil)
+
+// Next implements trace.Reader.
+func (g *Generator) Next() (isa.Inst, error) {
+	if g.count >= g.length {
+		return isa.Inst{}, io.EOF
+	}
+	g.count++
+
+	if g.returning {
+		g.returning = false
+		g.atDispatch = true
+		reg := &g.prog.regions[g.regionIdx]
+		return isa.Inst{
+			PC: reg.retPC, Class: isa.Jump, Taken: true,
+			Src1: isa.NoReg, Src2: isa.NoReg, Dst: isa.NoReg,
+			Target: g.prog.dispatchPC,
+		}, nil
+	}
+
+	if g.atDispatch {
+		g.atDispatch = false
+		g.regionIdx = g.run.Zipf(len(g.prog.regions), g.prog.cfg.RegionTheta)
+		g.blockIdx, g.instPos = 0, 0
+		g.tripsLeft = g.prog.cfg.LoopTrip.sample(g.run)
+		return isa.Inst{
+			PC: g.prog.dispatchPC, Class: isa.Jump, Taken: true,
+			Src1: isa.NoReg, Src2: isa.NoReg, Dst: isa.NoReg,
+			Target: g.prog.regions[g.regionIdx].blocks[0].pc,
+		}, nil
+	}
+
+	reg := &g.prog.regions[g.regionIdx]
+	blk := &reg.blocks[g.blockIdx]
+	if g.instPos < len(blk.insts) {
+		si := &blk.insts[g.instPos]
+		pc := blk.pc + uint64(g.instPos)*instBytes
+		g.instPos++
+		in := isa.Inst{
+			PC: pc, Class: si.class,
+			Src1: si.src1, Src2: si.src2, Dst: si.dst,
+		}
+		if si.mem != nil {
+			in.Addr = si.mem.next(g.run)
+		}
+		return in, nil
+	}
+
+	// Terminator.
+	t := blk.term
+	var taken bool
+	switch t.kind {
+	case loopBranch:
+		g.tripsLeft--
+		taken = g.tripsLeft > 0
+	case biasedBranch, randomBranch:
+		taken = g.run.Bool(t.bias)
+	case patternBranch:
+		taken = t.pattern[t.pos]
+		t.pos++
+		if t.pos == len(t.pattern) {
+			t.pos = 0
+		}
+	}
+	in := isa.Inst{
+		PC: t.pc, Class: isa.Branch, Taken: taken,
+		Src1: t.src1, Src2: isa.NoReg, Dst: isa.NoReg,
+		Target: reg.blocks[t.taken].pc,
+	}
+	if taken {
+		g.blockIdx = t.taken
+	} else if t.fall < 0 {
+		g.returning = true
+	} else {
+		g.blockIdx = t.fall
+	}
+	g.instPos = 0
+	return in, nil
+}

@@ -1,0 +1,154 @@
+package workload
+
+// Suite returns the built-in ten-benchmark suite. Each configuration is a
+// synthetic stand-in for a SPEC CPU2000 integer benchmark, tuned so its
+// *first-order characteristics* — branch misprediction rate, inherent ILP,
+// code footprint (I-cache behaviour), and data footprint/locality (short and
+// long D-cache misses) — land in the regime reported for the original
+// program in the published characterization literature. The names are kept
+// for readability of the experiment tables; these are mimics, not the SPEC
+// programs (see DESIGN.md, "Substitutions").
+//
+// The knobs that matter per benchmark:
+//   - branch-heavy / hard-to-predict: twolf, vpr, crafty (higher
+//     RandomBranchFrac, random bias near 0.5)
+//   - big-code / I-cache-bound: gcc, perlbmk, vortex (many regions, low
+//     RegionTheta so the dispatcher sprays over cold code)
+//   - memory-bound / long D-misses: mcf (huge footprint, low locality, long
+//     serial chains — classic pointer chasing)
+//   - high-ILP compute: gap, gzip (low ChainProb, streaming accesses)
+func Suite() []Config {
+	return []Config{
+		{
+			Name: "gzip", Seed: 0x67a1b001,
+			Regions: 8, BlocksPerRegion: 12,
+			BlockSize: Range{4, 10}, LoopTrip: Range{16, 64}, RegionTheta: 1.2,
+			LoadFrac: 0.24, StoreFrac: 0.12, MulFrac: 0.01, DivFrac: 0.001,
+			ChainProb:        0.45,
+			RandomBranchFrac: 0.06, RandomBranchBias: 0.4,
+			PatternBranchFrac: 0.15, TakenBias: 0.96,
+			DataFootprint: 256 << 10, StrideFrac: 0.7, Locality: 1.4,
+		},
+		{
+			Name: "vpr", Seed: 0x67a1b002,
+			Regions: 16, BlocksPerRegion: 16,
+			BlockSize: Range{4, 9}, LoopTrip: Range{8, 32}, RegionTheta: 1.0,
+			LoadFrac: 0.28, StoreFrac: 0.10, MulFrac: 0.02, DivFrac: 0.002, FPFrac: 0.08,
+			ChainProb:        0.55,
+			RandomBranchFrac: 0.08, RandomBranchBias: 0.45,
+			PatternBranchFrac: 0.10, TakenBias: 0.96,
+			DataFootprint: 384 << 10, StrideFrac: 0.3, Locality: 1.3,
+		},
+		{
+			Name: "gcc", Seed: 0x67a1b003,
+			Regions: 96, BlocksPerRegion: 24,
+			BlockSize: Range{4, 10}, LoopTrip: Range{6, 24}, RegionTheta: 0.3,
+			LoadFrac: 0.25, StoreFrac: 0.13, MulFrac: 0.01, DivFrac: 0.001,
+			ChainProb:        0.5,
+			RandomBranchFrac: 0.05, RandomBranchBias: 0.45,
+			PatternBranchFrac: 0.12, TakenBias: 0.97,
+			DataFootprint: 512 << 10, StrideFrac: 0.3, Locality: 1.5,
+		},
+		{
+			Name: "mcf", Seed: 0x67a1b004,
+			Regions: 6, BlocksPerRegion: 10,
+			BlockSize: Range{4, 8}, LoopTrip: Range{8, 32}, RegionTheta: 1.2,
+			LoadFrac: 0.34, StoreFrac: 0.09, MulFrac: 0.01,
+			ChainProb:        0.75,
+			RandomBranchFrac: 0.08, RandomBranchBias: 0.45,
+			PatternBranchFrac: 0.05, TakenBias: 0.95,
+			DataFootprint: 8 << 20, StrideFrac: 0.05, Locality: 1.0,
+		},
+		{
+			Name: "crafty", Seed: 0x67a1b005,
+			Regions: 48, BlocksPerRegion: 16,
+			BlockSize: Range{4, 9}, LoopTrip: Range{6, 20}, RegionTheta: 0.6,
+			LoadFrac: 0.27, StoreFrac: 0.08, MulFrac: 0.02, DivFrac: 0.005,
+			ChainProb:        0.4,
+			RandomBranchFrac: 0.08, RandomBranchBias: 0.5,
+			PatternBranchFrac: 0.08, TakenBias: 0.95,
+			DataFootprint: 256 << 10, StrideFrac: 0.2, Locality: 1.5,
+		},
+		{
+			Name: "parser", Seed: 0x67a1b006,
+			Regions: 32, BlocksPerRegion: 20,
+			BlockSize: Range{3, 8}, LoopTrip: Range{6, 24}, RegionTheta: 0.8,
+			LoadFrac: 0.26, StoreFrac: 0.11, MulFrac: 0.01, DivFrac: 0.001,
+			ChainProb:        0.5,
+			RandomBranchFrac: 0.06, RandomBranchBias: 0.5,
+			PatternBranchFrac: 0.12, TakenBias: 0.96,
+			DataFootprint: 768 << 10, StrideFrac: 0.2, Locality: 1.2,
+		},
+		{
+			Name: "perlbmk", Seed: 0x67a1b007,
+			Regions: 80, BlocksPerRegion: 20,
+			BlockSize: Range{4, 10}, LoopTrip: Range{6, 24}, RegionTheta: 0.2,
+			LoadFrac: 0.27, StoreFrac: 0.14, MulFrac: 0.01, DivFrac: 0.001,
+			ChainProb:        0.5,
+			RandomBranchFrac: 0.03, RandomBranchBias: 0.45,
+			PatternBranchFrac: 0.12, TakenBias: 0.975,
+			DataFootprint: 384 << 10, StrideFrac: 0.3, Locality: 1.4,
+		},
+		{
+			Name: "gap", Seed: 0x67a1b008,
+			Regions: 12, BlocksPerRegion: 14,
+			BlockSize: Range{5, 11}, LoopTrip: Range{16, 48}, RegionTheta: 1.0,
+			LoadFrac: 0.24, StoreFrac: 0.10, MulFrac: 0.04, DivFrac: 0.002, FPFrac: 0.05,
+			ChainProb:        0.3,
+			RandomBranchFrac: 0.02, RandomBranchBias: 0.35,
+			PatternBranchFrac: 0.10, TakenBias: 0.98,
+			DataFootprint: 512 << 10, StrideFrac: 0.5, Locality: 1.4,
+		},
+		{
+			Name: "vortex", Seed: 0x67a1b009,
+			Regions: 112, BlocksPerRegion: 24,
+			BlockSize: Range{4, 10}, LoopTrip: Range{8, 24}, RegionTheta: 0.25,
+			LoadFrac: 0.28, StoreFrac: 0.15, MulFrac: 0.01,
+			ChainProb:        0.5,
+			RandomBranchFrac: 0.01, RandomBranchBias: 0.4,
+			PatternBranchFrac: 0.08, TakenBias: 0.98,
+			DataFootprint: 512 << 10, StrideFrac: 0.4, Locality: 1.5,
+		},
+		{
+			Name: "twolf", Seed: 0x67a1b00a,
+			Regions: 24, BlocksPerRegion: 14,
+			BlockSize: Range{3, 8}, LoopTrip: Range{6, 20}, RegionTheta: 0.8,
+			LoadFrac: 0.27, StoreFrac: 0.09, MulFrac: 0.03, DivFrac: 0.003, FPFrac: 0.04,
+			ChainProb:        0.6,
+			RandomBranchFrac: 0.12, RandomBranchBias: 0.5,
+			PatternBranchFrac: 0.05, TakenBias: 0.94,
+			DataFootprint: 256 << 10, StrideFrac: 0.2, Locality: 1.2,
+		},
+	}
+}
+
+// SuiteConfig returns the suite entry with the given name.
+func SuiteConfig(name string) (Config, bool) {
+	for _, c := range Suite() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
+
+// ILPVariants returns low/medium/high inherent-ILP variants of base, equal
+// in everything except dependence-chain density. Used by the E6 experiment
+// (contributor iii: inherent program ILP).
+func ILPVariants(base Config) []Config {
+	out := make([]Config, 0, 3)
+	for _, v := range []struct {
+		suffix string
+		chain  float64
+	}{
+		{"low-ilp", 0.9},
+		{"mid-ilp", 0.55},
+		{"high-ilp", 0.15},
+	} {
+		c := base
+		c.Name = base.Name + "-" + v.suffix
+		c.ChainProb = v.chain
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,447 @@
+package workload
+
+import (
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"intervalsim/internal/isa"
+	"intervalsim/internal/rng"
+	"intervalsim/internal/trace"
+)
+
+func testConfig() Config {
+	return Config{
+		Name: "test", Seed: 42,
+		Regions: 4, BlocksPerRegion: 8,
+		BlockSize: Range{4, 8}, LoopTrip: Range{4, 16}, RegionTheta: 0.8,
+		LoadFrac: 0.25, StoreFrac: 0.10, MulFrac: 0.02, DivFrac: 0.002, FPFrac: 0.05,
+		ChainProb:        0.5,
+		RandomBranchFrac: 0.2, RandomBranchBias: 0.5,
+		PatternBranchFrac: 0.2, TakenBias: 0.9,
+		DataFootprint: 1 << 20, StrideFrac: 0.4, Locality: 0.8,
+	}
+}
+
+func TestValidateAcceptsSuiteAndTestConfig(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("test config invalid: %v", err)
+	}
+	for _, c := range Suite() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("suite config %s invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"empty name", func(c *Config) { c.Name = "" }},
+		{"zero regions", func(c *Config) { c.Regions = 0 }},
+		{"one block", func(c *Config) { c.BlocksPerRegion = 1 }},
+		{"bad block size", func(c *Config) { c.BlockSize = Range{0, 4} }},
+		{"inverted block size", func(c *Config) { c.BlockSize = Range{8, 4} }},
+		{"bad trip", func(c *Config) { c.LoopTrip = Range{0, 0} }},
+		{"no data", func(c *Config) { c.DataFootprint = 0 }},
+		{"load frac > 1", func(c *Config) { c.LoadFrac = 1.5 }},
+		{"negative frac", func(c *Config) { c.StoreFrac = -0.1 }},
+		{"mix over 1", func(c *Config) { c.LoadFrac, c.StoreFrac = 0.7, 0.7 }},
+		{"branch fracs over 1", func(c *Config) { c.RandomBranchFrac, c.PatternBranchFrac = 0.6, 0.6 }},
+		{"negative theta", func(c *Config) { c.RegionTheta = -1 }},
+		{"negative locality", func(c *Config) { c.Locality = -0.5 }},
+	}
+	for _, m := range mutations {
+		c := testConfig()
+		m.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", m.name)
+		}
+	}
+}
+
+func TestNewRejectsBadLength(t *testing.T) {
+	if _, err := New(testConfig(), 0); err == nil {
+		t.Error("length 0 accepted")
+	}
+	if _, err := New(Config{}, 100); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestGeneratorEmitsExactlyLength(t *testing.T) {
+	g := MustNew(testConfig(), 5000)
+	n := 0
+	for {
+		_, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 5000 {
+		t.Fatalf("emitted %d, want 5000", n)
+	}
+	// EOF is sticky.
+	if _, err := g.Next(); err != io.EOF {
+		t.Fatal("EOF not sticky")
+	}
+}
+
+func TestGeneratorInstructionsValid(t *testing.T) {
+	g := MustNew(testConfig(), 20000)
+	for i := 0; ; i++ {
+		in, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verr := in.Validate(); verr != nil {
+			t.Fatalf("instruction %d invalid: %v (%v)", i, verr, in)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	read := func() []isa.Inst {
+		tr, err := trace.ReadAll(MustNew(testConfig(), 3000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Insts
+	}
+	a, b := read(), read()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+}
+
+func TestGeneratorSeedSensitivity(t *testing.T) {
+	c1, c2 := testConfig(), testConfig()
+	c2.Seed = 43
+	t1, err := trace.ReadAll(MustNew(c1, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := trace.ReadAll(MustNew(c2, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(t1.Insts, t2.Insts) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratorDeterminismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := testConfig()
+		c.Seed = seed
+		t1, err1 := trace.ReadAll(MustNew(c, 500))
+		t2, err2 := trace.ReadAll(MustNew(c, 500))
+		return err1 == nil && err2 == nil && reflect.DeepEqual(t1.Insts, t2.Insts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// classMix counts dynamic class fractions.
+func classMix(t *testing.T, cfg Config, n int) map[isa.Class]float64 {
+	t.Helper()
+	counts := make(map[isa.Class]int)
+	g := MustNew(cfg, n)
+	total := 0
+	for {
+		in, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[in.Class]++
+		total++
+	}
+	out := make(map[isa.Class]float64)
+	for c, k := range counts {
+		out[c] = float64(k) / float64(total)
+	}
+	return out
+}
+
+func TestMixRoughlyMatchesConfig(t *testing.T) {
+	cfg := testConfig()
+	mix := classMix(t, cfg, 100000)
+	// Branches+jumps take roughly 1/(avg block size+1) of the slots, the rest
+	// follow the configured mix. Just check the orderings and coarse levels.
+	if mix[isa.Branch] < 0.08 || mix[isa.Branch] > 0.25 {
+		t.Errorf("branch fraction = %.3f, want ~0.1–0.25", mix[isa.Branch])
+	}
+	loadWant := cfg.LoadFrac * (1 - mix[isa.Branch] - mix[isa.Jump])
+	if mix[isa.Load] < loadWant*0.7 || mix[isa.Load] > loadWant*1.3 {
+		t.Errorf("load fraction = %.3f, want about %.3f", mix[isa.Load], loadWant)
+	}
+	if mix[isa.IntALU] < 0.3 {
+		t.Errorf("ALU fraction = %.3f suspiciously low", mix[isa.IntALU])
+	}
+	if mix[isa.Store] >= mix[isa.Load] {
+		t.Errorf("stores (%.3f) should be rarer than loads (%.3f)", mix[isa.Store], mix[isa.Load])
+	}
+}
+
+func TestBranchTargetsAreBackwardOrLocalForward(t *testing.T) {
+	g := MustNew(testConfig(), 30000)
+	for {
+		in, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Class != isa.Branch {
+			continue
+		}
+		// Diamond branches jump forward a few blocks; back-edges jump
+		// backward within the region. Either way the distance is bounded by
+		// a region's code size.
+		maxRegion := uint64(testConfig().BlocksPerRegion * (testConfig().BlockSize.Max + 1) * instBytes)
+		var dist uint64
+		if in.Target > in.PC {
+			dist = in.Target - in.PC
+		} else {
+			dist = in.PC - in.Target
+		}
+		if dist > maxRegion {
+			t.Fatalf("branch at %#x targets %#x: outside its region", in.PC, in.Target)
+		}
+	}
+}
+
+func TestControlFlowConsistency(t *testing.T) {
+	// The instruction after a taken control transfer must be at its target;
+	// after a not-taken branch, at pc+4.
+	g := MustNew(testConfig(), 30000)
+	prev, err := g.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		in, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case prev.Class.IsControl() && (prev.Taken || prev.Class == isa.Jump):
+			if in.PC != prev.Target {
+				t.Fatalf("after taken %v, next pc = %#x, want %#x", prev, in.PC, prev.Target)
+			}
+		default:
+			if in.PC != prev.PC+instBytes {
+				t.Fatalf("after %v, next pc = %#x, want %#x", prev, in.PC, prev.PC+instBytes)
+			}
+		}
+		prev = in
+	}
+}
+
+func TestMemoryAddressesInFootprint(t *testing.T) {
+	cfg := testConfig()
+	g := MustNew(cfg, 50000)
+	for {
+		in, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !in.Class.IsMem() {
+			continue
+		}
+		inShared := in.Addr >= dataBase && in.Addr < dataBase+uint64(cfg.DataFootprint)
+		inStride := in.Addr >= strideBase
+		if !inShared && !inStride {
+			t.Fatalf("address %#x outside data regions", in.Addr)
+		}
+	}
+}
+
+func TestChainProbControlsDependencies(t *testing.T) {
+	// Higher ChainProb must produce more prev-dst → src1 links.
+	chainRate := func(chain float64) float64 {
+		cfg := testConfig()
+		cfg.ChainProb = chain
+		g := MustNew(cfg, 50000)
+		var prevDst int8 = isa.NoReg
+		links, ops := 0, 0
+		for {
+			in, err := g.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !in.Class.IsControl() {
+				if prevDst != isa.NoReg {
+					ops++
+					if in.Src1 == prevDst {
+						links++
+					}
+				}
+				if in.Dst != isa.NoReg {
+					prevDst = in.Dst
+				}
+			} else {
+				prevDst = isa.NoReg
+			}
+		}
+		return float64(links) / float64(ops)
+	}
+	lo, hi := chainRate(0.1), chainRate(0.9)
+	if hi < lo+0.3 {
+		t.Errorf("chain rates: ChainProb 0.9 → %.2f vs 0.1 → %.2f; knob ineffective", hi, lo)
+	}
+}
+
+func TestSuiteNamesUniqueAndLookup(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Suite() {
+		if seen[c.Name] {
+			t.Errorf("duplicate suite name %s", c.Name)
+		}
+		seen[c.Name] = true
+		got, ok := SuiteConfig(c.Name)
+		if !ok || got.Name != c.Name {
+			t.Errorf("SuiteConfig(%s) failed", c.Name)
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("suite has %d entries, want 10", len(seen))
+	}
+	if _, ok := SuiteConfig("nonesuch"); ok {
+		t.Error("SuiteConfig invented a benchmark")
+	}
+}
+
+func TestILPVariants(t *testing.T) {
+	base, _ := SuiteConfig("gzip")
+	vars := ILPVariants(base)
+	if len(vars) != 3 {
+		t.Fatalf("got %d variants", len(vars))
+	}
+	if !(vars[0].ChainProb > vars[1].ChainProb && vars[1].ChainProb > vars[2].ChainProb) {
+		t.Error("variants not ordered low→high ILP")
+	}
+	for _, v := range vars {
+		if err := v.Validate(); err != nil {
+			t.Errorf("variant %s invalid: %v", v.Name, err)
+		}
+		if v.Name == base.Name {
+			t.Error("variant name not distinguished")
+		}
+	}
+}
+
+func TestStaticInstsEstimate(t *testing.T) {
+	cfg := testConfig()
+	est := cfg.StaticInsts()
+	// Count distinct PCs over a long run; should be within 2x of estimate.
+	g := MustNew(cfg, 200000)
+	pcs := map[uint64]bool{}
+	for {
+		in, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcs[in.PC] = true
+	}
+	if len(pcs) < est/2 || len(pcs) > est*2 {
+		t.Errorf("distinct PCs = %d, estimate = %d", len(pcs), est)
+	}
+}
+
+func TestRangeSample(t *testing.T) {
+	s := rng.New(1)
+	r := Range{3, 7}
+	for i := 0; i < 100; i++ {
+		v := r.sample(s)
+		if v < 3 || v > 7 {
+			t.Fatalf("sample %d outside range", v)
+		}
+	}
+	if (Range{5, 5}).sample(s) != 5 {
+		t.Error("degenerate range broken")
+	}
+}
+
+func TestStridePatternsShareStreamPool(t *testing.T) {
+	// All stride addresses must fall in at most 4 stream regions (the shared
+	// pool), not one region per static instruction.
+	cfg := testConfig()
+	cfg.StrideFrac = 1 // every memory instruction streams
+	g := MustNew(cfg, 50000)
+	regions := map[uint64]bool{}
+	for {
+		in, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Class.IsMem() {
+			regions[in.Addr>>26] = true
+		}
+	}
+	if len(regions) == 0 || len(regions) > 4 {
+		t.Fatalf("stride addresses span %d regions, want 1–4", len(regions))
+	}
+}
+
+func TestLoopTripsRespectRange(t *testing.T) {
+	// Count consecutive taken back-edges per loop visit: must stay within
+	// the configured LoopTrip range.
+	cfg := testConfig()
+	cfg.Regions = 1
+	cfg.RandomBranchFrac, cfg.PatternBranchFrac = 0, 0
+	cfg.TakenBias = 0 // diamonds always fall through: simplifies the walk
+	g := MustNew(cfg, 60000)
+	prog := g.prog
+	backPC := prog.regions[0].blocks[len(prog.regions[0].blocks)-1].term.pc
+	trips := 0
+	for {
+		in, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.PC != backPC {
+			continue
+		}
+		trips++
+		if !in.Taken {
+			if trips < cfg.LoopTrip.Min || trips > cfg.LoopTrip.Max {
+				t.Fatalf("loop ran %d trips, range [%d,%d]", trips, cfg.LoopTrip.Min, cfg.LoopTrip.Max)
+			}
+			trips = 0
+		}
+	}
+}
