@@ -2,30 +2,48 @@
 //
 // Usage:
 //
-//	experiments [-insts N] [-warmup N] [-quick] <id>|all
+//	experiments [-insts N] [-warmup N] [-quick] [-j N] [-timeout D] [-keep-going] <id>|all
 //
 // where id is one of t1, t2, e1..e12, a1..a3 (see DESIGN.md's experiment index).
+//
+// "all" regenerates every experiment concurrently on a fail-soft worker
+// pool: a failing experiment never aborts the rest, completed tables are
+// printed in canonical order, and a final pass/fail table summarizes the
+// run. The exit code is 0 only when every experiment succeeded.
+//
+// Exit codes: 0 success, 1 runtime error or failed experiments, 2 usage error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
+	"runtime"
 	"strings"
 
 	"intervalsim/internal/experiments"
 )
 
-func main() {
-	insts := flag.Int("insts", 0, "dynamic instructions per run (default per -quick)")
-	warmup := flag.Uint64("warmup", 0, "warmup instructions excluded from statistics")
-	quick := flag.Bool("quick", false, "use reduced sizing for a fast smoke run")
-	flag.Usage = usage
-	flag.Parse()
-	if flag.NArg() != 1 {
-		usage()
-		os.Exit(2)
+func main() { os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	insts := fs.Int("insts", 0, "dynamic instructions per run (default per -quick)")
+	warmup := fs.Uint64("warmup", 0, "warmup instructions excluded from statistics")
+	quick := fs.Bool("quick", false, "use reduced sizing for a fast smoke run")
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "experiments regenerated in parallel (with \"all\")")
+	keepGoing := fs.Bool("keep-going", true, "continue past failed experiments (with \"all\")")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline per experiment (0 = none)")
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		usage(fs, stderr)
+		return 2
 	}
 
 	p := experiments.DefaultParams()
@@ -39,34 +57,44 @@ func main() {
 		p.Warmup = *warmup
 	}
 
-	id := strings.ToLower(flag.Arg(0))
+	id := strings.ToLower(fs.Arg(0))
 	if id == "all" {
-		if err := experiments.All(os.Stdout, p); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		return
+		return runAll(stdout, stderr, p, experiments.RunOptions{
+			Jobs:      *jobs,
+			Timeout:   *timeout,
+			KeepGoing: *keepGoing,
+		})
 	}
-	reg := experiments.Registry()
-	fn, ok := reg[id]
+	fn, ok := experiments.Registry()[id]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "experiments: unknown experiment %q\n", id)
+		usage(fs, stderr)
+		return 2
 	}
-	if err := fn(os.Stdout, p); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	if err := fn(stdout, p); err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
 	}
+	return 0
 }
 
-func usage() {
-	ids := make([]string, 0)
-	for id := range experiments.Registry() {
-		ids = append(ids, id)
+// runAll regenerates every experiment fail-soft and prints the pass/fail
+// table last, so an unattended run always reports how far it got.
+func runAll(stdout, stderr io.Writer, p experiments.Params, opts experiments.RunOptions) int {
+	outcomes, err := experiments.RunAll(context.Background(), stdout, p, opts)
+	if terr := experiments.PassFailTable(stdout, outcomes); terr != nil {
+		fmt.Fprintln(stderr, "experiments:", terr)
+		return 1
 	}
-	sort.Strings(ids)
-	fmt.Fprintf(os.Stderr, "usage: experiments [-insts N] [-warmup N] [-quick] <%s|all>\n",
-		strings.Join(ids, "|"))
-	flag.PrintDefaults()
+	if err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(fs *flag.FlagSet, w io.Writer) {
+	fmt.Fprintf(w, "usage: experiments [-insts N] [-warmup N] [-quick] [-j N] [-timeout D] [-keep-going] <%s|all>\n",
+		strings.Join(experiments.Order(), "|"))
+	fs.PrintDefaults()
 }

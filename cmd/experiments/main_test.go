@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain(nil, &out, &errb); code != 2 {
+		t.Fatalf("no args exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+	errb.Reset()
+	if code := realMain([]string{"nonesuch"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown experiment exit = %d, want 2", code)
+	}
+	errb.Reset()
+	if code := realMain([]string{"-bogus-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"t1"}, &out, &errb); code != 0 {
+		t.Fatalf("t1 exit = %d (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "baseline processor configuration") {
+		t.Fatalf("t1 output = %q", out.String())
+	}
+}

@@ -9,6 +9,10 @@
 //
 //	intervalsim -bench gcc [-insts N] [-warmup N] [-depth L] [-rob N] [-pred kind]
 //	intervalsim -trace gcc.ivtr
+//
+// Exit codes follow the repository convention: 0 success, 1 runtime error,
+// 2 usage error. Every error path prints a single-line "intervalsim: ..."
+// message to stderr.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"intervalsim/internal/core"
 	"intervalsim/internal/report"
@@ -24,20 +29,38 @@ import (
 	"intervalsim/internal/workload"
 )
 
-func main() {
-	bench := flag.String("bench", "", "built-in benchmark name")
-	traceFile := flag.String("trace", "", "binary trace file")
-	insts := flag.Int("insts", 1_000_000, "dynamic instructions (generator input only)")
-	warmup := flag.Uint64("warmup", 100_000, "instructions excluded from statistics")
-	depth := flag.Int("depth", 0, "override frontend pipeline depth")
-	rob := flag.Int("rob", 0, "override ROB size")
-	pred := flag.String("pred", "", "override predictor kind (perfect|taken|not-taken|bimodal|gshare|local|tournament|perceptron)")
-	topBranches := flag.Int("topbranches", 0, "also list the N costliest static branches")
-	flag.Parse()
+func main() { os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// fail prints the single-line error message every exit path uses.
+func fail(stderr io.Writer, err error) {
+	msg := strings.ReplaceAll(err.Error(), "\n", " ")
+	fmt.Fprintf(stderr, "intervalsim: %s\n", msg)
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("intervalsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "", "built-in benchmark name")
+	traceFile := fs.String("trace", "", "binary trace file")
+	insts := fs.Int("insts", 1_000_000, "dynamic instructions (generator input only)")
+	warmup := fs.Uint64("warmup", 100_000, "instructions excluded from statistics")
+	depth := fs.Int("depth", 0, "override frontend pipeline depth")
+	rob := fs.Int("rob", 0, "override ROB size")
+	pred := fs.String("pred", "", "override predictor kind (perfect|taken|not-taken|bimodal|gshare|local|tournament|perceptron)")
+	topBranches := fs.Int("topbranches", 0, "also list the N costliest static branches")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if (*bench == "") == (*traceFile == "") {
-		fmt.Fprintln(os.Stderr, "intervalsim: give exactly one of -bench or -trace")
-		os.Exit(2)
+		fail(stderr, fmt.Errorf("give exactly one of -bench or -trace"))
+		return 2
+	}
+	if *bench != "" {
+		if _, ok := workload.SuiteConfig(*bench); !ok {
+			fail(stderr, fmt.Errorf("unknown benchmark %q", *bench))
+			return 2
+		}
 	}
 
 	cfg := uarch.Baseline()
@@ -56,8 +79,8 @@ func main() {
 
 	tr, name, err := loadTrace(*bench, *traceFile, *insts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "intervalsim:", err)
-		os.Exit(1)
+		fail(stderr, err)
+		return 1
 	}
 
 	res, err := uarch.Run(tr.Reader(), cfg, uarch.Options{
@@ -67,20 +90,21 @@ func main() {
 		WarmupInsts:       *warmup,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "intervalsim:", err)
-		os.Exit(1)
+		fail(stderr, err)
+		return 1
 	}
-	if err := printReport(os.Stdout, name, tr, res, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "intervalsim:", err)
-		os.Exit(1)
+	if err := printReport(stdout, name, tr, res, cfg); err != nil {
+		fail(stderr, err)
+		return 1
 	}
 	if *topBranches > 0 {
-		fmt.Println()
-		if err := printTopBranches(os.Stdout, tr, res, *topBranches); err != nil {
-			fmt.Fprintln(os.Stderr, "intervalsim:", err)
-			os.Exit(1)
+		fmt.Fprintln(stdout)
+		if err := printTopBranches(stdout, tr, res, *topBranches); err != nil {
+			fail(stderr, err)
+			return 1
 		}
 	}
+	return 0
 }
 
 // printTopBranches lists the static branches responsible for the most

@@ -1,11 +1,56 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
 	"intervalsim/internal/uarch"
 )
+
+// TestExitCodes asserts the repository-wide convention: 0 success, 1 runtime
+// error, 2 usage error — with a single-line "intervalsim: ..." message on
+// every error path.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		code   int
+		stderr string // required substring of stderr ("" = none)
+	}{
+		{"no source", nil, 2, "exactly one of -bench or -trace"},
+		{"both sources", []string{"-bench", "gzip", "-trace", "x.ivtr"}, 2, "exactly one"},
+		{"unknown benchmark", []string{"-bench", "nonesuch"}, 2, "unknown benchmark"},
+		{"bad flag", []string{"-bogus"}, 2, ""},
+		{"missing trace file", []string{"-trace", "/definitely/not/here.ivtr"}, 1, "intervalsim: "},
+		{"bad predictor", []string{"-bench", "gzip", "-insts", "2000", "-pred", "nonesuch"}, 1, "intervalsim: "},
+		{"success", []string{"-bench", "gzip", "-insts", "30000", "-warmup", "5000"}, 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := realMain(tc.args, &out, &errb); code != tc.code {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", code, tc.code, errb.String())
+			}
+			if tc.stderr != "" && !strings.Contains(errb.String(), tc.stderr) {
+				t.Fatalf("stderr = %q, want substring %q", errb.String(), tc.stderr)
+			}
+			if tc.code == 0 && errb.Len() != 0 {
+				t.Fatalf("success wrote to stderr: %q", errb.String())
+			}
+		})
+	}
+}
+
+func TestErrorMessagesAreSingleLine(t *testing.T) {
+	var sb strings.Builder
+	fail(&sb, errors.New("multi\nline\nerror"))
+	out := sb.String()
+	if strings.Count(out, "\n") != 1 || !strings.HasPrefix(out, "intervalsim: ") {
+		t.Fatalf("fail() output = %q", out)
+	}
+}
 
 func TestLoadTraceFromBenchmark(t *testing.T) {
 	tr, name, err := loadTrace("gzip", "", 5000)

@@ -4,79 +4,165 @@
 // the "what if" harness interval analysis exists to support: the penalty
 // columns show how the five contributors shift across the design space.
 //
+// Points run in parallel on a fail-soft worker pool: a design point that
+// fails (or hangs past -timeout) is reported on stderr while every other
+// point's CSV row is still emitted, in grid order, byte-identical to a
+// serial run. The exit code is 0 only when every point succeeded.
+//
 // Usage:
 //
-//	sweep [-bench crafty] [-insts N] [-warmup N] > sweep.csv
+//	sweep [-bench crafty] [-insts N] [-warmup N] [-j N] [-timeout D] [-keep-going] > sweep.csv
+//
+// Exit codes: 0 success, 1 runtime error or failed points, 2 usage error.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"intervalsim/internal/core"
+	"intervalsim/internal/harness"
 	"intervalsim/internal/report"
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
 	"intervalsim/internal/workload"
 )
 
-func main() {
-	bench := flag.String("bench", "crafty", "benchmark to sweep")
-	insts := flag.Int("insts", 1_000_000, "dynamic instructions per point")
-	warmup := flag.Uint64("warmup", 200_000, "warmup instructions per point")
-	flag.Parse()
+func main() { os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr)) }
 
+// testPointHook, when non-nil, mutates each grid point's configuration just
+// before simulation. Tests use it to inject deliberately broken design
+// points and assert the fail-soft behavior.
+var testPointHook func(cfg *uarch.Config)
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "crafty", "benchmark to sweep")
+	insts := fs.Int("insts", 1_000_000, "dynamic instructions per point")
+	warmup := fs.Uint64("warmup", 200_000, "warmup instructions per point")
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "design points simulated in parallel")
+	keepGoing := fs.Bool("keep-going", true, "continue past failed design points (successful rows are always emitted)")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline per design point (0 = none)")
+	retries := fs.Int("retries", 0, "retries per transiently failing point")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "sweep: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
 	wc, ok := workload.SuiteConfig(*bench)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "sweep: unknown benchmark %q\n", *bench)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "sweep: unknown benchmark %q\n", *bench)
+		return 2
 	}
-	if err := run(wc, *insts, *warmup); err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+	err := run(context.Background(), stdout, stderr, wc, *insts, *warmup, harness.Options{
+		Workers:   *jobs,
+		Timeout:   *timeout,
+		Retries:   *retries,
+		KeepGoing: *keepGoing,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "sweep:", err)
+		return 1
 	}
+	return 0
 }
 
-func run(wc workload.Config, insts int, warmup uint64) error {
+// gridAxes returns the swept (width, depth, rob) axes.
+func gridAxes() (widths, depths, robs []int) {
+	return []int{2, 4, 8}, []int{3, 7, 11}, []int{64, 128, 256}
+}
+
+// grid enumerates the design points in canonical (width, depth, rob) order —
+// the order CSV rows are emitted in, regardless of execution schedule.
+func grid() []uarch.Config {
+	widths, depths, robs := gridAxes()
+	var out []uarch.Config
+	for _, width := range widths {
+		for _, depth := range depths {
+			for _, rob := range robs {
+				cfg := point(width, depth, rob)
+				if testPointHook != nil {
+					testPointHook(&cfg)
+				}
+				out = append(out, cfg)
+			}
+		}
+	}
+	return out
+}
+
+func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, insts int, warmup uint64, hopts harness.Options) error {
 	tr, err := trace.ReadAll(workload.MustNew(wc, insts))
 	if err != nil {
 		return err
 	}
 
-	t := report.New("", "width", "depth", "rob", "ipc", "avg_penalty",
-		"penalty_frontend", "penalty_drain", "penalty_fu", "penalty_shortd", "penalty_longd")
-	for _, width := range []int{2, 4, 8} {
-		for _, depth := range []int{3, 7, 11} {
-			for _, rob := range []int{64, 128, 256} {
-				cfg := point(width, depth, rob)
-				res, err := uarch.Run(tr.Reader(), cfg, uarch.Options{
-					RecordMispredicts: true,
-					RecordLoadLevels:  true,
-					WarmupInsts:       warmup,
-				})
-				if err != nil {
-					return err
-				}
-				dec, err := core.NewDecomposer(tr, res)
-				if err != nil {
-					return err
-				}
-				m := core.Mean(dec.DecomposeAll())
-				t.AddRow(
-					fmt.Sprintf("%d", width), fmt.Sprintf("%d", depth), fmt.Sprintf("%d", rob),
-					fmt.Sprintf("%.3f", res.IPC()),
-					fmt.Sprintf("%.2f", m.Total),
-					fmt.Sprintf("%.2f", m.Frontend),
-					fmt.Sprintf("%.2f", m.BaseILP),
-					fmt.Sprintf("%.2f", m.FULatency),
-					fmt.Sprintf("%.2f", m.ShortDMiss),
-					fmt.Sprintf("%.2f", m.LongDMiss),
-				)
-			}
+	points := grid()
+	jobs := make([]harness.Job[[]string], len(points))
+	for i, cfg := range points {
+		cfg := cfg
+		jobs[i] = harness.Job[[]string]{
+			Name: cfg.Name,
+			Run: func(ctx context.Context) ([]string, error) {
+				return simPoint(ctx, tr, cfg, warmup)
+			},
 		}
 	}
-	return t.FprintCSV(os.Stdout)
+	results, runErr := harness.Run(ctx, jobs, hopts)
+
+	// Fail-soft emission: every completed point's row, in grid order.
+	t := report.New("", "width", "depth", "rob", "ipc", "avg_penalty",
+		"penalty_frontend", "penalty_drain", "penalty_fu", "penalty_shortd", "penalty_longd")
+	for _, r := range results {
+		if r.Err == nil {
+			t.AddRow(r.Value...)
+		}
+	}
+	if err := t.FprintCSV(stdout); err != nil {
+		return err
+	}
+	harness.Summarize(stderr, results)
+	return runErr
+}
+
+// simPoint simulates one design point and renders its CSV row.
+func simPoint(ctx context.Context, tr *trace.Trace, cfg uarch.Config, warmup uint64) ([]string, error) {
+	res, err := uarch.RunContext(ctx, tr.Reader(), cfg, uarch.Options{
+		RecordMispredicts: true,
+		RecordLoadLevels:  true,
+		WarmupInsts:       warmup,
+	})
+	if err != nil {
+		// Invalid configurations and watchdog trips are deterministic:
+		// re-running them wastes the retry budget.
+		if errors.Is(err, uarch.ErrBadConfig) || errors.Is(err, uarch.ErrWatchdog) {
+			return nil, harness.Permanent(err)
+		}
+		return nil, err
+	}
+	dec, err := core.NewDecomposer(tr, res)
+	if err != nil {
+		return nil, harness.Permanent(err)
+	}
+	m := core.Mean(dec.DecomposeAll())
+	return []string{
+		fmt.Sprintf("%d", cfg.DispatchWidth), fmt.Sprintf("%d", cfg.FrontendDepth), fmt.Sprintf("%d", cfg.ROBSize),
+		fmt.Sprintf("%.3f", res.IPC()),
+		fmt.Sprintf("%.2f", m.Total),
+		fmt.Sprintf("%.2f", m.Frontend),
+		fmt.Sprintf("%.2f", m.BaseILP),
+		fmt.Sprintf("%.2f", m.FULatency),
+		fmt.Sprintf("%.2f", m.ShortDMiss),
+		fmt.Sprintf("%.2f", m.LongDMiss),
+	}, nil
 }
 
 // point builds a machine at one design point, scaling FU counts with width.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -45,5 +46,84 @@ func TestSweepRowShape(t *testing.T) {
 	}
 	if uarch.Baseline().FU.MemPort.Count != 2 {
 		t.Error("baseline mutated by point()")
+	}
+}
+
+// sweepArgs shrinks the per-point simulation so the full 27-point grid runs
+// in test time.
+func sweepArgs(extra ...string) []string {
+	return append([]string{"-bench", "gzip", "-insts", "12000", "-warmup", "2000"}, extra...)
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-bench", "nonesuch"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown benchmark exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown benchmark") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+	errb.Reset()
+	if code := realMain([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+	errb.Reset()
+	if code := realMain([]string{"positional"}, &out, &errb); code != 2 {
+		t.Fatalf("positional arg exit = %d, want 2", code)
+	}
+}
+
+// TestBrokenPointFailSoft injects one deliberately broken design point into
+// the grid: the sweep must complete every other point, emit their CSV rows,
+// report the failure on stderr, and exit nonzero.
+func TestBrokenPointFailSoft(t *testing.T) {
+	testPointHook = func(cfg *uarch.Config) {
+		if cfg.Name == "w4-d7-r128" {
+			cfg.ROBSize = -1 // fails Validate with ErrBadConfig
+		}
+	}
+	defer func() { testPointHook = nil }()
+
+	var out, errb bytes.Buffer
+	code := realMain(sweepArgs("-j", "4"), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1+26 { // header + 26 surviving grid points
+		t.Fatalf("CSV has %d lines, want 27:\n%s", len(lines), out.String())
+	}
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "4,7,128,") {
+			t.Fatalf("broken point emitted a row: %q", l)
+		}
+	}
+	se := errb.String()
+	if !strings.Contains(se, "FAIL w4-d7-r128") || !strings.Contains(se, "invalid configuration") {
+		t.Fatalf("stderr missing failure summary: %q", se)
+	}
+}
+
+// TestParallelDeterminism asserts the acceptance criterion for -j: the CSV
+// from a parallel sweep is byte-identical (rows in grid order) to the
+// serial run's.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid sweep skipped in -short mode")
+	}
+	render := func(j string) string {
+		var out, errb bytes.Buffer
+		if code := realMain(sweepArgs("-j", j), &out, &errb); code != 0 {
+			t.Fatalf("-j %s exit = %d (stderr: %s)", j, code, errb.String())
+		}
+		return out.String()
+	}
+	serial := render("1")
+	parallel := render("8")
+	if serial != parallel {
+		t.Fatalf("-j 8 CSV differs from serial run:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if lines := strings.Count(serial, "\n"); lines != 28 { // header + 27 rows
+		t.Fatalf("CSV has %d lines, want 28", lines)
 	}
 }

@@ -52,10 +52,10 @@ type Decomposer struct {
 // and Options.RecordLoadLevels on that same trace.
 func NewDecomposer(tr *trace.Trace, res *uarch.Result) (*Decomposer, error) {
 	if res.Sampled {
-		return nil, fmt.Errorf("core: cannot decompose a sampled run (record indices are not trace positions)")
+		return nil, fmt.Errorf("%w: cannot decompose a sampled run (record indices are not trace positions)", ErrBadInput)
 	}
 	if len(res.Records) > 0 && res.LoadLevels == nil {
-		return nil, fmt.Errorf("core: result lacks load levels; run with RecordLoadLevels")
+		return nil, fmt.Errorf("%w: result lacks load levels; run with RecordLoadLevels", ErrBadInput)
 	}
 	return &Decomposer{insts: tr.Insts, cfg: res.Config, res: res}, nil
 }

@@ -1,0 +1,10 @@
+package core
+
+import "errors"
+
+// ErrBadInput marks analysis inputs that violate the package's contracts —
+// events past the end of the trace, results missing the instrumentation a
+// decomposition needs, sampled runs fed to trace-position analyses. Like
+// uarch.ErrBadConfig it is permanent: a harness must not retry it. Every
+// such error wraps this sentinel for errors.Is.
+var ErrBadInput = errors.New("core: bad input")

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"intervalsim/internal/trace"
+	"intervalsim/internal/uarch"
+)
+
+// TestErrBadInputSentinel verifies the contract-violation paths all classify
+// as ErrBadInput, so harnesses treat them as permanent.
+func TestErrBadInputSentinel(t *testing.T) {
+	// Event beyond the trace length.
+	if _, err := Segment([]uarch.MissEvent{{Index: 100}}, 10); !errors.Is(err, ErrBadInput) {
+		t.Errorf("Segment out-of-range err = %v, want ErrBadInput", err)
+	}
+	// Sampled result fed to the decomposer.
+	if _, err := NewDecomposer(&trace.Trace{}, &uarch.Result{Sampled: true}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("sampled decompose err = %v, want ErrBadInput", err)
+	}
+	// Records without load levels.
+	res := &uarch.Result{Records: []uarch.MispredictRecord{{}}}
+	if _, err := NewDecomposer(&trace.Trace{}, res); !errors.Is(err, ErrBadInput) {
+		t.Errorf("missing load levels err = %v, want ErrBadInput", err)
+	}
+	// Empty measured result in validation.
+	if _, err := ValidationError(CPIBreakdown{}, &uarch.Result{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty result err = %v, want ErrBadInput", err)
+	}
+}

@@ -61,7 +61,7 @@ func Segment(events []uarch.MissEvent, totalInsts uint64) ([]Interval, error) {
 	var start uint64
 	for i, ev := range evs {
 		if ev.Index >= totalInsts {
-			return nil, fmt.Errorf("core: event index %d beyond trace length %d", ev.Index, totalInsts)
+			return nil, fmt.Errorf("%w: event index %d beyond trace length %d", ErrBadInput, ev.Index, totalInsts)
 		}
 		if i > 0 && ev.Index == evs[i-1].Index {
 			continue // collapsed boundary

@@ -266,7 +266,7 @@ func (m *Model) effectiveDispatch(p *Profile) float64 {
 // cycle-level result and returns the signed relative error.
 func ValidationError(predicted CPIBreakdown, measured *uarch.Result) (float64, error) {
 	if measured.Insts == 0 || measured.CPI() == 0 {
-		return 0, fmt.Errorf("core: measured result is empty")
+		return 0, fmt.Errorf("%w: measured result is empty", ErrBadInput)
 	}
 	return (predicted.CPI() - measured.CPI()) / measured.CPI(), nil
 }

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"intervalsim/internal/harness"
+	"intervalsim/internal/report"
+)
+
+// RunOptions tunes RunAll's fail-soft parallel regeneration.
+type RunOptions struct {
+	// Jobs caps the experiments running concurrently; <= 0 means GOMAXPROCS.
+	Jobs int
+	// Timeout is the wall-clock deadline per experiment (0 = none).
+	Timeout time.Duration
+	// KeepGoing continues past failed experiments (the default for the CLI);
+	// when false, the first failure cancels the rest.
+	KeepGoing bool
+}
+
+// Outcome is one experiment's fate in a RunAll regeneration.
+type Outcome struct {
+	ID       string
+	Err      error // nil on success
+	Duration time.Duration
+}
+
+// RunAll regenerates every experiment concurrently on the fail-soft harness.
+// Each experiment renders into its own buffer; completed outputs are then
+// written to w in canonical order (so the artifact is deterministic and
+// identical to a serial run when everything passes), failures are skipped in
+// the output, and the returned outcomes — one per experiment, in order —
+// say what failed and why. The error is nil only when every experiment
+// succeeded; otherwise it wraps harness.ErrJobsFailed.
+func RunAll(ctx context.Context, w io.Writer, p Params, opts RunOptions) ([]Outcome, error) {
+	return runSet(ctx, w, p, opts, Order(), Registry())
+}
+
+// runSet is RunAll over an explicit experiment set (separated for
+// failure-injection tests).
+func runSet(ctx context.Context, w io.Writer, p Params, opts RunOptions, order []string, reg map[string]func(io.Writer, Params) error) ([]Outcome, error) {
+	jobs := make([]harness.Job[[]byte], len(order))
+	for i, id := range order {
+		id := id
+		fn := reg[id]
+		jobs[i] = harness.Job[[]byte]{
+			Name: id,
+			Run: func(ctx context.Context) ([]byte, error) {
+				// Experiments don't take a context yet; the per-experiment
+				// render is bounded by the harness watchdog instead.
+				var buf bytes.Buffer
+				if err := fn(&buf, p); err != nil {
+					return nil, err
+				}
+				return buf.Bytes(), nil
+			},
+		}
+	}
+	results, runErr := harness.Run(ctx, jobs, harness.Options{
+		Workers:   opts.Jobs,
+		Timeout:   opts.Timeout,
+		KeepGoing: opts.KeepGoing,
+	})
+
+	outcomes := make([]Outcome, len(results))
+	for i, r := range results {
+		outcomes[i] = Outcome{ID: order[i], Err: r.Err, Duration: r.Duration}
+		if r.Err == nil {
+			if _, err := w.Write(r.Value); err != nil {
+				return outcomes, err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return outcomes, runErr
+}
+
+// PassFailTable renders the final pass/fail table of a RunAll regeneration.
+func PassFailTable(w io.Writer, outcomes []Outcome) error {
+	t := report.New("experiment summary", "experiment", "status", "time", "detail")
+	for _, o := range outcomes {
+		status, detail := "PASS", ""
+		if o.Err != nil {
+			status = "FAIL"
+			detail = o.Err.Error()
+		}
+		t.AddRow(o.ID, status, o.Duration.Round(time.Millisecond).String(), detail)
+	}
+	return t.Fprint(w)
+}

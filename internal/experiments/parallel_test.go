@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"intervalsim/internal/harness"
+)
+
+// fakeSet builds a small experiment set with injected faults.
+func fakeSet() ([]string, map[string]func(io.Writer, Params) error) {
+	order := []string{"good1", "bad", "good2", "panics"}
+	reg := map[string]func(io.Writer, Params) error{
+		"good1": func(w io.Writer, _ Params) error {
+			_, err := io.WriteString(w, "table one")
+			return err
+		},
+		"bad": func(io.Writer, Params) error {
+			return errors.New("injected failure")
+		},
+		"good2": func(w io.Writer, _ Params) error {
+			_, err := io.WriteString(w, "table two")
+			return err
+		},
+		"panics": func(io.Writer, Params) error {
+			panic("injected panic")
+		},
+	}
+	return order, reg
+}
+
+// TestRunSetFailSoft verifies experiments run past failures and panics:
+// successful outputs appear in canonical order, failures are absent from the
+// artifact but present in the outcomes, and the summary error fires.
+func TestRunSetFailSoft(t *testing.T) {
+	order, reg := fakeSet()
+	var sb strings.Builder
+	outcomes, err := runSet(context.Background(), &sb, Params{}, RunOptions{Jobs: 4, KeepGoing: true}, order, reg)
+	if !errors.Is(err, harness.ErrJobsFailed) {
+		t.Fatalf("err = %v, want ErrJobsFailed", err)
+	}
+	out := sb.String()
+	if i, j := strings.Index(out, "table one"), strings.Index(out, "table two"); i < 0 || j < 0 || i > j {
+		t.Fatalf("outputs missing or out of order: %q", out)
+	}
+	if strings.Contains(out, "injected") {
+		t.Fatalf("failed experiment leaked output: %q", out)
+	}
+	if len(outcomes) != 4 {
+		t.Fatalf("got %d outcomes", len(outcomes))
+	}
+	byID := map[string]Outcome{}
+	for _, o := range outcomes {
+		byID[o.ID] = o
+	}
+	if byID["good1"].Err != nil || byID["good2"].Err != nil {
+		t.Fatalf("healthy experiments failed: %+v", outcomes)
+	}
+	if byID["bad"].Err == nil || byID["panics"].Err == nil {
+		t.Fatalf("failures not recorded: %+v", outcomes)
+	}
+	var je *harness.JobError
+	if !errors.As(byID["panics"].Err, &je) || !je.Panicked {
+		t.Fatalf("panic outcome = %v, want panicked JobError", byID["panics"].Err)
+	}
+}
+
+func TestPassFailTable(t *testing.T) {
+	order, reg := fakeSet()
+	var discard strings.Builder
+	outcomes, _ := runSet(context.Background(), &discard, Params{}, RunOptions{Jobs: 2, KeepGoing: true}, order, reg)
+	var sb strings.Builder
+	if err := PassFailTable(&sb, outcomes); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"good1", "PASS", "bad", "FAIL", "injected failure"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pass/fail table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunAllMatchesAll verifies the parallel regeneration emits the same
+// artifact bytes as the serial All when everything passes.
+func TestRunAllMatchesAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full regeneration skipped in -short mode")
+	}
+	p := tinyParams()
+	var serial strings.Builder
+	if err := All(&serial, p); err != nil {
+		t.Fatal(err)
+	}
+	var parallel strings.Builder
+	outcomes, err := RunAll(context.Background(), &parallel, p, RunOptions{Jobs: 8, KeepGoing: true})
+	if err != nil {
+		t.Fatalf("RunAll: %v (outcomes %+v)", err, outcomes)
+	}
+	// A3 measures wall-clock speedup, so its numbers legitimately vary run
+	// to run; compare everything before it (A3 is canonically last).
+	cut := func(s string) string {
+		if i := strings.Index(s, "A3"); i >= 0 {
+			return s[:i]
+		}
+		return s
+	}
+	if cut(serial.String()) != cut(parallel.String()) {
+		t.Fatal("parallel regeneration artifact differs from serial All output")
+	}
+}

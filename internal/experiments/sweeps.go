@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"intervalsim/internal/core"
 	"intervalsim/internal/ilp"
@@ -217,33 +218,20 @@ func E10(w io.Writer, p Params) error {
 	return t2.Fprint(w)
 }
 
-// All runs every experiment in order, separated by blank lines.
+// Order lists every experiment id in canonical presentation order: the
+// order All and RunAll emit them, and the row order of the pass/fail table.
+func Order() []string {
+	return []string{"t1", "t2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
+		"e9", "e10", "e11", "a1", "a2", "e12", "a3"}
+}
+
+// All runs every experiment in order, separated by blank lines. It aborts at
+// the first failure; use RunAll for fail-soft parallel regeneration.
 func All(w io.Writer, p Params) error {
-	steps := []struct {
-		name string
-		fn   func() error
-	}{
-		{"T1", func() error { return T1(w) }},
-		{"T2", func() error { return T2(w, p) }},
-		{"E1", func() error { return E1(w, p) }},
-		{"E2", func() error { return E2(w, p) }},
-		{"E3", func() error { return E3(w, p) }},
-		{"E4", func() error { return E4(w, p) }},
-		{"E5", func() error { return E5(w, p) }},
-		{"E6", func() error { return E6(w, p) }},
-		{"E7", func() error { return E7(w, p) }},
-		{"E8", func() error { return E8(w, p) }},
-		{"E9", func() error { return E9(w, p) }},
-		{"E10", func() error { return E10(w, p) }},
-		{"E11", func() error { return E11(w, p) }},
-		{"A1", func() error { return A1(w, p) }},
-		{"A2", func() error { return A2(w, p) }},
-		{"E12", func() error { return E12(w, p) }},
-		{"A3", func() error { return A3(w, p) }},
-	}
-	for _, s := range steps {
-		if err := s.fn(); err != nil {
-			return fmt.Errorf("%s: %w", s.name, err)
+	reg := Registry()
+	for _, id := range Order() {
+		if err := reg[id](w, p); err != nil {
+			return fmt.Errorf("%s: %w", strings.ToUpper(id), err)
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,0 +1,330 @@
+// Package harness runs batches of simulation jobs fail-soft: a context-aware
+// worker pool with per-job panic containment, per-attempt deadlines, and
+// bounded retry with exponential backoff.
+//
+// It exists because design-space exploration is an all-night workload: a
+// sweep over hundreds of configurations must not lose 199 finished points to
+// one pathological one. The harness guarantees
+//
+//   - isolation: a panicking job becomes a structured *JobError carrying the
+//     job name and stack, never a process crash;
+//   - boundedness: each attempt runs under an optional deadline, and a job
+//     that ignores its context is abandoned (the watchdog reports ErrTimeout
+//     and the worker moves on);
+//   - fail-soft collection: results are collected by job index, so completed
+//     work is always reported in deterministic input order regardless of
+//     scheduling, and failures are summarized at the end.
+//
+// Classify errors with Permanent to suppress retries for failures that can
+// never succeed (for example configuration validation errors).
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel errors. Run's summary error wraps ErrJobsFailed; individual
+// Result.Err values wrap ErrTimeout (attempt deadline) or ErrNotRun (pool
+// shut down before the job was scheduled) as appropriate.
+var (
+	// ErrJobsFailed is wrapped by the error Run returns when at least one
+	// job failed; the per-job details are in the Result slice.
+	ErrJobsFailed = errors.New("harness: jobs failed")
+
+	// ErrTimeout is wrapped by a JobError whose attempt exceeded
+	// Options.Timeout. The attempt goroutine may still be running if the
+	// job ignores its context; its eventual result is discarded.
+	ErrTimeout = errors.New("harness: job deadline exceeded")
+
+	// ErrNotRun is the Err of jobs never scheduled because the pool shut
+	// down first (parent context canceled, or a failure without KeepGoing).
+	ErrNotRun = errors.New("harness: job not run (pool shut down)")
+)
+
+// Job is one unit of work. Run receives a context that is canceled when the
+// attempt deadline expires or the pool shuts down; long-running jobs should
+// poll it (uarch.RunContext does).
+type Job[T any] struct {
+	Name string
+	Run  func(ctx context.Context) (T, error)
+}
+
+// Result is the outcome of one job, at the same index as its job in the
+// input slice.
+type Result[T any] struct {
+	Name     string
+	Value    T             // valid only when Err == nil
+	Err      error         // nil on success; otherwise a *JobError or ErrNotRun
+	Attempts int           // attempts consumed (0 if never scheduled)
+	Duration time.Duration // wall-clock across all attempts and backoffs
+}
+
+// Options tunes the pool.
+type Options struct {
+	// Workers caps concurrent jobs; <= 0 means GOMAXPROCS.
+	Workers int
+	// Timeout is the per-attempt deadline; 0 disables it.
+	Timeout time.Duration
+	// Retries is how many times a transiently failing job is re-attempted
+	// after its first failure (so a job runs at most Retries+1 times).
+	// Panics, Permanent-wrapped errors, and pool shutdown are never retried.
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per retry;
+	// <= 0 means 100ms. The sleep aborts early on pool shutdown.
+	Backoff time.Duration
+	// KeepGoing keeps scheduling the remaining jobs after a failure. When
+	// false, the first failure cancels the pool: in-flight jobs see their
+	// context canceled and unscheduled jobs report ErrNotRun.
+	KeepGoing bool
+}
+
+// JobError is the structured failure of one job attempt.
+type JobError struct {
+	Job      string
+	Attempt  int    // 1-based attempt that produced this error
+	Err      error  // underlying cause (for a panic, the recovered value)
+	Panicked bool   // the job panicked rather than returning an error
+	Stack    []byte // goroutine stack at the panic site (panics only)
+}
+
+func (e *JobError) Error() string {
+	if e.Panicked {
+		return fmt.Sprintf("harness: job %s panicked (attempt %d): %v", e.Job, e.Attempt, e.Err)
+	}
+	return fmt.Sprintf("harness: job %s failed (attempt %d): %v", e.Job, e.Attempt, e.Err)
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
+
+// permanentError marks a failure that retrying cannot fix.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err to tell the harness not to retry it. errors.Is/As
+// still see through to err.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked with
+// Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// Run executes jobs on a worker pool and returns one Result per job, in job
+// order. It always returns the full slice; the error is nil if every job
+// succeeded, and wraps ErrJobsFailed otherwise. Run itself never panics and
+// never returns early with partial work lost: completed values survive any
+// mix of panics, timeouts, and cancellations.
+func Run[T any](ctx context.Context, jobs []Job[T], opts Options) ([]Result[T], error) {
+	results := make([]Result[T], len(jobs))
+	for i := range jobs {
+		results[i] = Result[T]{Name: jobs[i].Name, Err: ErrNotRun}
+	}
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	poolCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range jobs {
+			select {
+			case next <- i:
+			case <-poolCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = runJob(poolCtx, jobs[i], opts)
+				if results[i].Err != nil {
+					failed.Add(1)
+					if !opts.KeepGoing {
+						cancel(results[i].Err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Jobs never scheduled kept their ErrNotRun prefill; count them too.
+	for i := range results {
+		if errors.Is(results[i].Err, ErrNotRun) {
+			failed.Add(1)
+		}
+	}
+	if n := failed.Load(); n > 0 {
+		return results, fmt.Errorf("%w: %d of %d", ErrJobsFailed, n, len(jobs))
+	}
+	return results, nil
+}
+
+// runJob drives one job through its attempts.
+func runJob[T any](ctx context.Context, job Job[T], opts Options) Result[T] {
+	res := Result[T]{Name: job.Name}
+	start := time.Now()
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
+		v, err := runAttempt(ctx, job, opts.Timeout, attempt)
+		res.Value, res.Err = v, err
+		if err == nil || attempt > opts.Retries || !retryable(ctx, err) {
+			break
+		}
+		if !sleep(ctx, scaledBackoff(backoff, attempt)) {
+			break // pool shut down during backoff; keep the last error
+		}
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// scaledBackoff doubles the base per completed attempt, capped to avoid
+// overflow and absurd sleeps.
+func scaledBackoff(base time.Duration, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 10 {
+		shift = 10
+	}
+	return base << shift
+}
+
+// sleep waits for d or until ctx is done; it reports whether the full wait
+// elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// retryable reports whether a failed attempt is worth repeating: not when
+// the pool itself is shutting down, the job panicked (assumed
+// deterministic), or the error was marked Permanent.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	var je *JobError
+	if errors.As(err, &je) && je.Panicked {
+		return false
+	}
+	return !IsPermanent(err)
+}
+
+// runAttempt executes one attempt under the optional deadline, containing
+// panics. The attempt body runs in its own goroutine so a job that ignores
+// its context cannot wedge the worker: on deadline the attempt is abandoned
+// and reported as ErrTimeout.
+func runAttempt[T any](ctx context.Context, job Job[T], timeout time.Duration, attempt int) (T, error) {
+	actx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1) // buffered: an abandoned attempt must not block
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: &JobError{
+					Job:      job.Name,
+					Attempt:  attempt,
+					Err:      fmt.Errorf("%v", r),
+					Panicked: true,
+					Stack:    debug.Stack(),
+				}}
+			}
+		}()
+		v, err := job.Run(actx)
+		if err != nil {
+			ch <- outcome{err: &JobError{Job: job.Name, Attempt: attempt, Err: err}}
+			return
+		}
+		ch <- outcome{v: v}
+	}()
+
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-actx.Done():
+		var zero T
+		err := actx.Err()
+		if ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("%w (%v)", ErrTimeout, timeout)
+		}
+		return zero, &JobError{Job: job.Name, Attempt: attempt, Err: err}
+	}
+}
+
+// Failed returns the failed results, in job order.
+func Failed[T any](results []Result[T]) []Result[T] {
+	var out []Result[T]
+	for _, r := range results {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Summarize writes a one-line-per-failure report to w and returns the number
+// of failures. It prints nothing when every job succeeded.
+func Summarize[T any](w io.Writer, results []Result[T]) int {
+	failed := Failed(results)
+	for _, r := range failed {
+		switch {
+		case errors.Is(r.Err, ErrNotRun):
+			fmt.Fprintf(w, "FAIL %s: not run (pool shut down)\n", r.Name)
+		default:
+			fmt.Fprintf(w, "FAIL %s (attempts %d): %v\n", r.Name, r.Attempts, r.Err)
+		}
+	}
+	return len(failed)
+}

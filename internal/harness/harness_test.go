@@ -1,0 +1,283 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ok returns a job that succeeds with value v.
+func ok(name string, v int) Job[int] {
+	return Job[int]{Name: name, Run: func(context.Context) (int, error) { return v, nil }}
+}
+
+func TestAllSucceed(t *testing.T) {
+	jobs := make([]Job[int], 20)
+	for i := range jobs {
+		jobs[i] = ok(fmt.Sprintf("j%d", i), i*i)
+	}
+	results, err := Run(context.Background(), jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil || r.Value != i*i || r.Name != fmt.Sprintf("j%d", i) {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+		if r.Attempts != 1 {
+			t.Fatalf("result %d took %d attempts", i, r.Attempts)
+		}
+	}
+}
+
+// TestPanicIsolation injects a panicking job into a batch: every other job
+// must complete, and the panic must surface as a structured JobError with a
+// stack, not a process crash.
+func TestPanicIsolation(t *testing.T) {
+	jobs := []Job[int]{
+		ok("a", 1),
+		{Name: "boom", Run: func(context.Context) (int, error) { panic("injected fault") }},
+		ok("c", 3),
+	}
+	results, err := Run(context.Background(), jobs, Options{Workers: 3, KeepGoing: true, Retries: 5})
+	if !errors.Is(err, ErrJobsFailed) {
+		t.Fatalf("summary err = %v, want ErrJobsFailed", err)
+	}
+	if results[0].Err != nil || results[0].Value != 1 || results[2].Err != nil || results[2].Value != 3 {
+		t.Fatalf("healthy jobs disturbed: %+v", results)
+	}
+	var je *JobError
+	if !errors.As(results[1].Err, &je) {
+		t.Fatalf("panic result = %v, want *JobError", results[1].Err)
+	}
+	if !je.Panicked || je.Job != "boom" || len(je.Stack) == 0 {
+		t.Fatalf("JobError = %+v", je)
+	}
+	if !strings.Contains(je.Error(), "injected fault") {
+		t.Fatalf("JobError message = %q", je.Error())
+	}
+	if results[1].Attempts != 1 {
+		t.Fatalf("panicking job retried %d times; panics must not be retried", results[1].Attempts-1)
+	}
+}
+
+// TestDeadlineWatchdog injects a job that ignores its context and hangs
+// forever: the watchdog must abandon it at the deadline with ErrTimeout while
+// the rest of the batch completes.
+func TestDeadlineWatchdog(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	jobs := []Job[int]{
+		ok("a", 1),
+		{Name: "hang", Run: func(context.Context) (int, error) {
+			<-release // deliberately ignores ctx
+			return 0, nil
+		}},
+		ok("c", 3),
+	}
+	start := time.Now()
+	results, err := Run(context.Background(), jobs, Options{
+		Workers: 3, Timeout: 50 * time.Millisecond, KeepGoing: true,
+	})
+	if !errors.Is(err, ErrJobsFailed) {
+		t.Fatalf("summary err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("watchdog failed to fire: took %v", elapsed)
+	}
+	if !errors.Is(results[1].Err, ErrTimeout) {
+		t.Fatalf("hung job err = %v, want ErrTimeout", results[1].Err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy jobs disturbed: %+v", results)
+	}
+}
+
+// TestCooperativeCancellation verifies a job that honors its context returns
+// promptly at the deadline.
+func TestCooperativeCancellation(t *testing.T) {
+	jobs := []Job[int]{{Name: "coop", Run: func(ctx context.Context) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}}}
+	results, err := Run(context.Background(), jobs, Options{Timeout: 20 * time.Millisecond})
+	if !errors.Is(err, ErrJobsFailed) {
+		t.Fatalf("summary err = %v", err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("cooperative job reported success after cancellation")
+	}
+}
+
+// TestTransientRetry injects a job that fails twice then succeeds: the
+// harness must retry it to success and report the attempt count.
+func TestTransientRetry(t *testing.T) {
+	var calls atomic.Int32
+	jobs := []Job[int]{{Name: "flaky", Run: func(context.Context) (int, error) {
+		if calls.Add(1) < 3 {
+			return 0, errors.New("transient glitch")
+		}
+		return 42, nil
+	}}}
+	results, err := Run(context.Background(), jobs, Options{Retries: 3, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[0].Value != 42 {
+		t.Fatalf("flaky job result = %+v", results[0])
+	}
+	if results[0].Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", results[0].Attempts)
+	}
+}
+
+// TestRetryExhaustion verifies a permanently failing job consumes exactly
+// Retries+1 attempts and reports the final error.
+func TestRetryExhaustion(t *testing.T) {
+	var calls atomic.Int32
+	jobs := []Job[int]{{Name: "doomed", Run: func(context.Context) (int, error) {
+		calls.Add(1)
+		return 0, errors.New("always broken")
+	}}}
+	results, err := Run(context.Background(), jobs, Options{Retries: 2, Backoff: time.Millisecond})
+	if !errors.Is(err, ErrJobsFailed) {
+		t.Fatalf("summary err = %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("job ran %d times, want 3", got)
+	}
+	if results[0].Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", results[0].Attempts)
+	}
+}
+
+// TestPermanentErrorSkipsRetry verifies Permanent() suppresses retries.
+func TestPermanentErrorSkipsRetry(t *testing.T) {
+	sentinel := errors.New("bad config")
+	var calls atomic.Int32
+	jobs := []Job[int]{{Name: "invalid", Run: func(context.Context) (int, error) {
+		calls.Add(1)
+		return 0, Permanent(sentinel)
+	}}}
+	results, _ := Run(context.Background(), jobs, Options{Retries: 5, Backoff: time.Millisecond})
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("permanent failure ran %d times, want 1", got)
+	}
+	if !errors.Is(results[0].Err, sentinel) {
+		t.Fatalf("errors.Is lost the cause: %v", results[0].Err)
+	}
+	if !IsPermanent(results[0].Err) {
+		t.Fatalf("IsPermanent = false for %v", results[0].Err)
+	}
+}
+
+// TestFailFastCancelsRemaining verifies that without KeepGoing the first
+// failure shuts the pool down: unscheduled jobs report ErrNotRun.
+func TestFailFastCancelsRemaining(t *testing.T) {
+	n := 64
+	jobs := make([]Job[int], n)
+	jobs[0] = Job[int]{Name: "fail-first", Run: func(context.Context) (int, error) {
+		return 0, errors.New("early failure")
+	}}
+	for i := 1; i < n; i++ {
+		i := i
+		jobs[i] = Job[int]{Name: fmt.Sprintf("j%d", i), Run: func(ctx context.Context) (int, error) {
+			// Slow enough that the cancellation beats the queue drain.
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(10 * time.Millisecond):
+				return i, nil
+			}
+		}}
+	}
+	results, err := Run(context.Background(), jobs, Options{Workers: 2})
+	if !errors.Is(err, ErrJobsFailed) {
+		t.Fatalf("summary err = %v", err)
+	}
+	notRun := 0
+	for _, r := range results[1:] {
+		if errors.Is(r.Err, ErrNotRun) {
+			notRun++
+		}
+	}
+	if notRun == 0 {
+		t.Fatal("fail-fast run scheduled every job anyway")
+	}
+}
+
+// TestKeepGoingRunsEverything verifies fail-soft collection: with KeepGoing
+// every job runs and the successes all survive.
+func TestKeepGoingRunsEverything(t *testing.T) {
+	n := 32
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		if i%5 == 0 {
+			jobs[i] = Job[int]{Name: fmt.Sprintf("bad%d", i), Run: func(context.Context) (int, error) {
+				return 0, errors.New("injected")
+			}}
+			continue
+		}
+		jobs[i] = ok(fmt.Sprintf("j%d", i), i)
+	}
+	results, err := Run(context.Background(), jobs, Options{Workers: 8, KeepGoing: true})
+	if !errors.Is(err, ErrJobsFailed) {
+		t.Fatalf("summary err = %v", err)
+	}
+	for i, r := range results {
+		if i%5 == 0 {
+			if r.Err == nil {
+				t.Fatalf("injected failure %d reported success", i)
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != i {
+			t.Fatalf("success %d lost: %+v", i, r)
+		}
+	}
+	if got := len(Failed(results)); got != (n+4)/5 {
+		t.Fatalf("Failed() returned %d, want %d", got, (n+4)/5)
+	}
+}
+
+// TestParentCancellation verifies a canceled parent context stops the pool.
+func TestParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := []Job[int]{ok("a", 1), ok("b", 2)}
+	_, err := Run(ctx, jobs, Options{})
+	if !errors.Is(err, ErrJobsFailed) {
+		t.Fatalf("summary err = %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	jobs := []Job[int]{
+		ok("fine", 1),
+		{Name: "broken", Run: func(context.Context) (int, error) { return 0, errors.New("nope") }},
+	}
+	results, _ := Run(context.Background(), jobs, Options{KeepGoing: true})
+	var sb strings.Builder
+	if n := Summarize(&sb, results); n != 1 {
+		t.Fatalf("Summarize count = %d", n)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "FAIL broken") || !strings.Contains(out, "nope") {
+		t.Fatalf("summary = %q", out)
+	}
+	if strings.Contains(out, "fine") {
+		t.Fatalf("summary mentions a successful job: %q", out)
+	}
+}
+
+func TestEmptyJobs(t *testing.T) {
+	results, err := Run(context.Background(), []Job[int](nil), Options{})
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty run: %v, %d results", err, len(results))
+	}
+}

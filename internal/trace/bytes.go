@@ -47,9 +47,12 @@ func (b *byteWriter) flush() error {
 	return b.w.Flush()
 }
 
-// byteReader adapts an io.Reader for varint decoding with buffering.
+// byteReader adapts an io.Reader for varint decoding with buffering, and
+// tracks the stream offset of every byte it hands out so decoding errors can
+// report exactly where the input went bad.
 type byteReader struct {
-	r *bufio.Reader
+	r   *bufio.Reader
+	off int64 // bytes consumed from the underlying stream
 }
 
 func newByteReader(r io.Reader) *byteReader {
@@ -57,12 +60,20 @@ func newByteReader(r io.Reader) *byteReader {
 }
 
 func (b *byteReader) read(p []byte) error {
-	_, err := io.ReadFull(b.r, p)
+	n, err := io.ReadFull(b.r, p)
+	b.off += int64(n)
 	return err
 }
 
-func (b *byteReader) readByte() (byte, error) { return b.r.ReadByte() }
+// ReadByte implements io.ByteReader (for binary.ReadUvarint/ReadVarint).
+func (b *byteReader) ReadByte() (byte, error) {
+	c, err := b.r.ReadByte()
+	if err == nil {
+		b.off++
+	}
+	return c, err
+}
 
-func (b *byteReader) uvarint() (uint64, error) { return binary.ReadUvarint(b.r) }
+func (b *byteReader) uvarint() (uint64, error) { return binary.ReadUvarint(b) }
 
-func (b *byteReader) svarint() (int64, error) { return binary.ReadVarint(b.r) }
+func (b *byteReader) svarint() (int64, error) { return binary.ReadVarint(b) }

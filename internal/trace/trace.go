@@ -149,22 +149,48 @@ func Write(w io.Writer, t *Trace) error {
 	return bw.flush()
 }
 
-// Read decodes an entire binary trace from r.
+// Read decodes an entire binary trace from r. Unlike raw Decoder streaming
+// it also rejects trailing garbage: input bytes past the declared record
+// count mean the count field lied (a corrupt or truncated-then-patched
+// file), not a shorter trace.
 func Read(r io.Reader) (*Trace, error) {
 	dec, n, err := NewDecoder(r)
 	if err != nil {
 		return nil, err
 	}
-	t := &Trace{Insts: make([]isa.Inst, 0, n)}
+	// The count is attacker-controlled until the records back it up: cap the
+	// preallocation so a corrupt count cannot force a huge allocation.
+	capHint := n
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	t := &Trace{Insts: make([]isa.Inst, 0, capHint)}
 	for {
 		in, err := dec.Next()
 		if err == io.EOF {
-			return t, nil
+			break
 		}
 		if err != nil {
 			return nil, err
 		}
 		t.Insts = append(t.Insts, in)
+	}
+	if _, err := dec.br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the %d declared records at offset %d",
+			ErrCorrupt, remaining(dec.br), n, dec.Offset()-1)
+	}
+	return t, nil
+}
+
+// remaining counts the bytes left on a reader that has already yielded one
+// unexpected byte (for the trailing-garbage diagnostic only).
+func remaining(br *byteReader) int64 {
+	n := int64(1)
+	for {
+		if _, err := br.ReadByte(); err != nil {
+			return n
+		}
+		n++
 	}
 }
 
@@ -172,6 +198,7 @@ func Read(r io.Reader) (*Trace, error) {
 type Decoder struct {
 	br       *byteReader
 	remain   uint64
+	index    uint64 // records decoded so far, for error context
 	prevPC   uint64
 	prevAddr uint64
 }
@@ -182,23 +209,33 @@ func NewDecoder(r io.Reader) (*Decoder, uint64, error) {
 	br := newByteReader(r)
 	var hdr [4]byte
 	if err := br.read(hdr[:]); err != nil {
-		return nil, 0, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+		return nil, 0, fmt.Errorf("%w: short header at offset %d: %v", ErrCorrupt, br.off, err)
 	}
 	if hdr != magic {
 		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:])
 	}
-	ver, err := br.readByte()
+	ver, err := br.ReadByte()
 	if err != nil {
-		return nil, 0, fmt.Errorf("%w: missing version: %v", ErrCorrupt, err)
+		return nil, 0, fmt.Errorf("%w: missing version at offset %d: %v", ErrCorrupt, br.off, err)
 	}
 	if ver != formatVersion {
 		return nil, 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
 	}
 	n, err := br.uvarint()
 	if err != nil {
-		return nil, 0, fmt.Errorf("%w: missing count: %v", ErrCorrupt, err)
+		return nil, 0, fmt.Errorf("%w: bad count at offset %d: %v", ErrCorrupt, br.off, err)
 	}
 	return &Decoder{br: br, remain: n}, n, nil
+}
+
+// Offset returns the number of input bytes consumed so far; after an error
+// it points just past the bytes that failed to decode.
+func (d *Decoder) Offset() int64 { return d.br.off }
+
+// corrupt builds a decoding error carrying the record index, the field being
+// decoded, and the stream offset.
+func (d *Decoder) corrupt(field string, err error) error {
+	return fmt.Errorf("%w: record %d field %s at offset %d: %v", ErrCorrupt, d.index, field, d.br.off, err)
 }
 
 // Next implements Reader.
@@ -207,34 +244,36 @@ func (d *Decoder) Next() (isa.Inst, error) {
 		return isa.Inst{}, io.EOF
 	}
 	var in isa.Inst
-	head, err := d.br.readByte()
+	head, err := d.br.ReadByte()
 	if err != nil {
-		return in, fmt.Errorf("%w: truncated record: %v", ErrCorrupt, err)
+		return in, d.corrupt("head", err)
 	}
 	in.Class = isa.Class(head & 0x0f)
 	in.Taken = head&(1<<4) != 0
-	regs := [3]*int8{&in.Src1, &in.Src2, &in.Dst}
-	for _, p := range regs {
-		b, err := d.br.readByte()
+	for _, f := range [3]struct {
+		name string
+		p    *int8
+	}{{"src1", &in.Src1}, {"src2", &in.Src2}, {"dst", &in.Dst}} {
+		b, err := d.br.ReadByte()
 		if err != nil {
-			return in, fmt.Errorf("%w: truncated operands: %v", ErrCorrupt, err)
+			return in, d.corrupt(f.name, err)
 		}
 		if b == 0xff {
-			*p = isa.NoReg
+			*f.p = isa.NoReg
 		} else {
-			*p = int8(b)
+			*f.p = int8(b)
 		}
 	}
 	dpc, err := d.br.svarint()
 	if err != nil {
-		return in, fmt.Errorf("%w: truncated pc: %v", ErrCorrupt, err)
+		return in, d.corrupt("pc", err)
 	}
 	in.PC = d.prevPC + uint64(dpc)
 	d.prevPC = in.PC
 	if in.Class.IsMem() {
 		da, err := d.br.svarint()
 		if err != nil {
-			return in, fmt.Errorf("%w: truncated addr: %v", ErrCorrupt, err)
+			return in, d.corrupt("addr", err)
 		}
 		in.Addr = d.prevAddr + uint64(da)
 		d.prevAddr = in.Addr
@@ -242,14 +281,15 @@ func (d *Decoder) Next() (isa.Inst, error) {
 	if in.Class.IsControl() {
 		dt, err := d.br.svarint()
 		if err != nil {
-			return in, fmt.Errorf("%w: truncated target: %v", ErrCorrupt, err)
+			return in, d.corrupt("target", err)
 		}
 		in.Target = in.PC + uint64(dt)
 	}
 	if err := in.Validate(); err != nil {
-		return in, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return in, d.corrupt("record", err)
 	}
 	d.remain--
+	d.index++
 	return in, nil
 }
 

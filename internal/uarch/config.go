@@ -128,7 +128,8 @@ type Config struct {
 	Mem  cache.HierarchyConfig
 }
 
-// Validate reports the first configuration problem, if any.
+// Validate reports the first configuration problem, if any. Every error
+// wraps ErrBadConfig, so harnesses can classify it as permanent.
 func (c Config) Validate() error {
 	for _, f := range []struct {
 		name string
@@ -140,11 +141,11 @@ func (c Config) Validate() error {
 		{"IQSize", c.IQSize},
 	} {
 		if f.v <= 0 {
-			return fmt.Errorf("uarch %s: %s must be positive", c.Name, f.name)
+			return fmt.Errorf("%w: %s: %s must be positive", ErrBadConfig, c.Name, f.name)
 		}
 	}
 	if c.IQSize > c.ROBSize {
-		return fmt.Errorf("uarch %s: IQSize %d exceeds ROBSize %d", c.Name, c.IQSize, c.ROBSize)
+		return fmt.Errorf("%w: %s: IQSize %d exceeds ROBSize %d", ErrBadConfig, c.Name, c.IQSize, c.ROBSize)
 	}
 	pools := []struct {
 		name string
@@ -156,13 +157,16 @@ func (c Config) Validate() error {
 	}
 	for _, pl := range pools {
 		if pl.p.Count <= 0 || pl.p.Latency <= 0 {
-			return fmt.Errorf("uarch %s: FU pool %s needs positive count and latency", c.Name, pl.name)
+			return fmt.Errorf("%w: %s: FU pool %s needs positive count and latency", ErrBadConfig, c.Name, pl.name)
 		}
 	}
 	if _, err := c.Pred.Build(); err != nil {
-		return err
+		return fmt.Errorf("%w: %s: %v", ErrBadConfig, c.Name, err)
 	}
-	return c.Mem.Validate()
+	if err := c.Mem.Validate(); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrBadConfig, c.Name, err)
+	}
+	return nil
 }
 
 // poolFor maps an instruction class to its functional-unit pool index.

@@ -1,0 +1,24 @@
+package uarch
+
+import "errors"
+
+// Sentinel errors for the failure modes a long-running caller (the sweep and
+// experiment harnesses) needs to tell apart with errors.Is. Every error
+// returned by Run/RunContext for one of these conditions wraps the matching
+// sentinel, with per-run context (config name, cycle) in the message.
+var (
+	// ErrBadConfig marks a configuration rejected by Config.Validate: the
+	// run could never have started. Bad configurations are permanent — a
+	// retry harness must not re-run them.
+	ErrBadConfig = errors.New("uarch: invalid configuration")
+
+	// ErrWatchdog marks a run aborted by the simulation watchdog: either
+	// the total cycle budget (Options.MaxCycles) was exceeded, or no
+	// instruction committed for Options.NoProgressCycles cycles (a model
+	// deadlock or a pathological configuration).
+	ErrWatchdog = errors.New("uarch: watchdog expired")
+
+	// ErrCanceled marks a run stopped because its context was canceled
+	// (deadline or explicit cancellation by a caller).
+	ErrCanceled = errors.New("uarch: simulation canceled")
+)

@@ -119,6 +119,17 @@ type Options struct {
 	// cold-start region from a sampled run (the full-run analogue is
 	// WarmupInsts). Usable with or without periodic sampling.
 	SampleStartSkip uint64
+	// MaxCycles aborts the simulation with an ErrWatchdog-wrapped error
+	// once this many cycles have elapsed (0 = unlimited). It is the hard
+	// budget that makes unattended sweeps safe against configurations far
+	// slower than anticipated.
+	MaxCycles uint64
+	// NoProgressCycles aborts with ErrWatchdog when no instruction commits
+	// for this many consecutive cycles — a model deadlock or a pathological
+	// configuration. 0 means the default of 1,000,000 cycles, comfortably
+	// above any legitimate stall (the longest realistic stall is a chain of
+	// memory-latency misses filling the ROB).
+	NoProgressCycles uint64
 }
 
 // sampling reports whether periodic sampled simulation is enabled.

@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,6 +15,15 @@ import (
 // cfg and returns the measured result. The same reader can only be consumed
 // once; generators and decoders are cheap to recreate.
 func Run(r trace.Reader, cfg Config, opts Options) (*Result, error) {
+	return RunContext(context.Background(), r, cfg, opts)
+}
+
+// RunContext is Run with cancellation: the simulation polls ctx periodically
+// and returns an ErrCanceled-wrapped error when it is done. Combined with the
+// Options watchdog fields (MaxCycles, NoProgressCycles) this bounds every run:
+// a pathological configuration returns ErrWatchdog or ErrCanceled instead of
+// looping forever.
+func RunContext(ctx context.Context, r trace.Reader, cfg Config, opts Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -21,7 +31,7 @@ func Run(r trace.Reader, cfg Config, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.run()
+	return s.run(ctx)
 }
 
 const noDep = int64(-1)
@@ -165,7 +175,15 @@ func (s *simulator) consume() {
 	s.fetchIdx++
 }
 
-func (s *simulator) run() (*Result, error) {
+// ctxPollMask sets how often the simulation loop polls its context: every
+// ctxPollMask+1 cycles, cheap enough to be invisible in profiles.
+const ctxPollMask = 0x3ff
+
+func (s *simulator) run(ctx context.Context) (*Result, error) {
+	noProgress := s.opts.NoProgressCycles
+	if noProgress == 0 {
+		noProgress = 1_000_000
+	}
 	for {
 		_, more, err := s.peek()
 		if err != nil {
@@ -183,8 +201,18 @@ func (s *simulator) run() (*Result, error) {
 		if err := s.fetch(); err != nil {
 			return nil, err
 		}
-		if s.cycle-s.lastCommitTick > 1_000_000 {
-			return nil, fmt.Errorf("uarch: no commit in 1M cycles at cycle %d (likely a model deadlock)", s.cycle)
+		if s.opts.MaxCycles > 0 && s.cycle >= s.opts.MaxCycles {
+			return nil, fmt.Errorf("%w: %s: cycle budget %d exhausted (%d insts committed)",
+				ErrWatchdog, s.cfg.Name, s.opts.MaxCycles, s.committed)
+		}
+		if s.cycle-s.lastCommitTick > noProgress {
+			return nil, fmt.Errorf("%w: %s: no commit in %d cycles at cycle %d (likely a model deadlock)",
+				ErrWatchdog, s.cfg.Name, noProgress, s.cycle)
+		}
+		if s.cycle&ctxPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("%w: %s: at cycle %d: %v", ErrCanceled, s.cfg.Name, s.cycle, err)
+			}
 		}
 	}
 	s.res.Insts = s.committed

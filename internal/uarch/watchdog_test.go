@@ -1,0 +1,76 @@
+package uarch
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"intervalsim/internal/workload"
+)
+
+func testTraceReader(t *testing.T, name string, insts int) *workload.Generator {
+	t.Helper()
+	wc, ok := workload.SuiteConfig(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	return workload.MustNew(wc, insts)
+}
+
+func TestMaxCyclesWatchdog(t *testing.T) {
+	cfg := Baseline()
+	_, err := Run(testTraceReader(t, "gzip", 500_000), cfg, Options{MaxCycles: 2_000})
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("err = %v, want ErrWatchdog", err)
+	}
+}
+
+func TestMaxCyclesAboveRunLength(t *testing.T) {
+	cfg := Baseline()
+	res, err := Run(testTraceReader(t, "gzip", 10_000), cfg, Options{MaxCycles: 10_000_000})
+	if err != nil {
+		t.Fatalf("generous budget tripped: %v", err)
+	}
+	if res.Insts != 10_000 {
+		t.Fatalf("committed %d insts, want 10000", res.Insts)
+	}
+}
+
+func TestNoProgressWatchdog(t *testing.T) {
+	// An adversarial no-forward-progress setup: memory latency far above the
+	// no-progress budget, so the first long D-miss at the ROB head starves
+	// commit for longer than the watchdog allows. The run must return
+	// ErrWatchdog within the configured budget instead of being treated as
+	// normal execution.
+	cfg := Baseline()
+	cfg.Mem.Lat.Mem = 100_000
+	_, err := Run(testTraceReader(t, "mcf", 500_000), cfg, Options{
+		NoProgressCycles: 5_000,
+		MaxCycles:        50_000_000,
+	})
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("err = %v, want ErrWatchdog", err)
+	}
+}
+
+func TestRunContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, testTraceReader(t, "gzip", 500_000), Baseline(), Options{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestBadConfigSentinel(t *testing.T) {
+	cfg := Baseline()
+	cfg.ROBSize = 0
+	if _, err := Run(testTraceReader(t, "gzip", 100), cfg, Options{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+	cfg = Baseline()
+	cfg.Pred.Kind = "nonesuch"
+	if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("predictor error = %v, want ErrBadConfig", err)
+	}
+}
