@@ -56,8 +56,35 @@ func BenchmarkE10DepthROB(b *testing.B)       { runExperiment(b, experiments.E10
 // --- Substrate microbenchmarks ------------------------------------------
 
 // BenchmarkSimulator measures raw cycle-level simulation speed on a mixed
-// workload; the metric that bounds every experiment above.
+// workload; the metric that bounds every experiment above. It exercises the
+// struct-of-arrays fast path (trace packed once, reused every iteration —
+// exactly how sweeps run many configurations over one trace).
 func BenchmarkSimulator(b *testing.B) {
+	wc, _ := workload.SuiteConfig("crafty")
+	tr, err := trace.ReadAll(workload.MustNew(wc, 200_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	soa := trace.Pack(tr)
+	cfg := uarch.Baseline()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := uarch.Run(soa.Reader(), cfg, uarch.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Insts)*float64(b.N), "insts")
+		}
+	}
+	b.ReportMetric(float64(soa.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkSimulatorGeneric measures the same run through the generic
+// streaming Reader path (live dependence tracking), the fallback for
+// sampled runs and arbitrary readers.
+func BenchmarkSimulatorGeneric(b *testing.B) {
 	wc, _ := workload.SuiteConfig("crafty")
 	tr, err := trace.ReadAll(workload.MustNew(wc, 200_000))
 	if err != nil {
@@ -67,12 +94,27 @@ func BenchmarkSimulator(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := uarch.Run(tr.Reader(), cfg, uarch.Options{})
-		if err != nil {
+		if _, err := uarch.Run(tr.Reader(), cfg, uarch.Options{}); err != nil {
 			b.Fatal(err)
 		}
-		if i == 0 {
-			b.ReportMetric(float64(res.Insts)*float64(b.N), "insts")
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkTracePack measures the one-time cost of packing a trace into the
+// struct-of-arrays layout (amortized across every configuration that reuses
+// the packed trace).
+func BenchmarkTracePack(b *testing.B) {
+	wc, _ := workload.SuiteConfig("crafty")
+	tr, err := trace.ReadAll(workload.MustNew(wc, 200_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if trace.Pack(tr).Len() != tr.Len() {
+			b.Fatal("bad pack")
 		}
 	}
 	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")

@@ -1,0 +1,179 @@
+// Command bench runs a pinned simulator workload matrix and reports
+// throughput (inst/s), steady-state heap allocations per run, and CPI for
+// each point, writing the results as JSON for CI artifact upload and
+// benchstat-style regression tracking.
+//
+// The matrix is fixed on purpose: the same benchmarks, instruction counts,
+// and configurations every run, so numbers are comparable across commits.
+// Two simulator paths are measured per benchmark — the struct-of-arrays
+// fast path (trace packed once, dependences precomputed) and the generic
+// streaming-Reader path (live dependence tracking) — because regressions
+// can hide in either.
+//
+// Usage:
+//
+//	bench [-quick] [-o BENCH_simulator.json] [-runs N]
+//
+// -quick shrinks the matrix for CI smoke runs (fewer instructions, fewer
+// repetitions); full runs are for committed baselines. Exit codes: 0
+// success, 1 runtime error, 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"intervalsim/internal/trace"
+	"intervalsim/internal/uarch"
+	"intervalsim/internal/workload"
+)
+
+func main() { os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// benchPoint is one (benchmark, path) cell of the matrix.
+type benchPoint struct {
+	Benchmark string  `json:"benchmark"`
+	Path      string  `json:"path"` // "soa" or "generic"
+	Insts     uint64  `json:"insts"`
+	Runs      int     `json:"runs"`
+	InstPerS  float64 `json:"inst_per_s"`
+	AllocsPerRun uint64 `json:"allocs_per_run"`
+	CPI       float64 `json:"cpi"`
+	IPC       float64 `json:"ipc"`
+	Cycles    uint64  `json:"cycles"`
+}
+
+// benchReport is the BENCH_simulator.json schema.
+type benchReport struct {
+	Quick     bool         `json:"quick"`
+	GoVersion string       `json:"go_version"`
+	Config    string       `json:"config"`
+	Points    []benchPoint `json:"points"`
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "smaller matrix for CI smoke runs")
+	out := fs.String("o", "BENCH_simulator.json", "output JSON path (empty = stdout only)")
+	runs := fs.Int("runs", 0, "repetitions per point (0 = auto: 3, or 2 with -quick)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "bench: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	rep, err := run(*quick, *runs, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "bench:", err)
+		return 1
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "bench:", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(stderr, "bench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+	return 0
+}
+
+// matrix returns the pinned (benchmark, insts) workload set.
+func matrix(quick bool) ([]string, int) {
+	if quick {
+		return []string{"gzip", "crafty"}, 200_000
+	}
+	return []string{"gzip", "mcf", "crafty", "twolf"}, 1_000_000
+}
+
+func run(quick bool, runs int, stdout io.Writer) (*benchReport, error) {
+	if runs <= 0 {
+		runs = 3
+		if quick {
+			runs = 2
+		}
+	}
+	benches, insts := matrix(quick)
+	cfg := uarch.Baseline()
+	rep := &benchReport{Quick: quick, GoVersion: runtime.Version(), Config: cfg.Name}
+
+	fmt.Fprintf(stdout, "%-10s %-8s %12s %14s %8s\n", "benchmark", "path", "Minst/s", "allocs/run", "CPI")
+	for _, name := range benches {
+		wc, ok := workload.SuiteConfig(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", name)
+		}
+		tr, err := trace.ReadAll(workload.MustNew(wc, insts))
+		if err != nil {
+			return nil, err
+		}
+		soa := trace.Pack(tr)
+		paths := []struct {
+			name string
+			mk   func() trace.Reader
+		}{
+			{"soa", func() trace.Reader { return soa.Reader() }},
+			{"generic", func() trace.Reader { return tr.Reader() }},
+		}
+		for _, p := range paths {
+			pt, err := measure(name, p.name, p.mk, cfg, runs)
+			if err != nil {
+				return nil, err
+			}
+			rep.Points = append(rep.Points, *pt)
+			fmt.Fprintf(stdout, "%-10s %-8s %12.2f %14d %8.3f\n",
+				pt.Benchmark, pt.Path, pt.InstPerS/1e6, pt.AllocsPerRun, pt.CPI)
+		}
+	}
+	return rep, nil
+}
+
+// measure runs one matrix point `runs` times and keeps the best throughput
+// (least-interfered run) with the mean allocation count. A warmup run is
+// excluded so one-time pool growth doesn't count against steady state.
+func measure(bench, path string, mk func() trace.Reader, cfg uarch.Config, runs int) (*benchPoint, error) {
+	res, err := uarch.Run(mk(), cfg, uarch.Options{}) // warmup, excluded
+	if err != nil {
+		return nil, err
+	}
+	var best float64
+	var allocs uint64
+	var ms0, ms1 runtime.MemStats
+	for i := 0; i < runs; i++ {
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		res, err = uarch.Run(mk(), cfg, uarch.Options{})
+		if err != nil {
+			return nil, err
+		}
+		dur := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		allocs += ms1.Mallocs - ms0.Mallocs
+		if ips := float64(res.Insts) / dur.Seconds(); ips > best {
+			best = ips
+		}
+	}
+	return &benchPoint{
+		Benchmark:    bench,
+		Path:         path,
+		Insts:        res.Insts,
+		Runs:         runs,
+		InstPerS:     best,
+		AllocsPerRun: allocs / uint64(runs),
+		CPI:          res.CPI(),
+		IPC:          res.IPC(),
+		Cycles:       res.Cycles,
+	}, nil
+}

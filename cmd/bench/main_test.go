@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestQuickRun exercises the full -quick path end to end: it must produce a
+// valid JSON report covering both simulator paths for every benchmark in
+// the quick matrix, with sane metric values.
+func TestQuickRun(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-quick", "-runs", "1", "-o", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if !rep.Quick {
+		t.Error("quick flag not recorded")
+	}
+	benches, _ := matrix(true)
+	if want := 2 * len(benches); len(rep.Points) != want {
+		t.Fatalf("got %d points, want %d", len(rep.Points), want)
+	}
+	for _, pt := range rep.Points {
+		if pt.InstPerS <= 0 {
+			t.Errorf("%s/%s: non-positive throughput %f", pt.Benchmark, pt.Path, pt.InstPerS)
+		}
+		if pt.CPI <= 0 || pt.CPI > 100 {
+			t.Errorf("%s/%s: implausible CPI %f", pt.Benchmark, pt.Path, pt.CPI)
+		}
+		if pt.Insts == 0 || pt.Cycles == 0 {
+			t.Errorf("%s/%s: empty run (insts=%d cycles=%d)", pt.Benchmark, pt.Path, pt.Insts, pt.Cycles)
+		}
+	}
+	// Both paths must agree on the architectural result: the SoA fast path
+	// is an optimization, not a different machine.
+	byKey := map[string]benchPoint{}
+	for _, pt := range rep.Points {
+		byKey[pt.Benchmark+"/"+pt.Path] = pt
+	}
+	for _, b := range benches {
+		soa, generic := byKey[b+"/soa"], byKey[b+"/generic"]
+		if soa.Cycles != generic.Cycles || soa.Insts != generic.Insts {
+			t.Errorf("%s: paths diverge (soa %d cycles / generic %d cycles)", b, soa.Cycles, generic.Cycles)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"extra-arg"}, &stdout, &stderr); code != 2 {
+		t.Errorf("positional arg: exit code %d, want 2", code)
+	}
+	if code := realMain([]string{"-nonsense"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit code %d, want 2", code)
+	}
+}

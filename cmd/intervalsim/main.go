@@ -83,7 +83,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	res, err := uarch.Run(tr.Reader(), cfg, uarch.Options{
+	// Pack into the struct-of-arrays layout so the simulator takes its
+	// allocation-free fast path (precomputed dependence metadata).
+	res, err := uarch.Run(trace.Pack(tr).Reader(), cfg, uarch.Options{
 		RecordEvents:      true,
 		RecordMispredicts: true,
 		RecordLoadLevels:  true,

@@ -100,10 +100,14 @@ func grid() []uarch.Config {
 }
 
 func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, insts int, warmup uint64, hopts harness.Options) error {
-	tr, err := trace.ReadAll(workload.MustNew(wc, insts))
+	// Pack the trace once: every grid point reuses the struct-of-arrays
+	// layout and its precomputed dependence metadata (the simulator's
+	// index-based fast path), instead of re-decoding per configuration.
+	soa, err := trace.PackReader(workload.MustNew(wc, insts))
 	if err != nil {
 		return err
 	}
+	tr := soa.Unpack() // AoS view for the decomposer
 
 	points := grid()
 	jobs := make([]harness.Job[[]string], len(points))
@@ -112,7 +116,7 @@ func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, inst
 		jobs[i] = harness.Job[[]string]{
 			Name: cfg.Name,
 			Run: func(ctx context.Context) ([]string, error) {
-				return simPoint(ctx, tr, cfg, warmup)
+				return simPoint(ctx, soa, tr, cfg, warmup)
 			},
 		}
 	}
@@ -133,9 +137,11 @@ func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, inst
 	return runErr
 }
 
-// simPoint simulates one design point and renders its CSV row.
-func simPoint(ctx context.Context, tr *trace.Trace, cfg uarch.Config, warmup uint64) ([]string, error) {
-	res, err := uarch.RunContext(ctx, tr.Reader(), cfg, uarch.Options{
+// simPoint simulates one design point and renders its CSV row. Each point
+// gets a fresh reader over the shared packed trace; the SoA itself is
+// read-only during simulation, so concurrent points are safe.
+func simPoint(ctx context.Context, soa *trace.SoA, tr *trace.Trace, cfg uarch.Config, warmup uint64) ([]string, error) {
+	res, err := uarch.RunContext(ctx, soa.Reader(), cfg, uarch.Options{
 		RecordMispredicts: true,
 		RecordLoadLevels:  true,
 		WarmupInsts:       warmup,

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"intervalsim/internal/trace"
+	"intervalsim/internal/uarch"
+	"intervalsim/internal/workload"
+)
+
+// propWorkload derives a structurally valid workload configuration from a
+// seed, spanning the generator's knob space (mirrors the derivation used by
+// the uarch package's property tests so the two suites explore the same
+// space).
+func propWorkload(seed uint64) workload.Config {
+	pick := func(shift uint, mod int) int { return int((seed >> shift) % uint64(mod)) }
+	return workload.Config{
+		Name: "prop", Seed: seed,
+		Regions:          1 + pick(0, 12),
+		BlocksPerRegion:  2 + pick(4, 16),
+		BlockSize:        workload.Range{Min: 1 + pick(8, 4), Max: 5 + pick(10, 8)},
+		LoopTrip:         workload.Range{Min: 1 + pick(12, 8), Max: 10 + pick(14, 30)},
+		RegionTheta:      float64(pick(16, 15)) / 10,
+		LoadFrac:         float64(pick(20, 30)) / 100,
+		StoreFrac:        float64(pick(24, 15)) / 100,
+		MulFrac:          float64(pick(26, 5)) / 100,
+		DivFrac:          float64(pick(28, 2)) / 100,
+		ChainProb:        float64(pick(30, 10)) / 10,
+		RandomBranchFrac: float64(pick(34, 40)) / 100, RandomBranchBias: 0.5,
+		PatternBranchFrac: float64(pick(38, 30)) / 100, TakenBias: 0.8 + float64(pick(42, 19))/100,
+		DataFootprint: 64 << (10 + pick(46, 8)),
+		StrideFrac:    float64(pick(50, 10)) / 10,
+		Locality:      float64(pick(54, 18)) / 10,
+	}
+}
+
+// TestDecompositionIdentityProperty checks the decomposition identity
+//
+//	Total = Frontend + BaseILP + FULatency + ShortDMiss + LongDMiss + Residual
+//
+// on randomized workloads simulated through the struct-of-arrays fast path
+// (packed trace, precomputed dependences, pooled per-interval records) —
+// the path every experiment now runs on. It also cross-checks that the
+// pooled stat path produces the same mispredict records as the generic
+// streaming path, so the identity is tested against the records the
+// optimized simulator actually emits.
+func TestDecompositionIdentityProperty(t *testing.T) {
+	cfg := uarch.Baseline()
+	f := func(seed uint64) bool {
+		wc := propWorkload(seed)
+		if err := wc.Validate(); err != nil {
+			t.Logf("seed %d produced invalid config: %v", seed, err)
+			return false
+		}
+		tr, err := trace.ReadAll(workload.MustNew(wc, 20_000))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		opts := uarch.Options{RecordMispredicts: true, RecordLoadLevels: true}
+		res, err := uarch.Run(trace.Pack(tr).Reader(), cfg, opts)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		generic, err := uarch.Run(tr.Reader(), cfg, opts)
+		if err != nil {
+			t.Logf("seed %d (generic): %v", seed, err)
+			return false
+		}
+		if !reflect.DeepEqual(res.Records, generic.Records) {
+			t.Logf("seed %d: pooled records diverge from generic path", seed)
+			return false
+		}
+
+		d, err := NewDecomposer(tr, res)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for i, b := range d.DecomposeAll() {
+			sum := b.Frontend + b.BaseILP + b.FULatency + b.ShortDMiss + b.LongDMiss + b.Residual
+			if math.Abs(sum-b.Total) > 1e-9 {
+				t.Logf("seed %d breakdown %d: components sum to %v, total %v", seed, i, sum, b.Total)
+				return false
+			}
+			if b.Frontend != float64(cfg.FrontendDepth) {
+				t.Logf("seed %d breakdown %d: frontend %v != depth %d", seed, i, b.Frontend, cfg.FrontendDepth)
+				return false
+			}
+			if b.BaseILP < 0 || b.FULatency < 0 || b.ShortDMiss < 0 || b.LongDMiss < 0 {
+				t.Logf("seed %d breakdown %d: negative monotone component %+v", seed, i, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,13 +36,15 @@ func QuickParams() Params {
 	return Params{Insts: 300_000, Warmup: 50_000}
 }
 
-// run simulates one workload on cfg with full instrumentation.
+// run simulates one workload on cfg with full instrumentation. The trace is
+// packed into the struct-of-arrays layout once, which routes the simulation
+// through the index-based hot path with precomputed dependence metadata.
 func run(wc workload.Config, cfg uarch.Config, p Params) (*trace.Trace, *uarch.Result, error) {
 	tr, err := trace.ReadAll(workload.MustNew(wc, p.Insts))
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := uarch.Run(tr.Reader(), cfg, uarch.Options{
+	res, err := uarch.Run(trace.Pack(tr).Reader(), cfg, uarch.Options{
 		RecordEvents:      true,
 		RecordMispredicts: true,
 		RecordLoadLevels:  true,

@@ -232,7 +232,7 @@ func E12(w io.Writer, p Params) error {
 
 		simIPC := func(pcs map[uint64]bool) (float64, error) {
 			ptr := core.Predicate(tr, pcs)
-			r2, err := uarch.Run(ptr.Reader(), cfg, uarch.Options{WarmupInsts: p.Warmup})
+			r2, err := uarch.Run(trace.Pack(ptr).Reader(), cfg, uarch.Options{WarmupInsts: p.Warmup})
 			if err != nil {
 				return 0, err
 			}

@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+
+	"intervalsim/internal/isa"
+)
+
+// headerWithCount builds a valid header declaring n records and no body.
+func headerWithCount(n uint64) []byte {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(formatVersion)
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], n)])
+	return buf.Bytes()
+}
+
+// TestReadPreallocationCapBoundary pins the exact boundary of the decoder's
+// preallocation cap: declared counts at, just below, and just above 1<<20,
+// plus absurd counts that would be multi-terabyte allocations if the count
+// were trusted. A lying count (no records backing it) must fail with
+// ErrCorrupt without the allocation ever happening.
+func TestReadPreallocationCapBoundary(t *testing.T) {
+	cases := []struct {
+		name  string
+		count uint64
+	}{
+		{"below cap", 1<<20 - 1},
+		{"at cap", 1 << 20},
+		{"above cap", 1<<20 + 1},
+		{"absurd", 1 << 40},
+		{"max", ^uint64(0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			_, err := Read(bytes.NewReader(headerWithCount(tc.count)))
+			runtime.ReadMemStats(&ms1)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("count %d with empty body: got %v, want ErrCorrupt", tc.count, err)
+			}
+			// The cap bounds the preallocation at 1<<20 records regardless of
+			// the declared count; leave generous slack for test-runtime noise.
+			const slack = 256 << 20
+			if grew := ms1.TotalAlloc - ms0.TotalAlloc; grew > slack {
+				t.Fatalf("count %d allocated %d bytes; preallocation cap not applied", tc.count, grew)
+			}
+		})
+	}
+}
+
+// TestReadAboveCapDecodes proves the cap is a preallocation hint only:
+// a trace one record longer than the cap decodes completely and correctly
+// (the slice grows past the capped hint).
+func TestReadAboveCapDecodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-record round trip")
+	}
+	const n = 1<<20 + 1
+	tr := &Trace{Insts: make([]isa.Inst, n)}
+	for i := range tr.Insts {
+		tr.Insts[i] = isa.Inst{PC: 0x400000 + uint64(i)*4, Class: isa.IntALU, Src1: 1, Src2: 2, Dst: 3}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != n {
+		t.Fatalf("decoded %d records, want %d", got.Len(), n)
+	}
+	if got.Insts[n-1] != tr.Insts[n-1] {
+		t.Fatalf("last record mismatch: %+v vs %+v", got.Insts[n-1], tr.Insts[n-1])
+	}
+}
+
+// recordOffsets returns the byte offset at which each record of an encoded
+// trace starts, plus the offset one past the final record.
+func recordOffsets(t *testing.T, encoded []byte, n int) []int64 {
+	t.Helper()
+	dec, cnt, err := NewDecoder(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != uint64(n) {
+		t.Fatalf("declared count %d, want %d", cnt, n)
+	}
+	offs := []int64{dec.Offset()}
+	for i := 0; i < n; i++ {
+		if _, err := dec.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		offs = append(offs, dec.Offset())
+	}
+	return offs
+}
+
+// TestReadLastRecordBoundary pins the decoder's behavior at the exact edges
+// of the final record: truncation one byte short, truncation at the last
+// record's start (count off by one against the body), and bodies one record
+// longer than the count. Each must produce an ErrCorrupt-wrapped error whose
+// record index and offset point at the real boundary.
+func TestReadLastRecordBoundary(t *testing.T) {
+	const n = 16
+	tr := randomTrace(7, n)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	offs := recordOffsets(t, encoded, n)
+	lastStart, end := offs[n-1], offs[n]
+
+	cases := []struct {
+		name string
+		data []byte
+		want []string // substrings the error must carry
+	}{
+		{
+			// The body ends one byte into the final record's fields: the
+			// error must name record n-1, not a neighbor.
+			name: "one byte short of last record end",
+			data: encoded[:end-1],
+			want: []string{fmt.Sprintf("record %d", n-1)},
+		},
+		{
+			// The body holds exactly n-1 records but the count says n: the
+			// decoder hits EOF reading record n-1's head byte at the exact
+			// offset where the missing record would begin.
+			name: "count one past the body",
+			data: encoded[:lastStart],
+			want: []string{fmt.Sprintf("record %d", n-1), "head", fmt.Sprintf("offset %d", lastStart)},
+		},
+		{
+			// One whole record of trailing bytes after the declared count:
+			// the trailing-garbage check must report the surplus, not
+			// silently return a shorter trace.
+			name: "body one record past the count",
+			data: patchCount(t, encoded, n-1),
+			want: []string{"trailing bytes", fmt.Sprintf("%d declared records", n-1)},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(bytes.NewReader(tc.data))
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("got %v, want ErrCorrupt", err)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("error %q missing %q", err, w)
+				}
+			}
+		})
+	}
+
+	// The exact complement: truncating at the final record boundary with a
+	// matching count is a valid (shorter) trace, not an error.
+	shorter, err := Read(bytes.NewReader(patchCount(t, encoded[:lastStart], n-1)))
+	if err != nil {
+		t.Fatalf("n-1 records with count n-1: %v", err)
+	}
+	if shorter.Len() != n-1 {
+		t.Fatalf("got %d records, want %d", shorter.Len(), n-1)
+	}
+}
+
+// patchCount rewrites the header's declared record count, preserving the
+// body bytes (only valid when the new count's varint is the same width).
+func patchCount(t *testing.T, encoded []byte, n int) []byte {
+	t.Helper()
+	hdr := len(magic) + 1
+	_, w := binary.Uvarint(encoded[hdr:])
+	var tmp [binary.MaxVarintLen64]byte
+	nw := binary.PutUvarint(tmp[:], uint64(n))
+	if nw != w {
+		t.Fatalf("patched count varint width %d != original %d", nw, w)
+	}
+	out := append([]byte(nil), encoded...)
+	copy(out[hdr:], tmp[:nw])
+	return out
+}
+
+// TestDecoderEOFSticky: after the declared count is exhausted the decoder
+// must keep returning io.EOF, even with more bytes on the stream.
+func TestDecoderEOFSticky(t *testing.T) {
+	tr := randomTrace(11, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("surplus")
+	dec, _, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := dec.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := dec.Next(); err != io.EOF {
+			t.Fatalf("post-count Next() #%d: got %v, want io.EOF", i, err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package uarch
+
+import (
+	"reflect"
+	"testing"
+
+	"intervalsim/internal/trace"
+	"intervalsim/internal/workload"
+)
+
+// diffOptions are the instrumentation matrices the differential tests cover:
+// bare runs, fully recorded runs, warmup subtraction, instruction limits,
+// wrong-path fetch, and sampled simulation (which forces the fast path to
+// fall back to live dependence tracking).
+func diffOptions() map[string]Options {
+	return map[string]Options{
+		"bare":     {},
+		"recorded": {RecordEvents: true, RecordMispredicts: true, RecordLoadLevels: true, TimelineCycles: 4096},
+		"warmup":   {RecordEvents: true, RecordMispredicts: true, RecordLoadLevels: true, WarmupInsts: 10_000},
+		"maxinsts": {RecordMispredicts: true, MaxInsts: 17_001},
+		"wrongpath": {
+			RecordEvents: true, WrongPathFetch: true,
+		},
+		"sampled": {SampleStartSkip: 5_000, SampleDetailed: 4_000, SampleSkip: 6_000},
+	}
+}
+
+// TestRunPathsIdentical is the contract behind the hot-path optimization:
+// the index-based struct-of-arrays path (packed trace, precomputed
+// dependence metadata, pooled buffers) must produce results that are
+// bit-identical to the generic streaming path — every counter, every stall
+// bucket, every event, record, timeline entry, and load level.
+func TestRunPathsIdentical(t *testing.T) {
+	cfgs := map[string]Config{"baseline": Baseline()}
+	small := Baseline()
+	small.Name = "small"
+	small.ROBSize = 48 // deliberately not a power of two: exercises slot wrap
+	small.IQSize = 24
+	small.FrontendDepth = 9
+	cfgs["small"] = small
+
+	for _, wname := range []string{"gzip", "mcf", "crafty"} {
+		wc, ok := workload.SuiteConfig(wname)
+		if !ok {
+			t.Fatalf("unknown workload %s", wname)
+		}
+		tr, err := trace.ReadAll(workload.MustNew(wc, 40_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		soa := trace.Pack(tr)
+		for cname, cfg := range cfgs {
+			for oname, opts := range diffOptions() {
+				t.Run(wname+"/"+cname+"/"+oname, func(t *testing.T) {
+					generic, err := Run(tr.Reader(), cfg, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fast, err := Run(soa.Reader(), cfg, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					compareResults(t, generic, fast)
+				})
+			}
+		}
+	}
+}
+
+// compareResults asserts field-level equality with targeted messages before
+// falling back to a whole-struct comparison, so a divergence names the first
+// statistic that drifted instead of dumping two large structs.
+func compareResults(t *testing.T, want, got *Result) {
+	t.Helper()
+	scalar := []struct {
+		name       string
+		want, have uint64
+	}{
+		{"Insts", want.Insts, got.Insts},
+		{"Cycles", want.Cycles, got.Cycles},
+		{"Mispredicts", want.Mispredicts, got.Mispredicts},
+		{"ICacheMisses", want.ICacheMisses, got.ICacheMisses},
+		{"WrongPathIMisses", want.WrongPathIMisses, got.WrongPathIMisses},
+		{"LongDMisses", want.LongDMisses, got.LongDMisses},
+		{"ShortDMisses", want.ShortDMisses, got.ShortDMisses},
+		{"LoadsExecuted", want.LoadsExecuted, got.LoadsExecuted},
+	}
+	for _, f := range scalar {
+		if f.want != f.have {
+			t.Errorf("%s: generic %d, fast %d", f.name, f.want, f.have)
+		}
+	}
+	if want.Stalls != got.Stalls {
+		t.Errorf("Stalls: generic %+v, fast %+v", want.Stalls, got.Stalls)
+	}
+	if want.Bpred != got.Bpred {
+		t.Errorf("Bpred: generic %+v, fast %+v", want.Bpred, got.Bpred)
+	}
+	if want.Caches != got.Caches {
+		t.Errorf("Caches: generic %+v, fast %+v", want.Caches, got.Caches)
+	}
+	if len(want.Events) != len(got.Events) {
+		t.Errorf("Events: generic %d, fast %d", len(want.Events), len(got.Events))
+	} else {
+		for i := range want.Events {
+			if want.Events[i] != got.Events[i] {
+				t.Errorf("Events[%d]: generic %+v, fast %+v", i, want.Events[i], got.Events[i])
+				break
+			}
+		}
+	}
+	if len(want.Records) != len(got.Records) {
+		t.Errorf("Records: generic %d, fast %d", len(want.Records), len(got.Records))
+	} else {
+		for i := range want.Records {
+			if want.Records[i] != got.Records[i] {
+				t.Errorf("Records[%d]: generic %+v, fast %+v", i, want.Records[i], got.Records[i])
+				break
+			}
+		}
+	}
+	if t.Failed() {
+		return
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("results differ outside the named fields: generic %+v, fast %+v", want, got)
+	}
+}
+
+// TestPackReaderMatchesPack pins the streaming packer to the in-memory one.
+func TestPackReaderMatchesPack(t *testing.T) {
+	wc, _ := workload.SuiteConfig("vpr")
+	tr, err := trace.ReadAll(workload.MustNew(wc, 10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trace.Pack(tr)
+	b, err := trace.PackReader(tr.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("PackReader result differs from Pack")
+	}
+}

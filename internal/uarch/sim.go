@@ -14,6 +14,14 @@ import (
 // Run simulates the instruction stream from r on the processor described by
 // cfg and returns the measured result. The same reader can only be consumed
 // once; generators and decoders are cheap to recreate.
+//
+// When r is a *trace.SoAReader positioned at the start of its trace (from
+// trace.Pack + SoA.Reader), the simulator switches to an index-based hot
+// path over the struct-of-arrays trace: no per-instruction interface calls,
+// and — for unsampled runs — operand and memory dependences come from the
+// metadata precomputed at pack time instead of being rediscovered per run.
+// Results are identical on both paths (see TestRunPathsIdentical); only the
+// speed differs.
 func Run(r trace.Reader, cfg Config, opts Options) (*Result, error) {
 	return RunContext(context.Background(), r, cfg, opts)
 }
@@ -37,23 +45,46 @@ func RunContext(ctx context.Context, r trace.Reader, cfg Config, opts Options) (
 const noDep = int64(-1)
 
 // robEntry is one in-flight instruction. Its sequence number equals its
-// dynamic trace index, so slot = seq % ROBSize.
+// dynamic trace index (dispatch order under sampling), so slot = seq %
+// ROBSize. The entry carries only what the backend stages touch — deps,
+// completion time, class, and address — so a slot stays within one cache
+// line instead of dragging the full 40-byte isa.Inst through the scheduler.
 type robEntry struct {
-	inst    isa.Inst
-	dep1    int64 // producer sequence numbers, noDep if none
-	dep2    int64
-	depMem  int64 // youngest in-flight store to the same word (loads only)
-	issueAt uint64
-	doneAt  uint64
-	issued  bool
+	dep1   int64 // producer sequence numbers, noDep if none
+	dep2   int64
+	depMem int64  // youngest in-flight store to the same word (loads only)
+	seq    uint64 // sequence number (= trace index when not sampling)
+	doneAt uint64
+	addr   uint64 // effective address for loads/stores
+	class  isa.Class
+	issued bool
 	redirct bool // this is the pending mispredicted control instruction
 }
 
-// fqEntry is one instruction in the frontend pipe between fetch and dispatch.
+// fqEntry is one instruction in the frontend pipe between fetch and
+// dispatch, reduced to the fields rename/dispatch reads.
 type fqEntry struct {
-	inst      isa.Inst
+	idx       uint64 // trace index (for precomputed dependence lookups)
+	addr      uint64
 	readyAt   uint64 // earliest dispatch cycle (fetch cycle + frontend depth)
+	src1      int8
+	src2      int8
+	dst       int8
+	class     isa.Class
 	mispredct bool
+}
+
+// counters batches the per-event statistics out of the inner loop: they live
+// in the simulator (one cache-resident struct touched millions of times) and
+// are flushed to the Result once at the end of the run.
+type counters struct {
+	mispredicts      uint64
+	icacheMisses     uint64
+	wrongPathIMisses uint64
+	longDMisses      uint64
+	shortDMisses     uint64
+	loadsExecuted    uint64
+	stalls           StallCycles
 }
 
 type simulator struct {
@@ -62,27 +93,58 @@ type simulator struct {
 	pred *bpred.Unit
 	mem  *cache.Hierarchy
 
-	r      trace.Reader
-	peeked *isa.Inst
-	srcEOF bool
+	// Instruction source. soa is the index-based fast path (src position is
+	// fetchIdx); r is the generic streaming path. Exactly one is active.
+	soa      *trace.SoA
+	r        trace.Reader
+	peeked   isa.Inst
+	havePeek bool
+	srcEOF   bool
+
+	// preDeps: dependence metadata comes from the packed trace (soa.Dep*),
+	// valid only when sequence numbers equal trace indices (no sampling).
+	preDeps bool
 
 	cycle uint64
 
-	// Reorder buffer: entries [head, tail), slot = seq % ROBSize.
+	// Reorder buffer: a preallocated ring of entries [head, tail) with
+	// slot = seq % ROBSize. headSlot/tailSlot track the slots of head and
+	// tail incrementally so the hot path never divides.
 	rob      []robEntry
 	head     uint64
 	tail     uint64
+	headSlot int32
+	tailSlot int32
+	robSize  int32
 	unissued int // issue-queue occupancy
 
+	// Unissued entries as a singly linked list of ROB slots in sequence
+	// order: issue visits exactly the instructions still waiting instead of
+	// rescanning the whole window every cycle.
+	unissuedHead int32
+	unissuedTail int32
+	unissuedNext []int32
+
+	// Live dependence tracking (generic path only; the SoA path reads the
+	// metadata precomputed at pack time).
 	regProducer [isa.NumRegs]int64
 	storeProd   map[uint64]uint64 // word address → youngest pending store seq
 
 	fus [numPools][]uint64 // per pool, per unit: first cycle it can accept
 
-	fq    []fqEntry
-	fqCap int
+	// Per-class execution latency and pool index, resolved from the config
+	// once so the issue loop is pure table lookups.
+	latByClass  [isa.NumClasses]uint64
+	poolByClass [isa.NumClasses]uint8
+	pipelined   [numPools]bool
+
+	// Frontend queue: a preallocated ring of fqCap entries.
+	fq     []fqEntry
+	fqHead int32
+	fqLen  int32
 
 	fetchIdx      uint64 // trace index of the next instruction to fetch
+	lineMask      uint64 // I-cache line mask, hoisted out of fetch
 	curFetchLine  uint64
 	haveFetchLine bool
 	fetchResumeAt uint64 // fetch blocked until this cycle (I-miss or redirect)
@@ -106,6 +168,7 @@ type simulator struct {
 	lastCommitTick uint64
 	warm           *warmSnapshot
 
+	c   counters
 	res *Result
 }
 
@@ -114,6 +177,7 @@ func newSimulator(r trace.Reader, cfg Config, opts Options) (*simulator, error) 
 	if err != nil {
 		return nil, err
 	}
+	fqCap := cfg.FetchWidth * (cfg.FrontendDepth + 2)
 	s := &simulator{
 		cfg:           cfg,
 		opts:          opts,
@@ -121,20 +185,44 @@ func newSimulator(r trace.Reader, cfg Config, opts Options) (*simulator, error) 
 		mem:           cache.NewHierarchy(cfg.Mem),
 		r:             r,
 		rob:           make([]robEntry, cfg.ROBSize),
-		fqCap:         cfg.FetchWidth * (cfg.FrontendDepth + 2),
+		robSize:       int32(cfg.ROBSize),
+		unissuedHead:  -1,
+		unissuedTail:  -1,
+		unissuedNext:  make([]int32, cfg.ROBSize),
+		fq:            make([]fqEntry, fqCap),
 		pendingResume: -1,
 		res:           &Result{Config: cfg},
 	}
-	for i := range s.regProducer {
-		s.regProducer[i] = noDep
+	s.lineMask = ^uint64(s.mem.LineSizeI() - 1)
+	if sr, ok := r.(*trace.SoAReader); ok && sr.Pos() == 0 {
+		// Index-based fast path over the packed trace. Precomputed
+		// dependences require sequence numbers to equal trace indices,
+		// which sampling breaks (skipped instructions never get a seq).
+		s.soa = sr.SoA()
+		s.r = nil
+		s.preDeps = !opts.fastForwarded()
 	}
-	s.storeProd = make(map[uint64]uint64)
+	if !s.preDeps {
+		for i := range s.regProducer {
+			s.regProducer[i] = noDep
+		}
+		s.storeProd = make(map[uint64]uint64)
+	}
 	pools := cfg.FU.pools()
 	for p := range s.fus {
 		s.fus[p] = make([]uint64, pools[p].Count)
+		s.pipelined[p] = pools[p].Pipelined
+	}
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		s.latByClass[c] = uint64(cfg.FU.OpLatency(c))
+		s.poolByClass[c] = uint8(poolFor(c))
 	}
 	if opts.TimelineCycles > 0 {
 		s.res.Timeline = make([]uint8, 0, opts.TimelineCycles)
+	}
+	if opts.RecordLoadLevels && s.soa != nil {
+		// Capacity only: length still grows exactly as on the generic path.
+		s.res.LoadLevels = make([]uint8, 0, s.soa.Len())
 	}
 	if opts.sampling() {
 		s.detailedPhase = true
@@ -147,13 +235,22 @@ func newSimulator(r trace.Reader, cfg Config, opts Options) (*simulator, error) 
 }
 
 // peek returns the next trace instruction without consuming it, or false at
-// end of trace (or the MaxInsts limit).
+// end of trace (or the MaxInsts limit). The peeked instruction is cached by
+// value in the simulator, so nothing escapes to the heap.
 func (s *simulator) peek() (*isa.Inst, bool, error) {
 	if s.opts.MaxInsts > 0 && s.fetchIdx >= s.opts.MaxInsts {
 		return nil, false, nil
 	}
-	if s.peeked != nil {
-		return s.peeked, true, nil
+	if s.havePeek {
+		return &s.peeked, true, nil
+	}
+	if s.soa != nil {
+		if s.fetchIdx >= uint64(s.soa.Len()) {
+			return nil, false, nil
+		}
+		s.soa.InstAt(int(s.fetchIdx), &s.peeked)
+		s.havePeek = true
+		return &s.peeked, true, nil
 	}
 	if s.srcEOF {
 		return nil, false, nil
@@ -166,12 +263,13 @@ func (s *simulator) peek() (*isa.Inst, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	s.peeked = &in
-	return s.peeked, true, nil
+	s.peeked = in
+	s.havePeek = true
+	return &s.peeked, true, nil
 }
 
 func (s *simulator) consume() {
-	s.peeked = nil
+	s.havePeek = false
 	s.fetchIdx++
 }
 
@@ -189,15 +287,13 @@ func (s *simulator) run(ctx context.Context) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !more && len(s.fq) == 0 && s.head == s.tail {
+		if !more && s.fqLen == 0 && s.head == s.tail {
 			break
 		}
 		s.cycle++
 		s.commit()
 		s.issue()
-		if err := s.dispatch(); err != nil {
-			return nil, err
-		}
+		s.dispatch()
 		if err := s.fetch(); err != nil {
 			return nil, err
 		}
@@ -217,10 +313,22 @@ func (s *simulator) run(ctx context.Context) (*Result, error) {
 	}
 	s.res.Insts = s.committed
 	s.res.Cycles = s.cycle
+	s.flushCounters()
 	s.res.Bpred = s.pred.Stats
 	s.res.Caches = CacheStats{L1I: s.mem.L1I.Stats, L1D: s.mem.L1D.Stats, L2: s.mem.L2.Stats}
 	s.subtractWarmup()
 	return s.res, nil
+}
+
+// flushCounters moves the batched statistics into the Result.
+func (s *simulator) flushCounters() {
+	s.res.Mispredicts = s.c.mispredicts
+	s.res.ICacheMisses = s.c.icacheMisses
+	s.res.WrongPathIMisses = s.c.wrongPathIMisses
+	s.res.LongDMisses = s.c.longDMisses
+	s.res.ShortDMisses = s.c.shortDMisses
+	s.res.LoadsExecuted = s.c.loadsExecuted
+	s.res.Stalls = s.c.stalls
 }
 
 // subtractWarmup removes the pre-warmup epoch from every reported statistic.
@@ -277,14 +385,14 @@ func (s *simulator) takeWarmSnapshot() {
 	s.warm = &warmSnapshot{
 		insts:        s.committed,
 		cycles:       s.cycle,
-		mispredicts:  s.res.Mispredicts,
-		icacheMisses: s.res.ICacheMisses,
-		longDMisses:  s.res.LongDMisses,
-		shortDMisses: s.res.ShortDMisses,
-		loads:        s.res.LoadsExecuted,
+		mispredicts:  s.c.mispredicts,
+		icacheMisses: s.c.icacheMisses,
+		longDMisses:  s.c.longDMisses,
+		shortDMisses: s.c.shortDMisses,
+		loads:        s.c.loadsExecuted,
 		bpred:        s.pred.Stats,
 		caches:       CacheStats{L1I: s.mem.L1I.Stats, L1D: s.mem.L1D.Stats, L2: s.mem.L2.Stats},
-		stalls:       s.res.Stalls,
+		stalls:       s.c.stalls,
 		events:       len(s.res.Events),
 		records:      len(s.res.Records),
 	}
@@ -297,17 +405,20 @@ func subStats(a, b cache.Stats) cache.Stats {
 func (s *simulator) commit() {
 	n := 0
 	for s.head < s.tail && n < s.cfg.CommitWidth {
-		e := &s.rob[s.head%uint64(s.cfg.ROBSize)]
+		e := &s.rob[s.headSlot]
 		if !e.issued || e.doneAt > s.cycle {
 			break
 		}
-		if e.inst.Class == isa.Store {
-			w := e.inst.Addr / 8
+		if !s.preDeps && e.class == isa.Store {
+			w := e.addr / 8
 			if seq, ok := s.storeProd[w]; ok && seq == s.head {
 				delete(s.storeProd, w)
 			}
 		}
 		s.head++
+		if s.headSlot++; s.headSlot == s.robSize {
+			s.headSlot = 0
+		}
 		s.committed++
 		s.lastCommitTick = s.cycle
 		n++
@@ -320,25 +431,50 @@ func (s *simulator) commit() {
 // depReady reports whether the producer with sequence number dep has its
 // result available at the current cycle.
 func (s *simulator) depReady(dep int64) bool {
-	if dep == noDep || uint64(dep) < s.head {
+	if dep < 0 || uint64(dep) < s.head {
 		return true // no dependence, or producer already committed
 	}
-	p := &s.rob[uint64(dep)%uint64(s.cfg.ROBSize)]
-	return p.issued && p.doneAt <= s.cycle
+	// In-flight producers sit within ROBSize of head: derive the slot from
+	// the head slot without dividing.
+	slot := s.headSlot + int32(uint64(dep)-s.head)
+	if slot >= s.robSize {
+		slot -= s.robSize
+	}
+	e := &s.rob[slot]
+	return e.issued && e.doneAt <= s.cycle
 }
 
 func (s *simulator) issue() {
 	issued := 0
-	rob := uint64(s.cfg.ROBSize)
-	for seq := s.head; seq < s.tail && issued < s.cfg.IssueWidth; seq++ {
-		e := &s.rob[seq%rob]
-		if e.issued {
-			continue
+	prev := int32(-1)
+	for slot := s.unissuedHead; slot >= 0 && issued < s.cfg.IssueWidth; {
+		e := &s.rob[slot]
+		next := s.unissuedNext[slot]
+		// A ready producer stays ready, so a satisfied dependence is cleared
+		// in place: entries blocked on one long-pole producer stop
+		// re-checking the others every cycle.
+		if e.dep1 >= 0 {
+			if !s.depReady(e.dep1) {
+				prev, slot = slot, next
+				continue
+			}
+			e.dep1 = noDep
 		}
-		if !s.depReady(e.dep1) || !s.depReady(e.dep2) || !s.depReady(e.depMem) {
-			continue
+		if e.dep2 >= 0 {
+			if !s.depReady(e.dep2) {
+				prev, slot = slot, next
+				continue
+			}
+			e.dep2 = noDep
 		}
-		pool := poolFor(e.inst.Class)
+		if e.depMem >= 0 {
+			if !s.depReady(e.depMem) {
+				prev, slot = slot, next
+				continue
+			}
+			e.depMem = noDep
+		}
+		pool := s.poolByClass[e.class]
 		unit := -1
 		for u, freeAt := range s.fus[pool] {
 			if freeAt <= s.cycle {
@@ -347,36 +483,35 @@ func (s *simulator) issue() {
 			}
 		}
 		if unit < 0 {
+			prev, slot = slot, next
 			continue // structural hazard
 		}
-		lat := s.cfg.FU.OpLatency(e.inst.Class)
-		switch e.inst.Class {
+		lat := s.latByClass[e.class]
+		switch e.class {
 		case isa.Load:
-			lvl, l := s.mem.Data(e.inst.Addr)
-			lat = l
-			s.res.LoadsExecuted++
+			lvl, l := s.mem.Data(e.addr)
+			lat = uint64(l)
+			s.c.loadsExecuted++
 			if s.opts.RecordLoadLevels {
-				for uint64(len(s.res.LoadLevels)) <= seq {
+				for uint64(len(s.res.LoadLevels)) <= e.seq {
 					s.res.LoadLevels = append(s.res.LoadLevels, 0)
 				}
-				s.res.LoadLevels[seq] = uint8(lvl) + 1
+				s.res.LoadLevels[e.seq] = uint8(lvl) + 1
 			}
 			switch lvl {
 			case cache.ShortMiss:
-				s.res.ShortDMisses++
+				s.c.shortDMisses++
 			case cache.LongMiss:
-				s.res.LongDMisses++
-				s.event(EvLongDMiss, seq, lvl)
+				s.c.longDMisses++
+				s.event(EvLongDMiss, e.seq, lvl)
 			}
 		case isa.Store:
-			s.mem.Data(e.inst.Addr) // allocate + stats; retires via store buffer
+			s.mem.Data(e.addr) // allocate + stats; retires via store buffer
 		}
-		e.issueAt = s.cycle
-		e.doneAt = s.cycle + uint64(lat)
+		e.doneAt = s.cycle + lat
 		e.issued = true
 		s.unissued--
-		pools := s.cfg.FU.pools()
-		if pools[pool].Pipelined {
+		if s.pipelined[pool] {
 			s.fus[pool][unit] = s.cycle + 1
 		} else {
 			s.fus[pool][unit] = e.doneAt
@@ -393,51 +528,70 @@ func (s *simulator) issue() {
 			}
 		}
 		issued++
+		// Unlink the issued entry; prev stays put.
+		if prev >= 0 {
+			s.unissuedNext[prev] = next
+		} else {
+			s.unissuedHead = next
+		}
+		if next < 0 {
+			s.unissuedTail = prev
+		}
+		slot = next
 	}
 }
 
-func (s *simulator) dispatch() error {
+func (s *simulator) dispatch() {
 	n := 0
 	rob := uint64(s.cfg.ROBSize)
-	for n < s.cfg.DispatchWidth && len(s.fq) > 0 {
-		f := &s.fq[0]
+	for n < s.cfg.DispatchWidth && s.fqLen > 0 {
+		f := &s.fq[s.fqHead]
 		if f.readyAt > s.cycle {
 			if n == 0 {
-				s.res.Stalls.Refill++
+				s.c.stalls.Refill++
 			}
 			break
 		}
 		if s.tail-s.head >= rob {
 			if n == 0 {
-				s.res.Stalls.ROBFull++
+				s.c.stalls.ROBFull++
 			}
 			break
 		}
 		if s.unissued >= s.cfg.IQSize {
 			if n == 0 {
-				s.res.Stalls.IQFull++
+				s.c.stalls.IQFull++
 			}
 			break
 		}
 		seq := s.tail
-		e := &s.rob[seq%rob]
-		*e = robEntry{inst: f.inst, dep1: noDep, dep2: noDep, depMem: noDep}
-		if r := f.inst.Src1; r != isa.NoReg {
-			e.dep1 = s.producerOf(r)
-		}
-		if r := f.inst.Src2; r != isa.NoReg {
-			e.dep2 = s.producerOf(r)
-		}
-		switch f.inst.Class {
-		case isa.Load:
-			if p, ok := s.storeProd[f.inst.Addr/8]; ok {
-				e.depMem = int64(p)
+		slot := s.tailSlot
+		e := &s.rob[slot]
+		*e = robEntry{seq: seq, addr: f.addr, class: f.class, dep1: noDep, dep2: noDep, depMem: noDep}
+		if s.preDeps {
+			// Dependence metadata was computed once at pack time; sequence
+			// numbers equal trace indices here, so the indices line up.
+			e.dep1 = int64(s.soa.Dep1[f.idx])
+			e.dep2 = int64(s.soa.Dep2[f.idx])
+			e.depMem = int64(s.soa.DepMem[f.idx])
+		} else {
+			if r := f.src1; r != isa.NoReg {
+				e.dep1 = s.producerOf(r)
 			}
-		case isa.Store:
-			s.storeProd[f.inst.Addr/8] = seq
-		}
-		if d := f.inst.Dst; d != isa.NoReg {
-			s.regProducer[d] = int64(seq)
+			if r := f.src2; r != isa.NoReg {
+				e.dep2 = s.producerOf(r)
+			}
+			switch f.class {
+			case isa.Load:
+				if p, ok := s.storeProd[f.addr/8]; ok {
+					e.depMem = int64(p)
+				}
+			case isa.Store:
+				s.storeProd[f.addr/8] = seq
+			}
+			if d := f.dst; d != isa.NoReg {
+				s.regProducer[d] = int64(seq)
+			}
 		}
 
 		// Close out the previous misprediction's penalty window: the first
@@ -453,7 +607,7 @@ func (s *simulator) dispatch() error {
 
 		if f.mispredct {
 			e.redirct = true
-			s.res.Mispredicts++
+			s.c.mispredicts++
 			s.event(EvBranchMispredict, seq, cache.L1Hit)
 			if s.opts.RecordMispredicts {
 				s.res.Records = append(s.res.Records, MispredictRecord{
@@ -470,28 +624,38 @@ func (s *simulator) dispatch() error {
 			s.lastMissIdx = seq
 		}
 
-		s.fq = s.fq[1:]
-		if len(s.fq) == 0 {
-			s.fq = nil // release the backing array periodically
+		if s.fqHead++; s.fqHead == int32(len(s.fq)) {
+			s.fqHead = 0
 		}
+		s.fqLen--
 		s.tail++
+		if s.tailSlot++; s.tailSlot == s.robSize {
+			s.tailSlot = 0
+		}
 		s.unissued++
+		// Append to the unissued list (slots arrive in sequence order).
+		s.unissuedNext[slot] = -1
+		if s.unissuedTail >= 0 {
+			s.unissuedNext[s.unissuedTail] = slot
+		} else {
+			s.unissuedHead = slot
+		}
+		s.unissuedTail = slot
 		n++
 	}
-	if n == 0 && len(s.fq) == 0 {
+	if n == 0 && s.fqLen == 0 {
 		switch {
 		case s.awaitResolve:
-			s.res.Stalls.BranchResolve++
+			s.c.stalls.BranchResolve++
 		case s.cycle < s.fetchResumeAt:
-			s.res.Stalls.ICacheMiss++
+			s.c.stalls.ICacheMiss++
 		default:
-			s.res.Stalls.Other++
+			s.c.stalls.Other++
 		}
 	}
 	if s.opts.TimelineCycles > 0 && len(s.res.Timeline) < s.opts.TimelineCycles {
 		s.res.Timeline = append(s.res.Timeline, uint8(n))
 	}
-	return nil
 }
 
 // producerOf returns the pending producer of register r, or noDep.
@@ -527,9 +691,9 @@ func (s *simulator) fetch() error {
 		s.detailedPhase = true
 		s.phaseLeft = s.opts.SampleDetailed
 	}
-	lineMask := ^uint64(s.mem.LineSizeI() - 1)
+	fqCap := int32(len(s.fq))
 	n := 0
-	for n < s.cfg.FetchWidth && len(s.fq) < s.fqCap {
+	for n < s.cfg.FetchWidth && s.fqLen < fqCap {
 		in, ok, err := s.peek()
 		if err != nil {
 			return err
@@ -537,14 +701,14 @@ func (s *simulator) fetch() error {
 		if !ok {
 			return nil
 		}
-		line := in.PC & lineMask
+		line := in.PC & s.lineMask
 		if !s.haveFetchLine || line != s.curFetchLine {
 			lvl, lat := s.mem.Fetch(in.PC)
 			s.curFetchLine = line
 			s.haveFetchLine = true
 			if lvl != cache.L1Hit {
 				// The line is being filled; fetch resumes when it arrives.
-				s.res.ICacheMisses++
+				s.c.icacheMisses++
 				s.event(EvICacheMiss, s.fetchIdx, lvl)
 				s.lastMissIdx = s.fetchIdx
 				s.fetchResumeAt = s.cycle + uint64(lat)
@@ -552,6 +716,7 @@ func (s *simulator) fetch() error {
 			}
 		}
 		inst := *in
+		idx := s.fetchIdx
 		s.consume()
 		if s.opts.sampling() {
 			s.phaseLeft--
@@ -560,11 +725,19 @@ func (s *simulator) fetch() error {
 				s.phaseLeft = s.opts.SampleSkip
 			}
 		}
-		entry := fqEntry{inst: inst, readyAt: s.cycle + uint64(s.cfg.FrontendDepth)}
+		entry := fqEntry{
+			idx:     idx,
+			addr:    inst.Addr,
+			readyAt: s.cycle + uint64(s.cfg.FrontendDepth),
+			src1:    inst.Src1,
+			src2:    inst.Src2,
+			dst:     inst.Dst,
+			class:   inst.Class,
+		}
 		if inst.Class.IsControl() {
 			if s.pred.Access(&inst) {
 				entry.mispredct = true
-				s.fq = append(s.fq, entry)
+				s.fqPush(entry)
 				// Wrong path ahead: no useful fetch until resolution.
 				s.awaitResolve = true
 				if s.opts.WrongPathFetch {
@@ -581,7 +754,7 @@ func (s *simulator) fetch() error {
 				}
 				return nil
 			}
-			s.fq = append(s.fq, entry)
+			s.fqPush(entry)
 			n++
 			if inst.Taken || inst.Class == isa.Jump {
 				// Fetch break: a taken transfer ends the fetch group.
@@ -589,10 +762,21 @@ func (s *simulator) fetch() error {
 			}
 			continue
 		}
-		s.fq = append(s.fq, entry)
+		s.fqPush(entry)
 		n++
 	}
 	return nil
+}
+
+// fqPush appends an entry to the frontend queue ring. Callers check fqLen
+// against the ring capacity before fetching.
+func (s *simulator) fqPush(e fqEntry) {
+	slot := s.fqHead + s.fqLen
+	if cap := int32(len(s.fq)); slot >= cap {
+		slot -= cap
+	}
+	s.fq[slot] = e
+	s.fqLen++
 }
 
 // fetchWrongPath advances the frontend down the mispredicted path for one
@@ -609,10 +793,10 @@ func (s *simulator) fetchWrongPath() {
 			s.haveWrong = true
 			switch s.mem.FetchWrongPath(s.wrongPC) {
 			case cache.ShortMiss:
-				s.res.WrongPathIMisses++
+				s.c.wrongPathIMisses++
 				return // the L2 fill occupies this fetch cycle
 			case cache.LongMiss:
-				s.res.WrongPathIMisses++
+				s.c.wrongPathIMisses++
 				s.wrongActive = false // abandoned until the redirect
 				return
 			}
@@ -626,7 +810,6 @@ func (s *simulator) fetchWrongPath() {
 // nothing is dispatched, so the skipped instructions never appear in
 // committed counts, events, or records.
 func (s *simulator) skipFunctional(n uint64) error {
-	lineMask := ^uint64(s.mem.LineSizeI() - 1)
 	left := n
 	for left > 0 {
 		in, ok, err := s.peek()
@@ -636,7 +819,7 @@ func (s *simulator) skipFunctional(n uint64) error {
 		if !ok {
 			return nil
 		}
-		if line := in.PC & lineMask; !s.haveFetchLine || line != s.curFetchLine {
+		if line := in.PC & s.lineMask; !s.haveFetchLine || line != s.curFetchLine {
 			s.curFetchLine = line
 			s.haveFetchLine = true
 			s.mem.Fetch(in.PC)
