@@ -18,6 +18,7 @@ import (
 	"intervalsim/internal/core"
 	"intervalsim/internal/experiments"
 	"intervalsim/internal/ilp"
+	"intervalsim/internal/overlay"
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
 	"intervalsim/internal/workload"
@@ -99,6 +100,96 @@ func BenchmarkSimulatorGeneric(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkSimulatorReplay measures the overlay-replay fast path: identical
+// cycle-level results to BenchmarkSimulator, with branch-predictor and
+// I-cache outcomes replayed from a precomputed miss-event overlay instead
+// of simulated live — how every point after the first runs in a
+// timing-parameter sweep.
+func BenchmarkSimulatorReplay(b *testing.B) {
+	wc, _ := workload.SuiteConfig("crafty")
+	tr, err := trace.ReadAll(workload.MustNew(wc, 200_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	soa := trace.Pack(tr)
+	cfg := uarch.Baseline()
+	ov, err := overlay.Compute(soa, cfg.Pred, cfg.Mem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := uarch.Run(soa.Reader(), cfg, uarch.Options{Overlay: ov})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Path != "soa+overlay" {
+			b.Fatalf("not replaying: path %q (%s)", res.Path, res.Fallback)
+		}
+	}
+	b.ReportMetric(float64(soa.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkOverlayCompute measures the one-time pre-pass that records
+// speculation outcomes for a (trace, predictor, cache geometry) key —
+// amortized across every timing configuration that replays it.
+func BenchmarkOverlayCompute(b *testing.B) {
+	wc, _ := workload.SuiteConfig("crafty")
+	soa, err := trace.PackReader(workload.MustNew(wc, 200_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := uarch.Baseline()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := overlay.Compute(soa, cfg.Pred, cfg.Mem); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(soa.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkModelSweep measures an entire analytic depth×ROB sweep — overlay
+// pre-pass, shared ILP characteristics, and nine model evaluations — the
+// end-to-end unit of work `sweep -mode model` performs per benchmark.
+func BenchmarkModelSweep(b *testing.B) {
+	wc, _ := workload.SuiteConfig("crafty")
+	const insts = 200_000
+	soa, err := trace.PackReader(workload.MustNew(wc, insts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := uarch.Baseline()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ov, err := overlay.Compute(soa, base.Pred, base.Mem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		set, err := core.NewModelSet(soa, ov, base, 256, 0, insts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, depth := range []int{3, 7, 11} {
+			for _, rob := range []int{64, 128, 256} {
+				cfg := base
+				cfg.FrontendDepth, cfg.ROBSize, cfg.IQSize = depth, rob, rob/2
+				m, prof, err := set.For(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.PredictCPI(prof); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(9*float64(b.N)/b.Elapsed().Seconds(), "points/s")
 }
 
 // BenchmarkTracePack measures the one-time cost of packing a trace into the

@@ -8,7 +8,10 @@
 // Two simulator paths are measured per benchmark — the struct-of-arrays
 // fast path (trace packed once, dependences precomputed) and the generic
 // streaming-Reader path (live dependence tracking) — because regressions
-// can hide in either.
+// can hide in either. A sweep-level metric follows the matrix: the
+// wall-clock of a whole depth×ROB sweep run live, with overlay replay, and
+// with the analytic model off a shared overlay, plus the overlay cache hit
+// rate — the end-to-end numbers the miss-event overlay exists to improve.
 //
 // Usage:
 //
@@ -24,10 +27,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"time"
 
+	"intervalsim/internal/core"
+	"intervalsim/internal/overlay"
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
 	"intervalsim/internal/workload"
@@ -48,12 +54,37 @@ type benchPoint struct {
 	Cycles    uint64  `json:"cycles"`
 }
 
+// sweepBench is the sweep-level metric: the wall-clock of an entire
+// depth×ROB design-space sweep at a fixed predictor and cache hierarchy,
+// run three ways over the same packed trace — live cycle-level simulation,
+// cycle-level simulation replaying a shared miss-event overlay, and the
+// analytic interval model evaluated straight off the overlay. Replay must
+// reproduce live cycle counts exactly (checked); the model trades exactness
+// for orders-of-magnitude less work, and its mean CPI error vs live is
+// recorded as the sanity bound. Setup costs (overlay computation, shared
+// ILP characteristics) are charged to the timings they benefit.
+type sweepBench struct {
+	Benchmark      string  `json:"benchmark"`
+	Insts          int     `json:"insts"`
+	Points         int     `json:"points"`
+	LiveSeconds    float64 `json:"live_s"`
+	ReplaySeconds  float64 `json:"replay_s"`
+	ModelSeconds   float64 `json:"model_s"`
+	ReplaySpeedup  float64 `json:"replay_speedup"`
+	ModelSpeedup   float64 `json:"model_speedup"`
+	OverlayHits    uint64  `json:"overlay_hits"`
+	OverlayMisses  uint64  `json:"overlay_misses"`
+	OverlayHitRate float64 `json:"overlay_hit_rate"`
+	ModelMeanErr   float64 `json:"model_cpi_mean_abs_err"`
+}
+
 // benchReport is the BENCH_simulator.json schema.
 type benchReport struct {
 	Quick     bool         `json:"quick"`
 	GoVersion string       `json:"go_version"`
 	Config    string       `json:"config"`
 	Points    []benchPoint `json:"points"`
+	Sweep     *sweepBench  `json:"sweep"`
 }
 
 func realMain(args []string, stdout, stderr io.Writer) int {
@@ -137,7 +168,138 @@ func run(quick bool, runs int, stdout io.Writer) (*benchReport, error) {
 				pt.Benchmark, pt.Path, pt.InstPerS/1e6, pt.AllocsPerRun, pt.CPI)
 		}
 	}
+	sw, err := measureSweep(quick)
+	if err != nil {
+		return nil, err
+	}
+	rep.Sweep = sw
+	fmt.Fprintf(stdout, "sweep %s (%d pts, %d insts): live %.2fs, replay %.2fs (%.2fx), model %.2fs (%.1fx), overlay hit rate %.0f%%, model CPI |err| %.1f%%\n",
+		sw.Benchmark, sw.Points, sw.Insts, sw.LiveSeconds,
+		sw.ReplaySeconds, sw.ReplaySpeedup, sw.ModelSeconds, sw.ModelSpeedup,
+		sw.OverlayHitRate*100, sw.ModelMeanErr*100)
 	return rep, nil
+}
+
+// sweepGrid returns the pinned depth×ROB grid at fixed dispatch width and
+// speculation configuration, the regime the overlay exists for.
+func sweepGrid(quick bool) (string, int, []uarch.Config) {
+	name, insts := "crafty", 1_000_000
+	depths := []int{3, 5, 7, 9, 11}
+	robs := []int{32, 64, 128, 256}
+	if quick {
+		insts = 200_000
+		depths = []int{3, 7}
+		robs = []int{64, 128}
+	}
+	var cfgs []uarch.Config
+	for _, depth := range depths {
+		for _, rob := range robs {
+			cfg := uarch.Baseline()
+			cfg.Name = fmt.Sprintf("d%d-r%d", depth, rob)
+			cfg.FrontendDepth = depth
+			cfg.ROBSize = rob
+			cfg.IQSize = rob / 2
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return name, insts, cfgs
+}
+
+// measureSweep times the three sweep engines over the same grid and packed
+// trace, single-threaded and in a fixed order, and cross-checks them:
+// replay must be cycle-exact against live, and the model's CPI must stay
+// within a loose sanity bound of the simulator's.
+func measureSweep(quick bool) (*sweepBench, error) {
+	name, insts, cfgs := sweepGrid(quick)
+	wc, ok := workload.SuiteConfig(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", name)
+	}
+	soa, err := trace.PackReader(workload.MustNew(wc, insts))
+	if err != nil {
+		return nil, err
+	}
+	sw := &sweepBench{Benchmark: name, Insts: insts, Points: len(cfgs)}
+
+	liveCPI := make([]float64, len(cfgs))
+	liveCycles := make([]uint64, len(cfgs))
+	t0 := time.Now()
+	for i, cfg := range cfgs {
+		res, err := uarch.Run(soa.Reader(), cfg, uarch.Options{})
+		if err != nil {
+			return nil, err
+		}
+		liveCPI[i], liveCycles[i] = res.CPI(), res.Cycles
+	}
+	sw.LiveSeconds = time.Since(t0).Seconds()
+
+	// A fresh cache, not overlay.Shared, so the recorded hit rate is the
+	// sweep's own: one miss (the first point computes the overlay), then a
+	// hit per remaining point.
+	oc := overlay.NewCache(2)
+	t1 := time.Now()
+	for i, cfg := range cfgs {
+		ov, err := oc.Get(soa, cfg.Pred, cfg.Mem)
+		if err != nil {
+			return nil, err
+		}
+		res, err := uarch.Run(soa.Reader(), cfg, uarch.Options{Overlay: ov})
+		if err != nil {
+			return nil, err
+		}
+		if res.Path != "soa+overlay" {
+			return nil, fmt.Errorf("sweep point %s did not replay (path %q: %s)", cfg.Name, res.Path, res.Fallback)
+		}
+		if res.Cycles != liveCycles[i] {
+			return nil, fmt.Errorf("sweep point %s: replay %d cycles, live %d", cfg.Name, res.Cycles, liveCycles[i])
+		}
+	}
+	sw.ReplaySeconds = time.Since(t1).Seconds()
+
+	base := uarch.Baseline()
+	maxROB := 0
+	for _, cfg := range cfgs {
+		if cfg.ROBSize > maxROB {
+			maxROB = cfg.ROBSize
+		}
+	}
+	var errSum float64
+	t2 := time.Now()
+	ov, err := oc.Get(soa, base.Pred, base.Mem)
+	if err != nil {
+		return nil, err
+	}
+	set, err := core.NewModelSet(soa, ov, base, maxROB, 0, insts)
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range cfgs {
+		m, prof, err := set.For(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := m.PredictCPI(prof)
+		if err != nil {
+			return nil, err
+		}
+		errSum += math.Abs(pred.CPI()-liveCPI[i]) / liveCPI[i]
+	}
+	sw.ModelSeconds = time.Since(t2).Seconds()
+	sw.ModelMeanErr = errSum / float64(len(cfgs))
+	sw.OverlayHits, sw.OverlayMisses = oc.Stats()
+	if total := sw.OverlayHits + sw.OverlayMisses; total > 0 {
+		sw.OverlayHitRate = float64(sw.OverlayHits) / float64(total)
+	}
+	if sw.ModelMeanErr > 0.25 {
+		return nil, fmt.Errorf("model sweep mean CPI error %.1f%% exceeds sanity bound", sw.ModelMeanErr*100)
+	}
+	if sw.ReplaySeconds > 0 {
+		sw.ReplaySpeedup = sw.LiveSeconds / sw.ReplaySeconds
+	}
+	if sw.ModelSeconds > 0 {
+		sw.ModelSpeedup = sw.LiveSeconds / sw.ModelSeconds
+	}
+	return sw, nil
 }
 
 // measure runs one matrix point `runs` times and keeps the best throughput

@@ -55,6 +55,24 @@ func TestQuickRun(t *testing.T) {
 			t.Errorf("%s: paths diverge (soa %d cycles / generic %d cycles)", b, soa.Cycles, generic.Cycles)
 		}
 	}
+	// The sweep metric: all three engines timed, replay cycle-exactness
+	// enforced inside measureSweep, overlay computed exactly once.
+	sw := rep.Sweep
+	if sw == nil {
+		t.Fatal("report has no sweep section")
+	}
+	if sw.Points != 4 || sw.Benchmark == "" {
+		t.Errorf("quick sweep shape wrong: %+v", sw)
+	}
+	if sw.LiveSeconds <= 0 || sw.ReplaySeconds <= 0 || sw.ModelSeconds <= 0 {
+		t.Errorf("sweep timings not recorded: %+v", sw)
+	}
+	if sw.OverlayMisses != 1 || sw.OverlayHits != uint64(sw.Points) {
+		t.Errorf("overlay cache not shared across sweep: %d hits, %d misses", sw.OverlayHits, sw.OverlayMisses)
+	}
+	if sw.ModelMeanErr < 0 || sw.ModelMeanErr > 0.25 {
+		t.Errorf("model mean CPI error out of range: %f", sw.ModelMeanErr)
+	}
 }
 
 func TestUsageErrors(t *testing.T) {

@@ -4,14 +4,27 @@
 // the "what if" harness interval analysis exists to support: the penalty
 // columns show how the five contributors shift across the design space.
 //
+// Two engines are available. The default (-mode sim) runs the cycle-level
+// simulator at every point, replaying branch-predictor and I-cache outcomes
+// from a miss-event overlay computed once for the whole grid (the grid
+// varies only timing parameters, so speculation outcomes are shared). -mode
+// model skips the detailed simulator entirely: it evaluates the analytic
+// interval model at every point from the same shared overlay plus ILP
+// characteristics profiled once per dispatch width — minutes of simulation
+// become seconds of arithmetic, at the model's accuracy rather than the
+// simulator's.
+//
 // Points run in parallel on a fail-soft worker pool: a design point that
 // fails (or hangs past -timeout) is reported on stderr while every other
 // point's CSV row is still emitted, in grid order, byte-identical to a
-// serial run. The exit code is 0 only when every point succeeded.
+// serial run. The exit code is 0 only when every point succeeded. After the
+// grid, stderr summarizes which simulator paths ran (generic, packed,
+// overlay replay) and any fast-path fallbacks, so a sweep that silently
+// degraded to a slower path is visible.
 //
 // Usage:
 //
-//	sweep [-bench crafty] [-insts N] [-warmup N] [-j N] [-timeout D] [-keep-going] > sweep.csv
+//	sweep [-bench crafty] [-mode sim|model] [-insts N] [-warmup N] [-j N] [-timeout D] [-keep-going] > sweep.csv
 //
 // Exit codes: 0 success, 1 runtime error or failed points, 2 usage error.
 package main
@@ -24,9 +37,13 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
+	"sync"
 
 	"intervalsim/internal/core"
 	"intervalsim/internal/harness"
+	"intervalsim/internal/overlay"
 	"intervalsim/internal/report"
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
@@ -44,6 +61,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	bench := fs.String("bench", "crafty", "benchmark to sweep")
+	mode := fs.String("mode", "sim", "engine per grid point: sim (cycle-level) or model (analytic interval model)")
 	insts := fs.Int("insts", 1_000_000, "dynamic instructions per point")
 	warmup := fs.Uint64("warmup", 200_000, "warmup instructions per point")
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "design points simulated in parallel")
@@ -62,7 +80,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sweep: unknown benchmark %q\n", *bench)
 		return 2
 	}
-	err := run(context.Background(), stdout, stderr, wc, *insts, *warmup, harness.Options{
+	if *mode != "sim" && *mode != "model" {
+		fmt.Fprintf(stderr, "sweep: unknown mode %q (want sim or model)\n", *mode)
+		return 2
+	}
+	err := run(context.Background(), stdout, stderr, wc, *mode, *insts, *warmup, harness.Options{
 		Workers:   *jobs,
 		Timeout:   *timeout,
 		Retries:   *retries,
@@ -99,7 +121,50 @@ func grid() []uarch.Config {
 	return out
 }
 
-func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, insts int, warmup uint64, hopts harness.Options) error {
+// pathTally counts which simulator execution paths the grid actually took,
+// and any fast-path fallbacks, across concurrent points.
+type pathTally struct {
+	mu        sync.Mutex
+	paths     map[string]int
+	fallbacks map[string]int
+}
+
+func (pt *pathTally) note(res *uarch.Result) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if pt.paths == nil {
+		pt.paths = make(map[string]int)
+		pt.fallbacks = make(map[string]int)
+	}
+	pt.paths[res.Path]++
+	if res.Fallback != "" {
+		pt.fallbacks[res.Fallback]++
+	}
+}
+
+func (pt *pathTally) summarize(w io.Writer) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if len(pt.paths) == 0 {
+		return
+	}
+	var parts []string
+	for p, n := range pt.paths {
+		parts = append(parts, fmt.Sprintf("%d×%s", n, p))
+	}
+	sort.Strings(parts)
+	fmt.Fprintf(w, "sweep: simulator paths: %s\n", strings.Join(parts, ", "))
+	var reasons []string
+	for r := range pt.fallbacks {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(w, "sweep: %d× fallback: %s\n", pt.fallbacks[r], r)
+	}
+}
+
+func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, mode string, insts int, warmup uint64, hopts harness.Options) error {
 	// Pack the trace once: every grid point reuses the struct-of-arrays
 	// layout and its precomputed dependence metadata (the simulator's
 	// index-based fast path), instead of re-decoding per configuration.
@@ -107,24 +172,63 @@ func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, inst
 	if err != nil {
 		return err
 	}
-	tr := soa.Unpack() // AoS view for the decomposer
+
+	// The grid varies only timing parameters — every point shares the
+	// baseline predictor and cache geometry — so one miss-event overlay
+	// serves the whole sweep. A point whose speculation configuration
+	// diverges (e.g. via testPointHook) is caught by the simulator's
+	// fingerprint check and falls back to live simulation, which the path
+	// summary below makes visible.
+	base := uarch.Baseline()
+	ov, err := overlay.Shared.Get(soa, base.Pred, base.Mem)
+	if err != nil {
+		return err
+	}
 
 	points := grid()
 	jobs := make([]harness.Job[[]string], len(points))
-	for i, cfg := range points {
-		cfg := cfg
-		jobs[i] = harness.Job[[]string]{
-			Name: cfg.Name,
-			Run: func(ctx context.Context) ([]string, error) {
-				return simPoint(ctx, soa, tr, cfg, warmup)
-			},
+	var headers []string
+	var tally pathTally
+
+	switch mode {
+	case "sim":
+		headers = []string{"width", "depth", "rob", "ipc", "avg_penalty",
+			"penalty_frontend", "penalty_drain", "penalty_fu", "penalty_shortd", "penalty_longd"}
+		tr := soa.Unpack() // AoS view for the decomposer
+		for i, cfg := range points {
+			cfg := cfg
+			jobs[i] = harness.Job[[]string]{
+				Name: cfg.Name,
+				Run: func(ctx context.Context) ([]string, error) {
+					return simPoint(ctx, soa, tr, ov, cfg, warmup, &tally)
+				},
+			}
 		}
+	case "model":
+		headers = []string{"width", "depth", "rob", "ipc", "avg_penalty",
+			"cpi_base", "cpi_bpred", "cpi_icache", "cpi_longd"}
+		_, _, robs := gridAxes()
+		set, err := core.NewModelSet(soa, ov, base, robs[len(robs)-1], warmup, insts)
+		if err != nil {
+			return err
+		}
+		for i, cfg := range points {
+			cfg := cfg
+			jobs[i] = harness.Job[[]string]{
+				Name: cfg.Name,
+				Run: func(ctx context.Context) ([]string, error) {
+					return modelPoint(set, cfg)
+				},
+			}
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
 	}
+
 	results, runErr := harness.Run(ctx, jobs, hopts)
 
 	// Fail-soft emission: every completed point's row, in grid order.
-	t := report.New("", "width", "depth", "rob", "ipc", "avg_penalty",
-		"penalty_frontend", "penalty_drain", "penalty_fu", "penalty_shortd", "penalty_longd")
+	t := report.New("", headers...)
 	for _, r := range results {
 		if r.Err == nil {
 			t.AddRow(r.Value...)
@@ -134,17 +238,22 @@ func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, inst
 		return err
 	}
 	harness.Summarize(stderr, results)
+	tally.summarize(stderr)
+	if hits, misses := overlay.Shared.Stats(); hits+misses > 0 {
+		fmt.Fprintf(stderr, "sweep: overlay cache: %d hits, %d misses\n", hits, misses)
+	}
 	return runErr
 }
 
 // simPoint simulates one design point and renders its CSV row. Each point
 // gets a fresh reader over the shared packed trace; the SoA itself is
 // read-only during simulation, so concurrent points are safe.
-func simPoint(ctx context.Context, soa *trace.SoA, tr *trace.Trace, cfg uarch.Config, warmup uint64) ([]string, error) {
+func simPoint(ctx context.Context, soa *trace.SoA, tr *trace.Trace, ov *overlay.Overlay, cfg uarch.Config, warmup uint64, tally *pathTally) ([]string, error) {
 	res, err := uarch.RunContext(ctx, soa.Reader(), cfg, uarch.Options{
 		RecordMispredicts: true,
 		RecordLoadLevels:  true,
 		WarmupInsts:       warmup,
+		Overlay:           ov,
 	})
 	if err != nil {
 		// Invalid configurations and watchdog trips are deterministic:
@@ -154,6 +263,7 @@ func simPoint(ctx context.Context, soa *trace.SoA, tr *trace.Trace, cfg uarch.Co
 		}
 		return nil, err
 	}
+	tally.note(res)
 	dec, err := core.NewDecomposer(tr, res)
 	if err != nil {
 		return nil, harness.Permanent(err)
@@ -168,6 +278,49 @@ func simPoint(ctx context.Context, soa *trace.SoA, tr *trace.Trace, cfg uarch.Co
 		fmt.Sprintf("%.2f", m.FULatency),
 		fmt.Sprintf("%.2f", m.ShortDMiss),
 		fmt.Sprintf("%.2f", m.LongDMiss),
+	}, nil
+}
+
+// modelPoint evaluates the analytic interval model at one design point: the
+// shared-characteristic model plus the overlay-derived functional profile,
+// no cycle-level simulation. Model errors are deterministic, so they never
+// consume the retry budget.
+func modelPoint(set *core.ModelSet, cfg uarch.Config) ([]string, error) {
+	m, prof, err := set.For(cfg)
+	if err != nil {
+		return nil, harness.Permanent(err)
+	}
+	pred, err := m.PredictCPI(prof)
+	if err != nil {
+		return nil, harness.Permanent(err)
+	}
+	ivs, err := core.Segment(prof.Events, prof.Insts)
+	if err != nil {
+		return nil, harness.Permanent(err)
+	}
+	var pen, n float64
+	for _, iv := range ivs {
+		if !iv.Final && iv.Kind == uarch.EvBranchMispredict {
+			pen += m.MispredictPenalty(iv.Len() - 1)
+			n++
+		}
+	}
+	if n > 0 {
+		pen /= n
+	}
+	insts := float64(pred.Insts)
+	ipc := 0.0
+	if cpi := pred.CPI(); cpi > 0 {
+		ipc = 1 / cpi
+	}
+	return []string{
+		fmt.Sprintf("%d", cfg.DispatchWidth), fmt.Sprintf("%d", cfg.FrontendDepth), fmt.Sprintf("%d", cfg.ROBSize),
+		fmt.Sprintf("%.3f", ipc),
+		fmt.Sprintf("%.2f", pen),
+		fmt.Sprintf("%.3f", pred.Base/insts),
+		fmt.Sprintf("%.3f", pred.Bpred/insts),
+		fmt.Sprintf("%.3f", pred.ICache/insts),
+		fmt.Sprintf("%.3f", pred.LongData/insts),
 	}, nil
 }
 

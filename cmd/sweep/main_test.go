@@ -55,6 +55,77 @@ func sweepArgs(extra ...string) []string {
 	return append([]string{"-bench", "gzip", "-insts", "12000", "-warmup", "2000"}, extra...)
 }
 
+// TestSimModeReplaysOverlay pins satellite behavior of the overlay rollout:
+// a timing-only sweep must run every point on the overlay-replay fast path
+// and say so on stderr, with no fallbacks reported.
+func TestSimModeReplaysOverlay(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain(sweepArgs("-j", "4"), &out, &errb); code != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", code, errb.String())
+	}
+	se := errb.String()
+	if !strings.Contains(se, "simulator paths: 27×soa+overlay") {
+		t.Errorf("stderr missing overlay path summary: %q", se)
+	}
+	if strings.Contains(se, "fallback:") {
+		t.Errorf("unexpected fallback reported: %q", se)
+	}
+	if !strings.Contains(se, "overlay cache:") {
+		t.Errorf("stderr missing overlay cache stats: %q", se)
+	}
+}
+
+// TestModelMode exercises the analytic engine: full grid, model CSV schema,
+// deterministic under parallelism, and physically sensible outputs.
+func TestModelMode(t *testing.T) {
+	render := func(j string) string {
+		var out, errb bytes.Buffer
+		if code := realMain(sweepArgs("-mode", "model", "-j", j), &out, &errb); code != 0 {
+			t.Fatalf("-j %s exit = %d (stderr: %s)", j, code, errb.String())
+		}
+		return out.String()
+	}
+	serial := render("1")
+	if parallel := render("8"); serial != parallel {
+		t.Fatalf("model-mode CSV not deterministic:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	lines := strings.Split(strings.TrimSpace(serial), "\n")
+	if len(lines) != 1+27 {
+		t.Fatalf("CSV has %d lines, want 28:\n%s", len(lines), serial)
+	}
+	if lines[0] != "width,depth,rob,ipc,avg_penalty,cpi_base,cpi_bpred,cpi_icache,cpi_longd" {
+		t.Fatalf("model CSV header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		cols := strings.Split(l, ",")
+		if len(cols) != 9 {
+			t.Fatalf("row %q has %d columns", l, len(cols))
+		}
+		if cols[3] == "0.000" {
+			t.Errorf("row %q predicts zero IPC", l)
+		}
+	}
+}
+
+func TestModelModeBrokenPointFailSoft(t *testing.T) {
+	testPointHook = func(cfg *uarch.Config) {
+		if cfg.Name == "w4-d7-r128" {
+			cfg.ROBSize = -1
+		}
+	}
+	defer func() { testPointHook = nil }()
+	var out, errb bytes.Buffer
+	if code := realMain(sweepArgs("-mode", "model"), &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if lines := strings.Count(out.String(), "\n"); lines != 1+26 {
+		t.Fatalf("CSV has %d lines, want 27:\n%s", lines, out.String())
+	}
+	if !strings.Contains(errb.String(), "FAIL w4-d7-r128") {
+		t.Fatalf("stderr missing failure: %q", errb.String())
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := realMain([]string{"-bench", "nonesuch"}, &out, &errb); code != 2 {
@@ -70,6 +141,13 @@ func TestUsageErrors(t *testing.T) {
 	errb.Reset()
 	if code := realMain([]string{"positional"}, &out, &errb); code != 2 {
 		t.Fatalf("positional arg exit = %d, want 2", code)
+	}
+	errb.Reset()
+	if code := realMain([]string{"-mode", "oracular"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown mode exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown mode") {
+		t.Fatalf("stderr = %q", errb.String())
 	}
 }
 

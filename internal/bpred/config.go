@@ -1,0 +1,106 @@
+package bpred
+
+import "fmt"
+
+// Config selects and sizes the branch prediction unit. It is the
+// speculation half of a machine configuration: together with the cache
+// hierarchy geometry it fully determines every prediction outcome on a
+// given trace, independent of any pipeline timing parameter — which is why
+// it carries a canonical Fingerprint for keying precomputed miss-event
+// overlays (package overlay).
+type Config struct {
+	Kind       string // "perfect", "taken", "not-taken", "bimodal", "gshare", "local", "tournament", "perceptron"
+	Entries    int    // table entries for table-based kinds
+	HistBits   uint   // history length for gshare/local
+	BTBEntries int    // 0 disables target misses
+}
+
+// Build constructs the configured prediction unit.
+func (c Config) Build() (*Unit, error) {
+	var dir Predictor
+	switch c.Kind {
+	case "perfect":
+		dir = Perfect{}
+	case "taken":
+		dir = &Static{Taken: true}
+	case "not-taken":
+		dir = &Static{Taken: false}
+	case "bimodal":
+		dir = NewBimodal(c.Entries)
+	case "gshare":
+		dir = NewGShare(c.Entries, c.HistBits)
+	case "local":
+		dir = NewLocal(c.Entries, c.HistBits)
+	case "tournament":
+		dir = NewTournament(
+			NewGShare(c.Entries, c.HistBits),
+			NewBimodal(c.Entries),
+			c.Entries,
+		)
+	case "perceptron":
+		dir = NewPerceptron(c.Entries, int(c.HistBits))
+	default:
+		return nil, fmt.Errorf("bpred: unknown predictor kind %q", c.Kind)
+	}
+	u := &Unit{Dir: dir}
+	if c.BTBEntries > 0 {
+		u.BTB = NewBTB(c.BTBEntries)
+	}
+	return u, nil
+}
+
+// Fingerprint returns a canonical stable hash of the configuration: two
+// Configs produce the same fingerprint if and only if they build behaviorally
+// identical prediction units (up to hash collisions). Every field of Config
+// affects prediction outcomes, so every field is hashed. The serialization
+// is explicit and tagged — field by field, each preceded by its name — so
+// the hash does not depend on struct declaration order and cannot conflate
+// a zero field with an absent one.
+func (c Config) Fingerprint() uint64 {
+	h := newFNV()
+	h.string("kind", c.Kind)
+	h.int("entries", int64(c.Entries))
+	h.int("histbits", int64(c.HistBits))
+	h.int("btbentries", int64(c.BTBEntries))
+	return h.sum
+}
+
+// fnv is a minimal FNV-1a 64-bit hasher over tagged fields. A hand-rolled
+// serialization (rather than fmt or reflection) keeps the fingerprint stable
+// across Go versions and struct refactors: the byte stream is defined by
+// this file alone.
+type fnv struct{ sum uint64 }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func newFNV() *fnv { return &fnv{sum: fnvOffset} }
+
+func (h *fnv) byte(b byte) {
+	h.sum ^= uint64(b)
+	h.sum *= fnvPrime
+}
+
+func (h *fnv) string(tag, s string) {
+	for i := 0; i < len(tag); i++ {
+		h.byte(tag[i])
+	}
+	h.byte('=')
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+	h.byte(';')
+}
+
+func (h *fnv) int(tag string, v int64) {
+	for i := 0; i < len(tag); i++ {
+		h.byte(tag[i])
+	}
+	h.byte('=')
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+	h.byte(';')
+}

@@ -1,0 +1,55 @@
+package bpred
+
+import "testing"
+
+// TestFingerprintDistinct checks that every behaviorally distinct predictor
+// configuration hashes differently: the overlay cache keys on these values,
+// so a collision here would silently share speculation outcomes between
+// different predictors.
+func TestFingerprintDistinct(t *testing.T) {
+	configs := []Config{
+		{Kind: "perfect"},
+		{Kind: "taken"},
+		{Kind: "not-taken"},
+		{Kind: "bimodal", Entries: 4096},
+		{Kind: "bimodal", Entries: 8192},
+		{Kind: "bimodal", Entries: 4096, BTBEntries: 512},
+		{Kind: "bimodal", Entries: 4096, BTBEntries: 1024},
+		{Kind: "gshare", Entries: 4096, HistBits: 8},
+		{Kind: "gshare", Entries: 4096, HistBits: 10},
+		{Kind: "gshare", Entries: 8192, HistBits: 8},
+		{Kind: "local", Entries: 4096, HistBits: 8},
+		{Kind: "tournament", Entries: 16384, HistBits: 12, BTBEntries: 4096},
+		{Kind: "perceptron", Entries: 512, HistBits: 24},
+	}
+	seen := map[uint64]Config{}
+	for _, c := range configs {
+		fp := c.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision: %+v and %+v both hash to %#x", prev, c, fp)
+		}
+		seen[fp] = c
+	}
+}
+
+// TestFingerprintStable pins the hash of the repo's baseline predictor: the
+// fingerprint is a persistent cache key, so any change to the canonical
+// serialization must be deliberate (and must invalidate cached overlays).
+// It also checks determinism across calls and that the hash distinguishes a
+// value landing in one field from the same value landing in another (the
+// tagged serialization's reason to exist).
+func TestFingerprintStable(t *testing.T) {
+	base := Config{Kind: "tournament", Entries: 16384, HistBits: 12, BTBEntries: 4096}
+	const want = 0x5526c97bdbd3b0b6
+	if got := base.Fingerprint(); got != want {
+		t.Errorf("baseline predictor fingerprint = %#x, want %#x (canonical serialization changed?)", got, want)
+	}
+	if base.Fingerprint() != base.Fingerprint() {
+		t.Error("fingerprint is not deterministic")
+	}
+	a := Config{Kind: "bimodal", Entries: 512, BTBEntries: 0}
+	b := Config{Kind: "bimodal", Entries: 0, BTBEntries: 512}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("moving a value between fields did not change the fingerprint")
+	}
+}

@@ -1,0 +1,82 @@
+package cache
+
+// Fingerprint returns a canonical stable hash of the cache geometry: size,
+// line size, associativity, and replacement policy — every field that can
+// change which accesses hit and which miss. Name is deliberately excluded:
+// it is a report label, and two caches differing only in label behave
+// identically. The serialization is explicit and tagged (field name before
+// each value), so the hash is independent of struct declaration order and a
+// zero-valued field cannot alias an absent one.
+func (c Config) Fingerprint() uint64 {
+	h := newFNV()
+	c.fingerprint(h)
+	return h.sum
+}
+
+func (c Config) fingerprint(h *fnv) {
+	h.int("size", int64(c.Size))
+	h.int("line", int64(c.LineSize))
+	h.int("ways", int64(c.Ways))
+	h.int("repl", int64(c.Repl))
+}
+
+// Fingerprint returns a canonical stable hash of the hit/miss behavior of
+// the hierarchy: the geometry of all three caches, nothing else.
+//
+// The Lat field is deliberately NOT hashed. Latencies decide how many cycles
+// an access costs, never which level serves it: replacement state evolves
+// only from the sequence of addresses presented to each cache, which a
+// latency cannot alter. Two hierarchies differing only in Lat therefore
+// classify every access of any given stream identically — this is the
+// timing-invariance property that lets one precomputed miss-event overlay
+// (package overlay) be replayed across every timing configuration of a
+// sweep. Widening the fingerprint to include Lat would silently disable
+// that sharing; narrowing it below the geometry would corrupt results.
+func (h HierarchyConfig) Fingerprint() uint64 {
+	f := newFNV()
+	f.string("l1i", "")
+	h.L1I.fingerprint(f)
+	f.string("l1d", "")
+	h.L1D.fingerprint(f)
+	f.string("l2", "")
+	h.L2.fingerprint(f)
+	return f.sum
+}
+
+// fnv is a minimal FNV-1a 64-bit hasher over tagged fields (see the twin in
+// package bpred; duplicated to keep the two leaf packages dependency-free).
+type fnv struct{ sum uint64 }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func newFNV() *fnv { return &fnv{sum: fnvOffset} }
+
+func (h *fnv) byte(b byte) {
+	h.sum ^= uint64(b)
+	h.sum *= fnvPrime
+}
+
+func (h *fnv) string(tag, s string) {
+	for i := 0; i < len(tag); i++ {
+		h.byte(tag[i])
+	}
+	h.byte('=')
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+	h.byte(';')
+}
+
+func (h *fnv) int(tag string, v int64) {
+	for i := 0; i < len(tag); i++ {
+		h.byte(tag[i])
+	}
+	h.byte('=')
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+	h.byte(';')
+}

@@ -36,24 +36,32 @@ func QuickParams() Params {
 	return Params{Insts: 300_000, Warmup: 50_000}
 }
 
-// run simulates one workload on cfg with full instrumentation. The trace is
-// packed into the struct-of-arrays layout once, which routes the simulation
-// through the index-based hot path with precomputed dependence metadata.
+// run simulates one workload on cfg with full instrumentation. The trace
+// comes packed from the shared memo (struct-of-arrays layout, index-based
+// hot path, precomputed dependence metadata), and speculation outcomes are
+// replayed from the shared miss-event overlay — computed once per (trace,
+// predictor, cache geometry) and reused by every timing point that asks,
+// with results bit-identical to live simulation.
 func run(wc workload.Config, cfg uarch.Config, p Params) (*trace.Trace, *uarch.Result, error) {
-	tr, err := trace.ReadAll(workload.MustNew(wc, p.Insts))
+	st, err := suiteTraceFor(wc, p.Insts)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := uarch.Run(trace.Pack(tr).Reader(), cfg, uarch.Options{
+	ov, err := overlayFor(st, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := uarch.Run(st.soa.Reader(), cfg, uarch.Options{
 		RecordEvents:      true,
 		RecordMispredicts: true,
 		RecordLoadLevels:  true,
 		WarmupInsts:       p.Warmup,
+		Overlay:           ov,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	return tr, res, nil
+	return st.tr, res, nil
 }
 
 func perKI(n, insts uint64) float64 {
@@ -129,13 +137,18 @@ func T2(w io.Writer, p Params) error {
 func E1(w io.Writer, p Params) error {
 	cfg := uarch.Baseline()
 	wc, _ := workload.SuiteConfig("gzip")
-	tr, err := trace.ReadAll(workload.MustNew(wc, p.Insts))
+	st, err := suiteTraceFor(wc, p.Insts)
 	if err != nil {
 		return err
 	}
-	res, err := uarch.Run(tr.Reader(), cfg, uarch.Options{
+	ov, err := overlayFor(st, cfg)
+	if err != nil {
+		return err
+	}
+	res, err := uarch.Run(st.soa.Reader(), cfg, uarch.Options{
 		RecordMispredicts: true,
 		TimelineCycles:    200_000,
+		Overlay:           ov,
 	})
 	if err != nil {
 		return err
@@ -278,7 +291,7 @@ func E4(w io.Writer, p Params) error {
 		if err != nil {
 			return err
 		}
-		prof, err := core.FunctionalProfile(tr.Reader(), cfg, p.Warmup, 0)
+		prof, err := profileFor(wc, cfg, p)
 		if err != nil {
 			return err
 		}

@@ -27,7 +27,7 @@ func E11(w io.Writer, p Params) error {
 		if err != nil {
 			return err
 		}
-		prof, err := core.FunctionalProfile(tr.Reader(), cfg, p.Warmup, 0)
+		prof, err := profileFor(wc, cfg, p)
 		if err != nil {
 			return err
 		}
@@ -107,7 +107,7 @@ func A1(w io.Writer, p Params) error {
 		if err != nil {
 			return err
 		}
-		prof, err := core.FunctionalProfile(tr.Reader(), cfg, p.Warmup, 0)
+		prof, err := profileFor(wc, cfg, p)
 		if err != nil {
 			return err
 		}

@@ -125,7 +125,7 @@ func E9(w io.Writer, p Params) error {
 		if err != nil {
 			return err
 		}
-		prof, err := core.FunctionalProfile(tr.Reader(), cfg, p.Warmup, 0)
+		prof, err := profileFor(wc, cfg, p)
 		if err != nil {
 			return err
 		}

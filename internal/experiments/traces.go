@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"intervalsim/internal/core"
+	"intervalsim/internal/harness"
+	"intervalsim/internal/overlay"
+	"intervalsim/internal/trace"
+	"intervalsim/internal/uarch"
+	"intervalsim/internal/workload"
+)
+
+// suiteTrace is one generated workload trace in both layouts: the record
+// slice the decomposer and ILP profiler consume, and the packed
+// struct-of-arrays the simulator's fast path and the overlay cache key on.
+// Both are immutable once built (Predicate copies before mutating), so one
+// instance is safely shared across experiments and harness workers.
+type suiteTrace struct {
+	tr  *trace.Trace
+	soa *trace.SoA
+}
+
+// traceKey identifies a generated trace: workloads are deterministic
+// functions of their Config and the instruction count.
+type traceKey struct {
+	wc    workload.Config
+	insts int
+}
+
+// traceMemo shares generated traces across experiments: `experiments all`
+// asks for the same (workload, insts) pair from many experiments, and
+// regenerating + repacking a multimillion-instruction trace each time was
+// the second-largest cost after simulation itself. The capacity covers the
+// ten-workload suite plus the E6/E8 variants; at the default 2M instructions
+// an entry is ~200MB, well within the memory the experiment suite budgets.
+var traceMemo = harness.NewMemo[traceKey, *suiteTrace](24)
+
+// suiteTraceFor returns the shared trace for (wc, insts), generating and
+// packing it on first use.
+func suiteTraceFor(wc workload.Config, insts int) (*suiteTrace, error) {
+	return traceMemo.Get(traceKey{wc: wc, insts: insts}, func() (*suiteTrace, error) {
+		tr, err := trace.ReadAll(workload.MustNew(wc, insts))
+		if err != nil {
+			return nil, err
+		}
+		return &suiteTrace{tr: tr, soa: trace.Pack(tr)}, nil
+	})
+}
+
+// overlayFor returns the shared miss-event overlay of the workload's packed
+// trace under cfg's speculation configuration (predictor + cache geometry).
+func overlayFor(st *suiteTrace, cfg uarch.Config) (*overlay.Overlay, error) {
+	return overlay.Shared.Get(st.soa, cfg.Pred, cfg.Mem)
+}
+
+// profileFor builds the functional miss-event profile of (wc, insts) under
+// cfg from the shared overlay: equivalent to core.FunctionalProfile over the
+// same trace (TestOverlayProfileMatchesFunctional) but without re-simulating
+// the predictor and caches per call.
+func profileFor(wc workload.Config, cfg uarch.Config, p Params) (*core.Profile, error) {
+	st, err := suiteTraceFor(wc, p.Insts)
+	if err != nil {
+		return nil, err
+	}
+	ov, err := overlayFor(st, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.OverlayProfile(st.soa, ov, cfg, p.Warmup, 0)
+}

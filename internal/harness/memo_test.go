@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMemoSingleFlight checks the core contract: many concurrent Gets for
+// one key run the computation exactly once and all observe its result.
+func TestMemoSingleFlight(t *testing.T) {
+	m := NewMemo[string, int](4)
+	var computations atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := m.Get("k", func() (int, error) {
+				computations.Add(1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Get = (%d, %v), want (42, nil)", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computations.Load(); n != 1 {
+		t.Errorf("computation ran %d times, want 1", n)
+	}
+	if hits, misses := m.Stats(); hits != 15 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 15/1", hits, misses)
+	}
+}
+
+// TestMemoErrorsCached checks that a failed computation is memoized too:
+// the computations here are deterministic, so retrying would fail the same
+// way at full cost.
+func TestMemoErrorsCached(t *testing.T) {
+	m := NewMemo[int, int](4)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		if _, err := m.Get(7, func() (int, error) { calls++; return 0, boom }); !errors.Is(err, boom) {
+			t.Fatalf("Get error = %v, want %v", err, boom)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("failing computation ran %d times, want 1", calls)
+	}
+}
+
+// TestMemoEviction checks the LRU-ish bound: the least recently used entry
+// goes first, a refreshed entry survives, and capacity never overshoots.
+func TestMemoEviction(t *testing.T) {
+	m := NewMemo[int, int](2)
+	get := func(k int) {
+		t.Helper()
+		if _, err := m.Get(k, func() (int, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(1)
+	get(2)
+	get(1) // refresh 1 → 2 is now the LRU
+	get(3) // evicts 2
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	_, misses0 := m.Stats()
+	get(1) // must still be cached
+	get(3)
+	if _, misses := m.Stats(); misses != misses0 {
+		t.Errorf("refreshed/just-inserted entries were evicted (misses %d → %d)", misses0, misses)
+	}
+	get(2) // must have been evicted → recompute
+	if _, misses := m.Stats(); misses != misses0+1 {
+		t.Errorf("expected exactly one recomputation of the evicted key")
+	}
+}

@@ -1,0 +1,48 @@
+package overlay
+
+import (
+	"intervalsim/internal/bpred"
+	icache "intervalsim/internal/cache"
+	"intervalsim/internal/harness"
+	"intervalsim/internal/trace"
+)
+
+// key identifies one overlay: the exact packed trace (by identity — a SoA
+// is immutable after Pack, so the pointer is a stable name for its content)
+// and the canonical fingerprints of the two speculation configurations.
+type key struct {
+	soa    *trace.SoA
+	predFP uint64
+	memFP  uint64
+}
+
+// Cache is a bounded in-process overlay cache: sweeps and `experiments all`
+// ask it for overlays instead of calling Compute, so each (trace, predictor,
+// cache geometry) pre-pass runs exactly once no matter how many timing
+// points — or concurrent harness workers — share it. Keeping an entry alive
+// also pins its SoA, so the bound doubles as a memory cap.
+type Cache struct {
+	memo *harness.Memo[key, *Overlay]
+}
+
+// NewCache returns a Cache bounded to capacity overlays (LRU-ish eviction).
+func NewCache(capacity int) *Cache {
+	return &Cache{memo: harness.NewMemo[key, *Overlay](capacity)}
+}
+
+// Get returns the overlay for (soa, pred, mem), computing it on first use.
+// Concurrent callers with the same key share one computation.
+func (c *Cache) Get(soa *trace.SoA, pred bpred.Config, mem icache.HierarchyConfig) (*Overlay, error) {
+	k := key{soa: soa, predFP: pred.Fingerprint(), memFP: mem.Fingerprint()}
+	return c.memo.Get(k, func() (*Overlay, error) {
+		return Compute(soa, pred, mem)
+	})
+}
+
+// Stats returns the hit/miss counts of the cache so far.
+func (c *Cache) Stats() (hits, misses uint64) { return c.memo.Stats() }
+
+// Shared is the process-wide overlay cache used by the experiments registry
+// and the sweep tools. Sized generously relative to overlay cost (one byte
+// per instruction): sixteen 2M-instruction overlays are 32MB.
+var Shared = NewCache(16)

@@ -31,6 +31,13 @@ import (
 //   - DepMem[i] is, for loads only, the largest j < i where record j is a
 //     store with Addr[j]/8 == Addr[i]/8, or NoDep; non-loads hold NoDep.
 //   - Every record passed isa.Inst.Validate at pack time.
+//
+// A packed trace is immutable after Pack returns: no code in this module
+// writes to the slices, and consumers that need a variant (e.g.
+// core.Predicate) copy records out and re-pack. Sharing infrastructure
+// depends on this — package overlay keys its miss-event cache on the *SoA
+// pointer identity, which is only a valid cache key while the pointed-to
+// contents never change.
 type SoA struct {
 	PC     []uint64
 	Addr   []uint64

@@ -64,47 +64,11 @@ func (f FUs) Scale(factor float64) FUs {
 	}
 }
 
-// PredictorSpec selects and sizes the branch prediction unit.
-type PredictorSpec struct {
-	Kind       string // "perfect", "taken", "not-taken", "bimodal", "gshare", "local", "tournament", "perceptron"
-	Entries    int    // table entries for table-based kinds
-	HistBits   uint   // history length for gshare/local
-	BTBEntries int    // 0 disables target misses
-}
-
-// Build constructs the configured prediction unit.
-func (p PredictorSpec) Build() (*bpred.Unit, error) {
-	var dir bpred.Predictor
-	switch p.Kind {
-	case "perfect":
-		dir = bpred.Perfect{}
-	case "taken":
-		dir = &bpred.Static{Taken: true}
-	case "not-taken":
-		dir = &bpred.Static{Taken: false}
-	case "bimodal":
-		dir = bpred.NewBimodal(p.Entries)
-	case "gshare":
-		dir = bpred.NewGShare(p.Entries, p.HistBits)
-	case "local":
-		dir = bpred.NewLocal(p.Entries, p.HistBits)
-	case "tournament":
-		dir = bpred.NewTournament(
-			bpred.NewGShare(p.Entries, p.HistBits),
-			bpred.NewBimodal(p.Entries),
-			p.Entries,
-		)
-	case "perceptron":
-		dir = bpred.NewPerceptron(p.Entries, int(p.HistBits))
-	default:
-		return nil, fmt.Errorf("uarch: unknown predictor kind %q", p.Kind)
-	}
-	u := &bpred.Unit{Dir: dir}
-	if p.BTBEntries > 0 {
-		u.BTB = bpred.NewBTB(p.BTBEntries)
-	}
-	return u, nil
-}
+// PredictorSpec selects and sizes the branch prediction unit. It is an
+// alias for bpred.Config, which is where the type (with its Build and
+// canonical Fingerprint methods) now lives; the alias keeps existing
+// configuration literals compiling unchanged.
+type PredictorSpec = bpred.Config
 
 // Config describes the modeled processor.
 type Config struct {

@@ -3,6 +3,7 @@ package uarch
 import (
 	"intervalsim/internal/bpred"
 	"intervalsim/internal/cache"
+	"intervalsim/internal/overlay"
 )
 
 // EventKind classifies the miss events that delimit intervals.
@@ -130,6 +131,17 @@ type Options struct {
 	// above any legitimate stall (the longest realistic stall is a chain of
 	// memory-latency misses filling the ROB).
 	NoProgressCycles uint64
+	// Overlay, when non-nil, enables replay mode: branch prediction outcomes
+	// and L1 instruction-cache hit/miss classifications come from the
+	// precomputed overlay instead of live bpred.Unit / L1I lookups (the data
+	// side and the shared L2 stay live, so results are bit-identical to a
+	// live run — see TestOverlayReplayMatchesLive). The overlay is used only
+	// when it provably applies: the reader must be the packed trace the
+	// overlay was computed over, the run must be unsampled without wrong-path
+	// fetch, and the config's predictor and cache-geometry fingerprints must
+	// match the overlay's. Otherwise the simulator silently falls back to
+	// live simulation and records why in Result.Fallback.
+	Overlay *overlay.Overlay
 }
 
 // sampling reports whether periodic sampled simulation is enabled.
@@ -156,6 +168,18 @@ type StallCycles struct {
 // Result is the outcome of one simulation.
 type Result struct {
 	Config Config
+
+	// Path names the simulator path the run actually took: "generic" (the
+	// streaming-Reader path with live dependence tracking), "soa" (the
+	// index-based packed-trace path), or "soa+overlay" (packed trace with
+	// replayed speculation outcomes). Sweeps report it so a silently
+	// bypassed fast path is visible instead of just slow.
+	Path string
+	// Fallback explains every fast path this run bypassed and why (empty
+	// when nothing was bypassed): a sampled run falling back to live
+	// dependence tracking, a rejected overlay, a packed reader not at the
+	// trace start. Multiple reasons are joined with "; ".
+	Fallback string
 
 	// Sampled is set when the run used sampled simulation; Insts and Cycles
 	// then cover only the detailed phases, and Index fields in Events and

@@ -8,6 +8,7 @@ import (
 	"intervalsim/internal/bpred"
 	"intervalsim/internal/cache"
 	"intervalsim/internal/isa"
+	"intervalsim/internal/overlay"
 	"intervalsim/internal/trace"
 )
 
@@ -105,6 +106,18 @@ type simulator struct {
 	// valid only when sequence numbers equal trace indices (no sampling).
 	preDeps bool
 
+	// Replay mode (Options.Overlay, validated in newSimulator): branch
+	// prediction outcomes and L1I hit/miss classes come from ov instead of
+	// live pred/L1I lookups. rb and rcL1I mirror the counters the live
+	// structures would have accumulated — incremented at the identical
+	// pipeline points, so warmup snapshots subtract identically — and stand
+	// in for pred.Stats / mem.L1I.Stats in the Result. replayLimit is the
+	// trace length capped by MaxInsts.
+	ov          *overlay.Overlay
+	replayLimit uint64
+	rb          bpred.Stats
+	rcL1I       cache.Stats
+
 	cycle uint64
 
 	// Reorder buffer: a preallocated ring of entries [head, tail) with
@@ -194,13 +207,50 @@ func newSimulator(r trace.Reader, cfg Config, opts Options) (*simulator, error) 
 		res:           &Result{Config: cfg},
 	}
 	s.lineMask = ^uint64(s.mem.LineSizeI() - 1)
-	if sr, ok := r.(*trace.SoAReader); ok && sr.Pos() == 0 {
-		// Index-based fast path over the packed trace. Precomputed
-		// dependences require sequence numbers to equal trace indices,
-		// which sampling breaks (skipped instructions never get a seq).
-		s.soa = sr.SoA()
-		s.r = nil
-		s.preDeps = !opts.fastForwarded()
+	if sr, ok := r.(*trace.SoAReader); ok {
+		if sr.Pos() == 0 {
+			// Index-based fast path over the packed trace. Precomputed
+			// dependences require sequence numbers to equal trace indices,
+			// which sampling breaks (skipped instructions never get a seq).
+			s.soa = sr.SoA()
+			s.r = nil
+			s.preDeps = !opts.fastForwarded()
+			if !s.preDeps {
+				s.noteFallback("sampled run: precomputed dependences bypassed (live tracking)")
+			}
+		} else {
+			s.noteFallback("packed reader not at trace start: generic path")
+		}
+	}
+	if ov := opts.Overlay; ov != nil {
+		// Replay only when the overlay provably applies; otherwise fall back
+		// to live simulation and say why.
+		switch {
+		case s.soa == nil:
+			s.noteFallback("overlay ignored: reader is not a packed trace at position 0")
+		case !s.preDeps:
+			s.noteFallback("overlay ignored: sampled/fast-forwarded run")
+		case opts.WrongPathFetch:
+			s.noteFallback("overlay ignored: wrong-path fetch needs live L1I state")
+		case ov.Trace != s.soa:
+			s.noteFallback("overlay ignored: computed for a different trace")
+		case ov.PredFP != cfg.Pred.Fingerprint() || ov.MemFP != cfg.Mem.Fingerprint():
+			s.noteFallback("overlay ignored: predictor/cache-geometry fingerprint mismatch")
+		default:
+			s.ov = ov
+			s.replayLimit = uint64(s.soa.Len())
+			if opts.MaxInsts > 0 && opts.MaxInsts < s.replayLimit {
+				s.replayLimit = opts.MaxInsts
+			}
+		}
+	}
+	switch {
+	case s.ov != nil:
+		s.res.Path = "soa+overlay"
+	case s.soa != nil:
+		s.res.Path = "soa"
+	default:
+		s.res.Path = "generic"
 	}
 	if !s.preDeps {
 		for i := range s.regProducer {
@@ -273,6 +323,44 @@ func (s *simulator) consume() {
 	s.fetchIdx++
 }
 
+// noteFallback appends one bypassed-fast-path reason to the Result.
+func (s *simulator) noteFallback(reason string) {
+	if s.res.Fallback != "" {
+		s.res.Fallback += "; "
+	}
+	s.res.Fallback += reason
+}
+
+// moreInsts reports whether the trace has instructions left to fetch. The
+// replay path answers from the index bound alone; the other paths peek.
+func (s *simulator) moreInsts() (bool, error) {
+	if s.ov != nil {
+		return s.fetchIdx < s.replayLimit, nil
+	}
+	_, more, err := s.peek()
+	return more, err
+}
+
+// bpredStats returns the prediction counters of the run: the replayed ones
+// in overlay mode (the live unit is never consulted there), the unit's
+// otherwise.
+func (s *simulator) bpredStats() bpred.Stats {
+	if s.ov != nil {
+		return s.rb
+	}
+	return s.pred.Stats
+}
+
+// cacheStats returns the hierarchy counters of the run; in overlay mode the
+// L1I counters are the replayed ones (L1D and L2 are always live).
+func (s *simulator) cacheStats() CacheStats {
+	l1i := s.mem.L1I.Stats
+	if s.ov != nil {
+		l1i = s.rcL1I
+	}
+	return CacheStats{L1I: l1i, L1D: s.mem.L1D.Stats, L2: s.mem.L2.Stats}
+}
+
 // ctxPollMask sets how often the simulation loop polls its context: every
 // ctxPollMask+1 cycles, cheap enough to be invisible in profiles.
 const ctxPollMask = 0x3ff
@@ -283,7 +371,7 @@ func (s *simulator) run(ctx context.Context) (*Result, error) {
 		noProgress = 1_000_000
 	}
 	for {
-		_, more, err := s.peek()
+		more, err := s.moreInsts()
 		if err != nil {
 			return nil, err
 		}
@@ -314,8 +402,8 @@ func (s *simulator) run(ctx context.Context) (*Result, error) {
 	s.res.Insts = s.committed
 	s.res.Cycles = s.cycle
 	s.flushCounters()
-	s.res.Bpred = s.pred.Stats
-	s.res.Caches = CacheStats{L1I: s.mem.L1I.Stats, L1D: s.mem.L1D.Stats, L2: s.mem.L2.Stats}
+	s.res.Bpred = s.bpredStats()
+	s.res.Caches = s.cacheStats()
 	s.subtractWarmup()
 	return s.res, nil
 }
@@ -390,8 +478,8 @@ func (s *simulator) takeWarmSnapshot() {
 		longDMisses:  s.c.longDMisses,
 		shortDMisses: s.c.shortDMisses,
 		loads:        s.c.loadsExecuted,
-		bpred:        s.pred.Stats,
-		caches:       CacheStats{L1I: s.mem.L1I.Stats, L1D: s.mem.L1D.Stats, L2: s.mem.L2.Stats},
+		bpred:        s.bpredStats(),
+		caches:       s.cacheStats(),
 		stalls:       s.c.stalls,
 		events:       len(s.res.Events),
 		records:      len(s.res.Records),
@@ -668,6 +756,9 @@ func (s *simulator) producerOf(r int8) int64 {
 }
 
 func (s *simulator) fetch() error {
+	if s.ov != nil {
+		return s.fetchReplay()
+	}
 	if s.awaitResolve || s.cycle < s.fetchResumeAt {
 		if s.wrongActive {
 			s.fetchWrongPath()
@@ -757,6 +848,95 @@ func (s *simulator) fetch() error {
 			s.fqPush(entry)
 			n++
 			if inst.Taken || inst.Class == isa.Jump {
+				// Fetch break: a taken transfer ends the fetch group.
+				return nil
+			}
+			continue
+		}
+		s.fqPush(entry)
+		n++
+	}
+	return nil
+}
+
+// fetchReplay is the fetch stage of replay mode: the same control flow as
+// fetch(), with the branch predictor and the L1 instruction cache replaced
+// by the precomputed overlay. A replayed L1I miss still drives the live L2
+// with the instruction's PC — the identical fill stream a live L1I miss
+// would send — so the L2 state shared with the data side evolves exactly as
+// in a live run. Sampling, wrong-path fetch, and the generic reader never
+// reach here (newSimulator falls back to live simulation for all three).
+func (s *simulator) fetchReplay() error {
+	if s.awaitResolve || s.cycle < s.fetchResumeAt {
+		return nil
+	}
+	soa := s.soa
+	fqCap := int32(len(s.fq))
+	n := 0
+	for n < s.cfg.FetchWidth && s.fqLen < fqCap {
+		idx := s.fetchIdx
+		if idx >= s.replayLimit {
+			return nil
+		}
+		pc := soa.PC[idx]
+		if line := pc & s.lineMask; !s.haveFetchLine || line != s.curFetchLine {
+			// Same line tracking as live fetch, so the access points — and
+			// the dedup of an access resumed after a miss — line up with the
+			// overlay pre-pass by construction.
+			s.curFetchLine = line
+			s.haveFetchLine = true
+			ic := (s.ov.Code[idx] & overlay.IMask) >> overlay.IShift
+			if ic == 0 {
+				return fmt.Errorf("uarch: overlay has no I-fetch outcome at index %d (line-crossing mismatch)", idx)
+			}
+			s.rcL1I.Accesses++
+			if lvl := cache.Level(ic - 1); lvl != cache.L1Hit {
+				s.rcL1I.Misses++
+				s.mem.L2.Access(pc)
+				lat := s.mem.Lat.L2
+				if lvl == cache.LongMiss {
+					lat = s.mem.Lat.Mem
+				}
+				s.c.icacheMisses++
+				s.event(EvICacheMiss, idx, lvl)
+				s.lastMissIdx = idx
+				s.fetchResumeAt = s.cycle + uint64(lat)
+				return nil
+			}
+		}
+		meta := soa.Meta[idx]
+		class := isa.Class(meta & trace.MetaClassMask)
+		s.fetchIdx = idx + 1
+		// Replay runs always use precomputed dependences, so dispatch never
+		// reads the register fields; the entry carries only what it needs.
+		entry := fqEntry{
+			idx:     idx,
+			addr:    soa.Addr[idx],
+			readyAt: s.cycle + uint64(s.cfg.FrontendDepth),
+			class:   class,
+		}
+		if class.IsControl() {
+			code := s.ov.Code[idx]
+			if class == isa.Branch {
+				s.rb.Branches++
+			} else {
+				s.rb.Jumps++
+			}
+			if code&overlay.AnyMiss != 0 {
+				if code&overlay.DirMiss != 0 {
+					s.rb.DirMispredict++
+				} else {
+					s.rb.BTBMispredict++
+				}
+				entry.mispredct = true
+				s.fqPush(entry)
+				// Wrong path ahead: no useful fetch until resolution.
+				s.awaitResolve = true
+				return nil
+			}
+			s.fqPush(entry)
+			n++
+			if meta&trace.MetaTakenBit != 0 || class == isa.Jump {
 				// Fetch break: a taken transfer ends the fetch group.
 				return nil
 			}
