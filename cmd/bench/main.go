@@ -36,6 +36,7 @@ import (
 	"intervalsim/internal/overlay"
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
+	"intervalsim/internal/version"
 	"intervalsim/internal/workload"
 )
 
@@ -93,8 +94,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "smaller matrix for CI smoke runs")
 	out := fs.String("o", "BENCH_simulator.json", "output JSON path (empty = stdout only)")
 	runs := fs.Int("runs", 0, "repetitions per point (0 = auto: 3, or 2 with -quick)")
+	showVersion := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, "bench", version.String())
+		return 0
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintf(stderr, "bench: unexpected arguments %q\n", fs.Args())

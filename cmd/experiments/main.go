@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"intervalsim/internal/experiments"
+	"intervalsim/internal/version"
 )
 
 func main() { os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -37,9 +38,15 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "experiments regenerated in parallel (with \"all\")")
 	keepGoing := fs.Bool("keep-going", true, "continue past failed experiments (with \"all\")")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline per experiment (0 = none)")
+	deterministic := fs.Bool("deterministic", false, "normalize wall-clock-derived cells (A3 speedup) so the report is byte-reproducible")
+	showVersion := fs.Bool("version", false, "print the build identity and exit")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, "experiments", version.String())
+		return 0
 	}
 	if fs.NArg() != 1 {
 		usage(fs, stderr)
@@ -56,6 +63,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if *warmup > 0 {
 		p.Warmup = *warmup
 	}
+	p.Deterministic = *deterministic
 
 	id := strings.ToLower(fs.Arg(0))
 	if id == "all" {
@@ -94,7 +102,7 @@ func runAll(stdout, stderr io.Writer, p experiments.Params, opts experiments.Run
 }
 
 func usage(fs *flag.FlagSet, w io.Writer) {
-	fmt.Fprintf(w, "usage: experiments [-insts N] [-warmup N] [-quick] [-j N] [-timeout D] [-keep-going] <%s|all>\n",
+	fmt.Fprintf(w, "usage: experiments [-insts N] [-warmup N] [-quick] [-j N] [-timeout D] [-keep-going] [-deterministic] <%s|all>\n",
 		strings.Join(experiments.Order(), "|"))
 	fs.PrintDefaults()
 }

@@ -26,6 +26,7 @@ import (
 	"intervalsim/internal/report"
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
+	"intervalsim/internal/version"
 	"intervalsim/internal/workload"
 )
 
@@ -48,8 +49,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	rob := fs.Int("rob", 0, "override ROB size")
 	pred := fs.String("pred", "", "override predictor kind (perfect|taken|not-taken|bimodal|gshare|local|tournament|perceptron)")
 	topBranches := fs.Int("topbranches", 0, "also list the N costliest static branches")
+	showVersion := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, "intervalsim", version.String())
+		return 0
 	}
 
 	if (*bench == "") == (*traceFile == "") {

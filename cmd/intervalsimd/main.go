@@ -1,0 +1,100 @@
+// Command intervalsimd serves the interval-analysis substrate over HTTP:
+// simulation, analytic-model, and design-sweep endpoints with bounded
+// admission, shared trace/overlay caches, and live metrics. See the
+// "Serving" section of the README for the API walkthrough.
+//
+// Shutdown is graceful: on SIGINT/SIGTERM the listener stops accepting,
+// in-flight requests and queued jobs drain (bounded by -drain), and the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"intervalsim/internal/service"
+	"intervalsim/internal/version"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	os.Exit(realMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain runs the daemon until ctx is canceled (the signal path) or
+// startup fails. Split from main so tests can drive the full lifecycle.
+func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("intervalsimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "job queue depth (0 = default 64)")
+	timeout := fs.Duration("timeout", 0, "default per-job deadline (0 = 60s)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	showVersion := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVersion {
+		fmt.Fprintf(stdout, "intervalsimd %s\n", version.String())
+		return 0
+	}
+
+	srv := service.New(service.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+	})
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "intervalsimd: listen: %v\n", err)
+		return 1
+	}
+	// The resolved address matters when -addr requested port 0; the CI smoke
+	// test and local scripts parse this line.
+	fmt.Fprintf(stdout, "intervalsimd %s listening on %s\n", version.String(), ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "intervalsimd: serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown, in dependency order: stop accepting and wait for
+	// in-flight HTTP handlers (sweep streams included), then drain the job
+	// pool. Handlers submit to the pool, so the pool must outlive them.
+	fmt.Fprintf(stdout, "intervalsimd: shutting down (drain budget %s)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	code := 0
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "intervalsimd: http shutdown: %v\n", err)
+		code = 1
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(stderr, "intervalsimd: pool drain: %v\n", err)
+		code = 1
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed by now
+	fmt.Fprintln(stdout, "intervalsimd: bye")
+	return code
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer lets the realMain goroutine write logs while the test reads.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// waitForAddr polls the daemon's stdout for the resolved listen address.
+func waitForAddr(t *testing.T, out *lockedBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("daemon never reported its address; output:\n%s", out.String())
+	return ""
+}
+
+// TestVersionFlag: -version prints and exits 0 without binding a port.
+func TestVersionFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := realMain(context.Background(), []string{"-version"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "intervalsimd ") {
+		t.Fatalf("version output = %q", out.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := realMain(context.Background(), []string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestListenFailure(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := realMain(context.Background(), []string{"-addr", "256.0.0.1:0"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr %q)", code, errOut.String())
+	}
+}
+
+// TestGracefulLifecycle is the SIGTERM acceptance path: boot on a random
+// port, serve a real request, submit a job, then cancel the signal context
+// (what SIGTERM does via NotifyContext) and require exit 0 with the
+// in-flight job drained, not dropped.
+func TestGracefulLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &lockedBuffer{}
+	errOut := &lockedBuffer{}
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-drain", "60s"}, out, errOut)
+	}()
+
+	base := "http://" + waitForAddr(t, out)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Version == "" {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	// Submit work, then immediately signal shutdown: the drain must let the
+	// job finish.
+	resp, err = http.Post(base+"/v1/simulate", "application/json",
+		strings.NewReader(`{"benchmark":"gzip","insts":200000}`))
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatalf("job decode: %v", err)
+	}
+	resp.Body.Close()
+	if job.ID == "" {
+		t.Fatal("no job ID")
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errOut.String())
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("daemon did not exit after shutdown signal")
+	}
+	logs := out.String()
+	if !strings.Contains(logs, "shutting down") || !strings.Contains(logs, "bye") {
+		t.Fatalf("shutdown log incomplete:\n%s", logs)
+	}
+}
+
+var _ io.Writer = (*lockedBuffer)(nil)

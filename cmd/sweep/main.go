@@ -42,11 +42,13 @@ import (
 	"sync"
 
 	"intervalsim/internal/core"
+	"intervalsim/internal/experiments"
 	"intervalsim/internal/harness"
 	"intervalsim/internal/overlay"
 	"intervalsim/internal/report"
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
+	"intervalsim/internal/version"
 	"intervalsim/internal/workload"
 )
 
@@ -68,8 +70,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	keepGoing := fs.Bool("keep-going", true, "continue past failed design points (successful rows are always emitted)")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline per design point (0 = none)")
 	retries := fs.Int("retries", 0, "retries per transiently failing point")
+	showVersion := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, "sweep", version.String())
+		return 0
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintf(stderr, "sweep: unexpected arguments %q\n", fs.Args())
@@ -110,7 +117,7 @@ func grid() []uarch.Config {
 	for _, width := range widths {
 		for _, depth := range depths {
 			for _, rob := range robs {
-				cfg := point(width, depth, rob)
+				cfg := experiments.Point(width, depth, rob)
 				if testPointHook != nil {
 					testPointHook(&cfg)
 				}
@@ -322,23 +329,4 @@ func modelPoint(set *core.ModelSet, cfg uarch.Config) ([]string, error) {
 		fmt.Sprintf("%.3f", pred.ICache/insts),
 		fmt.Sprintf("%.3f", pred.LongData/insts),
 	}, nil
-}
-
-// point builds a machine at one design point, scaling FU counts with width.
-func point(width, depth, rob int) uarch.Config {
-	cfg := uarch.Baseline()
-	cfg.Name = fmt.Sprintf("w%d-d%d-r%d", width, depth, rob)
-	cfg.FetchWidth = width
-	cfg.DispatchWidth = width
-	cfg.IssueWidth = width
-	cfg.CommitWidth = width
-	cfg.FrontendDepth = depth
-	cfg.ROBSize = rob
-	cfg.IQSize = rob / 2
-	cfg.FU.IntALU.Count = width
-	if width > 4 {
-		cfg.FU.MemPort.Count = 4
-		cfg.FU.IntMul.Count = 4
-	}
-	return cfg
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"intervalsim/internal/experiments"
 	"intervalsim/internal/uarch"
 	"intervalsim/internal/workload"
 )
@@ -13,7 +14,7 @@ func TestPointConfigsValid(t *testing.T) {
 	for _, width := range []int{2, 4, 8} {
 		for _, depth := range []int{3, 7, 11} {
 			for _, rob := range []int{64, 128, 256} {
-				cfg := point(width, depth, rob)
+				cfg := experiments.Point(width, depth, rob)
 				if err := cfg.Validate(); err != nil {
 					t.Errorf("point(%d,%d,%d): %v", width, depth, rob, err)
 				}
@@ -29,7 +30,7 @@ func TestSweepRowShape(t *testing.T) {
 	// One tiny point through the same plumbing run() uses: the decomposition
 	// columns must be available at every grid point.
 	wc, _ := workload.SuiteConfig("gzip")
-	cfg := point(2, 3, 64)
+	cfg := experiments.Point(2, 3, 64)
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestSweepRowShape(t *testing.T) {
 	if cfg.FU.IntALU.Count != 2 {
 		t.Errorf("ALU count not scaled with width: %d", cfg.FU.IntALU.Count)
 	}
-	wide := point(8, 3, 64)
+	wide := experiments.Point(8, 3, 64)
 	if wide.FU.MemPort.Count != 4 || wide.FU.IntMul.Count != 4 {
 		t.Errorf("wide point FU scaling wrong: %+v", wide.FU)
 	}

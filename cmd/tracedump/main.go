@@ -17,12 +17,18 @@ import (
 	"intervalsim/internal/isa"
 	"intervalsim/internal/report"
 	"intervalsim/internal/trace"
+	"intervalsim/internal/version"
 )
 
 func main() {
 	text := flag.Bool("text", false, "dump instructions in the text format")
 	head := flag.Int("head", 0, "with -text, dump only the first N instructions (0 = all)")
+	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("tracedump", version.String())
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracedump [-text] [-head N] file.ivtr")
 		os.Exit(2)

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 
 	"intervalsim/internal/trace"
+	"intervalsim/internal/version"
 	"intervalsim/internal/workload"
 )
 
@@ -27,7 +28,13 @@ func main() {
 	out := flag.String("out", ".", "output directory")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	configFile := flag.String("config", "", "JSON workload configuration file")
+	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("tracegen", version.String())
+		return
+	}
 
 	if *list {
 		for _, c := range workload.Suite() {

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"intervalsim/internal/harness"
+	"intervalsim/internal/trace"
+	"intervalsim/internal/uarch"
+	"intervalsim/internal/workload"
+)
+
+// Point builds a machine configuration at one (dispatch width, frontend
+// depth, ROB size) design point: the baseline machine with its widths,
+// depth, and window resized, and functional-unit counts scaled with width.
+// It is the single config constructor behind cmd/sweep's grid and the
+// intervalsimd service's machine specs, so a "w4-d7-r128" point means the
+// same processor everywhere.
+func Point(width, depth, rob int) uarch.Config {
+	cfg := uarch.Baseline()
+	cfg.Name = fmt.Sprintf("w%d-d%d-r%d", width, depth, rob)
+	cfg.FetchWidth = width
+	cfg.DispatchWidth = width
+	cfg.IssueWidth = width
+	cfg.CommitWidth = width
+	cfg.FrontendDepth = depth
+	cfg.ROBSize = rob
+	cfg.IQSize = rob / 2
+	cfg.FU.IntALU.Count = width
+	if width > 4 {
+		cfg.FU.MemPort.Count = 4
+		cfg.FU.IntMul.Count = 4
+	}
+	return cfg
+}
+
+// SharedTrace returns the process-wide shared (record-layout, packed) trace
+// for (wc, insts), generating and packing it on first use. Concurrent
+// callers for the same key share one generation; both returned layouts are
+// immutable and safe to share across goroutines. This is the entry point
+// long-lived callers outside the experiment suite (the intervalsimd
+// daemon) use to amortize trace generation across requests.
+func SharedTrace(wc workload.Config, insts int) (*trace.Trace, *trace.SoA, error) {
+	st, err := suiteTraceFor(wc, insts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st.tr, st.soa, nil
+}
+
+// TraceCacheCounters returns the shared trace memo's counter snapshot, for
+// observability surfaces like intervalsimd's /metrics.
+func TraceCacheCounters() harness.MemoStats { return traceMemo.Counters() }

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestA3DeterministicByteReproducible renders A3 — the one experiment whose
+// default output contains a wall-clock-derived column — twice with
+// Params.Deterministic set and asserts byte identity, the property the
+// -deterministic CLI flag promises for the full report.
+func TestA3DeterministicByteReproducible(t *testing.T) {
+	p := Params{Insts: 60_000, Warmup: 10_000, Deterministic: true}
+	var a, b bytes.Buffer
+	if err := A3(&a, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := A3(&b, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("A3 with Deterministic is not byte-reproducible:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "-") {
+		t.Fatal("deterministic A3 output missing the placeholder speedup cell")
+	}
+	if strings.Contains(a.String(), "x ") || strings.Contains(a.String(), "x\n") {
+		// Guard loosely against a live speedup cell like "3.1x" sneaking in.
+		for _, line := range strings.Split(a.String(), "\n") {
+			if strings.HasSuffix(strings.TrimRight(line, " "), "x") {
+				t.Fatalf("deterministic A3 still prints a wall-clock speedup: %q", line)
+			}
+		}
+	}
+}

@@ -24,6 +24,12 @@ import (
 type Params struct {
 	Insts  int    // dynamic instructions per run
 	Warmup uint64 // instructions excluded from statistics
+
+	// Deterministic normalizes every wall-clock-derived cell (today only
+	// A3's speedup column) to a fixed placeholder, so the full report is
+	// byte-reproducible across runs and machines and can be diffed in CI.
+	// Simulation outputs are unaffected: they are deterministic already.
+	Deterministic bool
 }
 
 // DefaultParams returns the experiment sizing used for EXPERIMENTS.md.

@@ -293,13 +293,19 @@ func A3(w io.Writer, p Params) error {
 		sampDur := timeNow() - t1
 
 		relErr := (sampled.CPI() - full.CPI()) / full.CPI()
-		speedup := float64(fullDur) / float64(sampDur)
+		// The speedup cell is the one number in the whole report derived
+		// from wall-clock time; Deterministic replaces it with a placeholder
+		// so the full report is byte-reproducible (see Params.Deterministic).
+		speedupCell := fmt.Sprintf("%.1fx", float64(fullDur)/float64(sampDur))
+		if p.Deterministic {
+			speedupCell = "-"
+		}
 		t.AddRow(wc.Name,
 			fmt.Sprintf("%.3f", full.CPI()),
 			fmt.Sprintf("%.3f", sampled.CPI()),
 			fmt.Sprintf("%+.1f", relErr*100),
 			fmt.Sprintf("%.2f", float64(sampled.Insts)/float64(full.Insts)),
-			fmt.Sprintf("%.1fx", speedup),
+			speedupCell,
 		)
 	}
 	return t.Fprint(w)

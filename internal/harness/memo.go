@@ -14,12 +14,13 @@ import "sync"
 // same way (the computations memoized here are deterministic, so retrying a
 // failed one would fail identically).
 type Memo[K comparable, V any] struct {
-	mu      sync.Mutex
-	cap     int
-	tick    uint64
-	entries map[K]*memoEntry[V]
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	cap       int
+	tick      uint64
+	entries   map[K]*memoEntry[V]
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type memoEntry[V any] struct {
@@ -77,7 +78,33 @@ func (m *Memo[K, V]) evictLocked() {
 			}
 		}
 		delete(m.entries, victim)
+		m.evictions++
 	}
+}
+
+// MemoStats is a point-in-time snapshot of a Memo's counters, exported so
+// long-lived processes (the intervalsimd daemon's /metrics endpoint) can
+// report cache effectiveness without reaching into the table.
+type MemoStats struct {
+	Hits      uint64 // Gets that found an existing entry
+	Misses    uint64 // Gets that created an entry (computations started)
+	Evictions uint64 // entries dropped by the LRU bound
+	Entries   int    // entries currently cached
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before the first Get.
+func (s MemoStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Counters returns a consistent snapshot of the memo's counters.
+func (m *Memo[K, V]) Counters() MemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemoStats{Hits: m.hits, Misses: m.misses, Evictions: m.evictions, Entries: len(m.entries)}
 }
 
 // Stats returns how many Gets found an existing entry (hits) versus

@@ -42,6 +42,10 @@ func (c *Cache) Get(soa *trace.SoA, pred bpred.Config, mem icache.HierarchyConfi
 // Stats returns the hit/miss counts of the cache so far.
 func (c *Cache) Stats() (hits, misses uint64) { return c.memo.Stats() }
 
+// Counters returns the full counter snapshot — hits, misses, evictions, and
+// live entries — for observability surfaces like intervalsimd's /metrics.
+func (c *Cache) Counters() harness.MemoStats { return c.memo.Counters() }
+
 // Shared is the process-wide overlay cache used by the experiments registry
 // and the sweep tools. Sized generously relative to overlay cost (one byte
 // per instruction): sixteen 2M-instruction overlays are 32MB.

@@ -1,0 +1,114 @@
+package overlay
+
+import (
+	"sync"
+	"testing"
+
+	"intervalsim/internal/harness"
+)
+
+// TestCacheStressContention hammers one overlay cache from many goroutines
+// requesting a mix of identical and distinct (predictor, geometry)
+// fingerprints concurrently. It asserts the single-flight contract the
+// service daemon depends on under -race: each distinct key is computed
+// exactly once (misses == distinct keys), every caller of a key receives
+// the identity-same overlay (proof of a single computation), and the
+// counters reconcile with the request volume.
+func TestCacheStressContention(t *testing.T) {
+	soa, pred, mem := testSetup(t, 2_000)
+
+	// Distinct keys: vary the predictor size and the L1I geometry, both of
+	// which change a fingerprint. Latency-only variants of key 0 are also
+	// thrown in — they must alias to key 0's entry, not add a key.
+	type specKey struct {
+		predEntries int
+		l1iSize     int
+	}
+	specs := []specKey{
+		{16384, 64 << 10},
+		{8192, 64 << 10},
+		{16384, 32 << 10},
+		{8192, 32 << 10},
+	}
+	const (
+		goroutines = 24
+		rounds     = 12
+	)
+	c := NewCache(len(specs))
+
+	results := make([]sync.Map, len(specs)) // key index → set of *Overlay seen
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				k := (g + r) % len(specs)
+				p := pred
+				p.Entries = specs[k].predEntries
+				m := mem
+				m.L1I.Size = specs[k].l1iSize
+				if k == 0 && r%3 == 0 {
+					// Latency-only change: same fingerprints, same key.
+					m.Lat.Mem = 100 + r
+				}
+				ov, err := c.Get(soa, p, m)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[k].Store(ov, true)
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	for k := range specs {
+		n := 0
+		results[k].Range(func(_, _ any) bool { n++; return true })
+		if n != 1 {
+			t.Errorf("key %d: callers saw %d distinct overlays, want 1 (exactly-once compute)", k, n)
+		}
+	}
+	s := c.Counters()
+	if s.Misses != uint64(len(specs)) {
+		t.Errorf("misses = %d, want %d (one compute per distinct fingerprint)", s.Misses, len(specs))
+	}
+	total := uint64(goroutines * rounds)
+	if s.Hits != total-uint64(len(specs)) {
+		t.Errorf("hits = %d, want %d", s.Hits, total-uint64(len(specs)))
+	}
+	if s.Evictions != 0 || s.Entries != len(specs) {
+		t.Errorf("evictions/entries = %d/%d, want 0/%d", s.Evictions, s.Entries, len(specs))
+	}
+	if got := s.HitRate(); got <= 0.9 {
+		t.Errorf("hit rate = %v, want > 0.9 under this request mix", got)
+	}
+}
+
+// TestCacheCountersEviction checks that overlay-cache evictions are counted
+// and exported: a capacity-1 cache alternating between two keys must evict
+// on every switch.
+func TestCacheCountersEviction(t *testing.T) {
+	soa, pred, mem := testSetup(t, 1_000)
+	small := mem
+	small.L1I.Size = 16 << 10
+
+	c := NewCache(1)
+	if _, err := c.Get(soa, pred, mem); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(soa, pred, small); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(soa, pred, mem); err != nil {
+		t.Fatal(err)
+	}
+	want := harness.MemoStats{Hits: 0, Misses: 3, Evictions: 2, Entries: 1}
+	if s := c.Counters(); s != want {
+		t.Fatalf("Counters = %+v, want %+v", s, want)
+	}
+}

@@ -1,0 +1,267 @@
+// Package service implements intervalsimd's simulation-as-a-service layer:
+// an HTTP JSON API over the interval-analysis substrate. Requests name a
+// workload (a built-in suite benchmark or an inline generator config) and a
+// machine (baseline knob overrides or a full configuration); the service
+// runs them on a bounded worker pool and shares the two expensive
+// intermediate artifacts — packed trace.SoA traces and miss-event overlays
+// — across all requests through single-flight memo caches, so a thousand
+// config-sweep queries over one workload pay for one trace generation and
+// one speculation pre-pass.
+//
+// Production posture: admission control (a full queue rejects with 429 +
+// Retry-After instead of buffering unboundedly), per-request deadlines wired
+// into the simulator's context-cancellation watchdog, panic containment via
+// the harness, graceful drain on shutdown, streaming NDJSON for sweeps, and
+// an observability surface (/healthz, /metrics) with cache counters and
+// request-latency quantiles.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"intervalsim/internal/experiments"
+	"intervalsim/internal/uarch"
+	"intervalsim/internal/workload"
+)
+
+// errBadRequest marks client errors: invalid JSON, unknown benchmarks,
+// out-of-range sizes. Handlers map it to HTTP 400 and metrics count it
+// under the bad_input outcome.
+var errBadRequest = errors.New("service: bad request")
+
+// MachineSpec selects the simulated machine: either knob overrides applied
+// to the baseline design point (width/depth/rob, the axes every sweep in
+// the repository uses, built by experiments.Point so a point means the same
+// processor here and in cmd/sweep), or a complete uarch.Config for full
+// control. Zero knobs inherit the baseline values.
+type MachineSpec struct {
+	Width  int           `json:"width,omitempty"`
+	Depth  int           `json:"depth,omitempty"`
+	ROB    int           `json:"rob,omitempty"`
+	Config *uarch.Config `json:"config,omitempty"`
+}
+
+// resolve builds and validates the concrete configuration.
+func (m MachineSpec) resolve() (uarch.Config, error) {
+	if m.Config != nil {
+		if m.Width != 0 || m.Depth != 0 || m.ROB != 0 {
+			return uarch.Config{}, fmt.Errorf("%w: give either knob overrides or a full config, not both", errBadRequest)
+		}
+		cfg := *m.Config
+		if cfg.Name == "" {
+			cfg.Name = "custom"
+		}
+		if err := cfg.Validate(); err != nil {
+			return uarch.Config{}, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		return cfg, nil
+	}
+	base := uarch.Baseline()
+	w, d, r := m.Width, m.Depth, m.ROB
+	if w == 0 {
+		w = base.DispatchWidth
+	}
+	if d == 0 {
+		d = base.FrontendDepth
+	}
+	if r == 0 {
+		r = base.ROBSize
+	}
+	cfg := experiments.Point(w, d, r)
+	if err := cfg.Validate(); err != nil {
+		return uarch.Config{}, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return cfg, nil
+}
+
+// SimulateRequest asks for one cycle-level simulation. Exactly one of
+// Benchmark (a suite name) or Workload (an inline generator config) selects
+// the program.
+type SimulateRequest struct {
+	Benchmark string           `json:"benchmark,omitempty"`
+	Workload  *workload.Config `json:"workload,omitempty"`
+	Insts     int              `json:"insts,omitempty"`  // default 1,000,000
+	Warmup    uint64           `json:"warmup,omitempty"` // instructions excluded from statistics
+	Machine   MachineSpec      `json:"machine"`
+	TimeoutMS int              `json:"timeout_ms,omitempty"` // per-job deadline override
+}
+
+// ModelRequest asks the analytic interval model for the same point — no
+// cycle-level simulation, answered synchronously.
+type ModelRequest = SimulateRequest
+
+// simInputs is a fully resolved, validated request.
+type simInputs struct {
+	wc      workload.Config
+	cfg     uarch.Config
+	insts   int
+	warmup  uint64
+	timeout time.Duration
+}
+
+// resolveSimulate validates req against the server's limits.
+func (s *Server) resolveSimulate(req *SimulateRequest) (simInputs, error) {
+	var in simInputs
+	switch {
+	case req.Benchmark != "" && req.Workload != nil:
+		return in, fmt.Errorf("%w: give exactly one of benchmark or workload", errBadRequest)
+	case req.Benchmark != "":
+		wc, ok := workload.SuiteConfig(req.Benchmark)
+		if !ok {
+			return in, fmt.Errorf("%w: unknown benchmark %q", errBadRequest, req.Benchmark)
+		}
+		in.wc = wc
+	case req.Workload != nil:
+		if err := req.Workload.Validate(); err != nil {
+			return in, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		in.wc = *req.Workload
+	default:
+		return in, fmt.Errorf("%w: give one of benchmark or workload", errBadRequest)
+	}
+
+	in.insts = req.Insts
+	if in.insts == 0 {
+		in.insts = 1_000_000
+	}
+	if in.insts < 1000 || in.insts > s.opts.MaxInsts {
+		return in, fmt.Errorf("%w: insts %d outside [1000, %d]", errBadRequest, in.insts, s.opts.MaxInsts)
+	}
+	in.warmup = req.Warmup
+	if in.warmup >= uint64(in.insts) {
+		return in, fmt.Errorf("%w: warmup %d >= insts %d", errBadRequest, in.warmup, in.insts)
+	}
+
+	cfg, err := req.Machine.resolve()
+	if err != nil {
+		return in, err
+	}
+	in.cfg = cfg
+
+	if req.TimeoutMS < 0 {
+		return in, fmt.Errorf("%w: negative timeout_ms", errBadRequest)
+	}
+	in.timeout = s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		in.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if in.timeout > s.opts.MaxTimeout {
+			in.timeout = s.opts.MaxTimeout
+		}
+	}
+	return in, nil
+}
+
+// SimulateResult is the JSON result of one cycle-level run: the aggregate
+// statistics a characterization client consumes, plus the simulator path
+// provenance so a silently degraded fast path is visible remotely too.
+type SimulateResult struct {
+	Benchmark string `json:"benchmark"`
+	Machine   string `json:"machine"`
+
+	Insts  uint64  `json:"insts"`
+	Cycles uint64  `json:"cycles"`
+	IPC    float64 `json:"ipc"`
+	CPI    float64 `json:"cpi"`
+
+	Mispredicts  uint64  `json:"mispredicts"`
+	BranchMPKI   float64 `json:"branch_mpki"`
+	ICacheMisses uint64  `json:"icache_misses"`
+	ShortDMisses uint64  `json:"shortd_misses"`
+	LongDMisses  uint64  `json:"longd_misses"`
+
+	AvgMispredictPenalty float64 `json:"avg_mispredict_penalty"`
+
+	Path     string `json:"path"`
+	Fallback string `json:"fallback,omitempty"`
+}
+
+// newSimulateResult aggregates a uarch result into the API shape.
+func newSimulateResult(in simInputs, res *uarch.Result) *SimulateResult {
+	out := &SimulateResult{
+		Benchmark:            in.wc.Name,
+		Machine:              in.cfg.Name,
+		Insts:                res.Insts,
+		Cycles:               res.Cycles,
+		IPC:                  res.IPC(),
+		CPI:                  res.CPI(),
+		Mispredicts:          res.Mispredicts,
+		ICacheMisses:         res.ICacheMisses,
+		ShortDMisses:         res.ShortDMisses,
+		LongDMisses:          res.LongDMisses,
+		AvgMispredictPenalty: res.AvgMispredictPenalty(),
+		Path:                 res.Path,
+		Fallback:             res.Fallback,
+	}
+	if res.Insts > 0 {
+		out.BranchMPKI = float64(res.Mispredicts) / float64(res.Insts) * 1000
+	}
+	return out
+}
+
+// ModelResult is the analytic model's answer: the interval-analysis cycle
+// stack and the predicted misprediction penalty, computed from the shared
+// overlay with no cycle-level simulation.
+type ModelResult struct {
+	Benchmark string `json:"benchmark"`
+	Machine   string `json:"machine"`
+
+	Insts uint64  `json:"insts"`
+	IPC   float64 `json:"ipc"`
+	CPI   float64 `json:"cpi"`
+
+	CPIBase     float64 `json:"cpi_base"`
+	CPIBpred    float64 `json:"cpi_bpred"`
+	CPIICache   float64 `json:"cpi_icache"`
+	CPILongData float64 `json:"cpi_longd"`
+
+	AvgMispredictPenalty float64 `json:"avg_mispredict_penalty"`
+}
+
+// SweepRequest asks for a grid of design points over one workload, streamed
+// back as NDJSON (one SweepPoint per line, a SweepTrailer last). Empty axes
+// default to the canonical cmd/sweep grid.
+type SweepRequest struct {
+	Benchmark string           `json:"benchmark,omitempty"`
+	Workload  *workload.Config `json:"workload,omitempty"`
+	Insts     int              `json:"insts,omitempty"`
+	Warmup    uint64           `json:"warmup,omitempty"`
+	Widths    []int            `json:"widths,omitempty"`
+	Depths    []int            `json:"depths,omitempty"`
+	ROBs      []int            `json:"robs,omitempty"`
+	Mode      string           `json:"mode,omitempty"`       // "sim" (default) or "model"
+	TimeoutMS int              `json:"timeout_ms,omitempty"` // per design point
+}
+
+// SweepPoint is one NDJSON line of a sweep stream, emitted in completion
+// order (Seq is the point's index in canonical grid order). Failed points
+// carry Error and Outcome instead of measurements.
+type SweepPoint struct {
+	Seq   int `json:"seq"`
+	Width int `json:"width"`
+	Depth int `json:"depth"`
+	ROB   int `json:"rob"`
+
+	IPC                  float64 `json:"ipc,omitempty"`
+	AvgMispredictPenalty float64 `json:"avg_mispredict_penalty,omitempty"`
+	Cycles               uint64  `json:"cycles,omitempty"`
+	CPIBase              float64 `json:"cpi_base,omitempty"`
+	CPIBpred             float64 `json:"cpi_bpred,omitempty"`
+	CPIICache            float64 `json:"cpi_icache,omitempty"`
+	CPILongData          float64 `json:"cpi_longd,omitempty"`
+	Path                 string  `json:"path,omitempty"`
+
+	Error   string `json:"error,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+}
+
+// SweepTrailer is the final NDJSON line of a sweep stream.
+type SweepTrailer struct {
+	Done    bool   `json:"done"`
+	Points  int    `json:"points"`
+	OK      int    `json:"ok"`
+	Failed  int    `json:"failed"`
+	Mode    string `json:"mode"`
+	Elapsed string `json:"elapsed"`
+}

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"intervalsim/internal/core"
+	"intervalsim/internal/harness"
+	"intervalsim/internal/stats"
+	"intervalsim/internal/uarch"
+)
+
+// Outcome labels for jobs-by-outcome accounting. Every finished job (and
+// every rejected request) increments exactly one.
+const (
+	outcomeOK       = "ok"
+	outcomeTimeout  = "timeout"
+	outcomeCanceled = "canceled"
+	outcomeBadInput = "bad_input"
+	outcomeRejected = "rejected" // admission control turned the request away
+	outcomeError    = "error"
+)
+
+// classify maps a job error to its outcome label, seeing through the
+// harness's structured wrappers.
+func classify(err error) string {
+	switch {
+	case err == nil:
+		return outcomeOK
+	case errors.Is(err, harness.ErrTimeout), errors.Is(err, context.DeadlineExceeded), errors.Is(err, uarch.ErrWatchdog):
+		return outcomeTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, uarch.ErrCanceled), errors.Is(err, harness.ErrNotRun):
+		return outcomeCanceled
+	case errors.Is(err, errBadRequest), errors.Is(err, uarch.ErrBadConfig), errors.Is(err, core.ErrBadInput):
+		return outcomeBadInput
+	default:
+		return outcomeError
+	}
+}
+
+// metrics aggregates the daemon's observability counters: jobs by outcome
+// and request-latency quantiles over a sliding window (stats.Sample). Cache
+// counters are read live from the caches at snapshot time, not duplicated
+// here.
+type metrics struct {
+	started time.Time
+
+	mu       sync.Mutex
+	outcomes map[string]uint64
+	latency  *stats.Sample // job execution latency, milliseconds
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		started:  time.Now(),
+		outcomes: make(map[string]uint64),
+		latency:  stats.NewSample(2048),
+	}
+}
+
+// observe records one executed job: its outcome plus its latency.
+func (m *metrics) observe(outcome string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.outcomes[outcome]++
+	m.latency.Add(float64(d) / float64(time.Millisecond))
+}
+
+// count records an outcome with no execution latency: admission rejections
+// and request-validation failures, which never ran and would only distort
+// the latency quantiles.
+func (m *metrics) count(outcome string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.outcomes[outcome]++
+}
+
+// CacheMetrics is the JSON shape of one memo cache's counters.
+type CacheMetrics struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func cacheMetrics(s harness.MemoStats) CacheMetrics {
+	return CacheMetrics{
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Evictions: s.Evictions,
+		Entries:   s.Entries,
+		HitRate:   s.HitRate(),
+	}
+}
+
+// LatencyMetrics summarizes job execution latency over the sliding window.
+type LatencyMetrics struct {
+	Count uint64  `json:"count"` // jobs ever observed (not the window size)
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"` // max within the window
+}
+
+// MetricsResponse is the full GET /metrics document.
+type MetricsResponse struct {
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	QueueDepth    int  `json:"queue_depth"`
+	QueueCapacity int  `json:"queue_capacity"`
+	InFlight      int  `json:"inflight"`
+	Workers       int  `json:"workers"`
+	Draining      bool `json:"draining"`
+	TrackedJobs   int  `json:"tracked_jobs"`
+
+	Jobs map[string]uint64 `json:"jobs"`
+
+	OverlayCache CacheMetrics `json:"overlay_cache"`
+	TraceCache   CacheMetrics `json:"trace_cache"`
+
+	Latency LatencyMetrics `json:"latency"`
+}
+
+// snapshot assembles the /metrics document from the live sources.
+func (m *metrics) snapshot() (jobs map[string]uint64, lat LatencyMetrics, uptime float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	jobs = make(map[string]uint64, len(m.outcomes))
+	for k, v := range m.outcomes {
+		jobs[k] = v
+	}
+	qs := m.latency.Quantiles(0.5, 0.9, 0.99)
+	lat = LatencyMetrics{
+		Count: m.latency.Count(),
+		P50MS: qs[0],
+		P90MS: qs[1],
+		P99MS: qs[2],
+		MaxMS: m.latency.Max(),
+	}
+	return jobs, lat, time.Since(m.started).Seconds()
+}

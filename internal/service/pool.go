@@ -1,0 +1,206 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"intervalsim/internal/harness"
+)
+
+// Admission and lifecycle sentinels. Handlers map ErrQueueFull to HTTP 429
+// (with Retry-After) and ErrClosed to HTTP 503.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue has no
+	// space: the admission-control signal, surfaced to clients as 429.
+	ErrQueueFull = errors.New("service: job queue full")
+
+	// ErrClosed is returned by Submit once shutdown has begun: the pool
+	// drains what it has but accepts nothing new.
+	ErrClosed = errors.New("service: pool shutting down")
+)
+
+// task is one unit of work admitted to the pool. run executes under a
+// context that is canceled on per-task deadline or forced shutdown; finish
+// (optional) observes the harness-classified error and the wall-clock spent.
+type task struct {
+	name    string
+	timeout time.Duration // per-attempt deadline; 0 = pool default
+	run     func(ctx context.Context) error
+	finish  func(err error, d time.Duration)
+}
+
+// PoolOptions sizes the pool.
+type PoolOptions struct {
+	// Workers is the number of concurrent jobs; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the jobs waiting for a worker; <= 0 means 64.
+	// A full queue rejects new submissions (ErrQueueFull) instead of
+	// buffering without limit — the backpressure contract of the daemon.
+	QueueDepth int
+	// DefaultTimeout bounds each job that does not carry its own deadline;
+	// 0 means no default deadline.
+	DefaultTimeout time.Duration
+}
+
+// Pool is the daemon's bounded job queue plus a fixed worker set. Each
+// admitted task runs as a single-job harness batch, inheriting the harness
+// guarantees the CLIs already rely on: panic containment (a panicking job
+// becomes a structured error, never a daemon crash), per-attempt deadlines
+// with abandonment of jobs that ignore their context, and structured
+// errors. Shutdown is two-phase: Close stops admission and drains queued +
+// in-flight jobs; if the drain context expires, in-flight contexts are
+// canceled and the remainder fails fast with ErrCanceled.
+type Pool struct {
+	opts     PoolOptions
+	queue    chan *task
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts the workers and returns the pool.
+func NewPool(opts PoolOptions) *Pool {
+	if opts.Workers <= 0 {
+		opts.Workers = defaultWorkers()
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		opts:    opts,
+		queue:   make(chan *task, opts.QueueDepth),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+	for i := 0; i < opts.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit admits t without blocking: ErrQueueFull when the queue is at
+// capacity, ErrClosed once shutdown has begun.
+func (p *Pool) Submit(t *task) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.queue <- t:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// SubmitWait admits t, waiting for queue space if necessary. It returns
+// ctx's error if the caller gives up first, and ErrClosed once shutdown has
+// begun. Streaming endpoints use it so a long sweep applies backpressure to
+// its own producer instead of failing mid-stream.
+func (p *Pool) SubmitWait(ctx context.Context, t *task) error {
+	for {
+		err := p.Submit(t)
+		if !errors.Is(err, ErrQueueFull) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// worker executes tasks until the queue is closed and drained.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		p.runTask(t)
+	}
+}
+
+// runTask drives one task through a single-job harness batch, so the task
+// gets the harness's panic containment and deadline/abandonment semantics.
+func (p *Pool) runTask(t *task) {
+	p.inflight.Add(1)
+	defer p.inflight.Add(-1)
+	timeout := t.timeout
+	if timeout <= 0 {
+		timeout = p.opts.DefaultTimeout
+	}
+	jobs := []harness.Job[struct{}]{{
+		Name: t.name,
+		Run: func(ctx context.Context) (struct{}, error) {
+			return struct{}{}, t.run(ctx)
+		},
+	}}
+	results, _ := harness.Run(p.baseCtx, jobs, harness.Options{
+		Workers:   1,
+		Timeout:   timeout,
+		KeepGoing: true,
+	})
+	if t.finish != nil {
+		t.finish(results[0].Err, results[0].Duration)
+	}
+}
+
+// Stats is a point-in-time view of the pool's load.
+type PoolStats struct {
+	Queued   int // tasks waiting for a worker
+	Capacity int // queue bound
+	InFlight int // tasks currently executing
+	Workers  int
+	Closed   bool
+}
+
+// Stats returns the current load snapshot.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	return PoolStats{
+		Queued:   len(p.queue),
+		Capacity: p.opts.QueueDepth,
+		InFlight: int(p.inflight.Load()),
+		Workers:  p.opts.Workers,
+		Closed:   closed,
+	}
+}
+
+// Close begins graceful shutdown: admission stops immediately, and queued +
+// in-flight tasks drain. If ctx expires before the drain completes, the
+// in-flight task contexts are canceled so the remainder fails fast (each
+// still reports through its finish hook), and Close returns ctx's error
+// after the workers exit. Close is idempotent.
+func (p *Pool) Close(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		p.cancel()
+		<-done
+		return ctx.Err()
+	}
+}

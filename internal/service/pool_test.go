@@ -1,0 +1,229 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drainPool closes p with a generous budget; test helper.
+func drainPool(t *testing.T, p *Pool) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 2, QueueDepth: 8})
+	defer drainPool(t, p)
+
+	const n = 10
+	var mu sync.Mutex
+	ran := 0
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		err := p.SubmitWait(context.Background(), &task{
+			name: "t",
+			run: func(ctx context.Context) error {
+				mu.Lock()
+				ran++
+				mu.Unlock()
+				return nil
+			},
+			finish: func(err error, d time.Duration) {
+				if err != nil {
+					t.Errorf("finish err = %v", err)
+				}
+				wg.Done()
+			},
+		})
+		if err != nil {
+			t.Fatalf("SubmitWait: %v", err)
+		}
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if ran != n {
+		t.Fatalf("ran = %d, want %d", ran, n)
+	}
+}
+
+// TestPoolPanicContainment: a panicking task becomes a structured error via
+// the harness; the worker survives and keeps serving.
+func TestPoolPanicContainment(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 4})
+	defer drainPool(t, p)
+
+	panicked := make(chan error, 1)
+	if err := p.Submit(&task{
+		name:   "boom",
+		run:    func(ctx context.Context) error { panic("kaboom") },
+		finish: func(err error, d time.Duration) { panicked <- err },
+	}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	err := <-panicked
+	if err == nil {
+		t.Fatal("panicking task reported no error")
+	}
+	if classify(err) != outcomeError {
+		t.Fatalf("classify(%v) = %q, want %q", err, classify(err), outcomeError)
+	}
+
+	// The same (sole) worker must still be alive.
+	ok := make(chan struct{})
+	if err := p.Submit(&task{
+		name:   "after",
+		run:    func(ctx context.Context) error { return nil },
+		finish: func(err error, d time.Duration) { close(ok) },
+	}); err != nil {
+		t.Fatalf("Submit after panic: %v", err)
+	}
+	select {
+	case <-ok:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not survive the panic")
+	}
+}
+
+// TestPoolDeadline: a task that overstays its deadline is cut off and
+// classified as a timeout.
+func TestPoolDeadline(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 4})
+	defer drainPool(t, p)
+
+	got := make(chan error, 1)
+	if err := p.Submit(&task{
+		name:    "slow",
+		timeout: 20 * time.Millisecond,
+		run: func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(10 * time.Second):
+				return nil
+			}
+		},
+		finish: func(err error, d time.Duration) { got <- err },
+	}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	err := <-got
+	if classify(err) != outcomeTimeout {
+		t.Fatalf("classify(%v) = %q, want %q", err, classify(err), outcomeTimeout)
+	}
+}
+
+// TestPoolAdmission: a full queue rejects with ErrQueueFull; a closed pool
+// rejects with ErrClosed.
+func TestPoolAdmission(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 1})
+
+	// Occupy the worker, then fill the single queue slot.
+	release := make(chan struct{})
+	running := make(chan struct{})
+	blocker := &task{name: "blocker", run: func(ctx context.Context) error {
+		close(running)
+		<-release
+		return nil
+	}}
+	if err := p.Submit(blocker); err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-running
+	if err := p.Submit(&task{name: "queued", run: func(ctx context.Context) error { return nil }}); err != nil {
+		t.Fatalf("Submit queued: %v", err)
+	}
+
+	err := p.Submit(&task{name: "rejected", run: func(ctx context.Context) error { return nil }})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit on full queue = %v, want ErrQueueFull", err)
+	}
+	if s := p.Stats(); s.Queued != 1 || s.InFlight != 1 {
+		t.Fatalf("Stats = %+v, want 1 queued / 1 inflight", s)
+	}
+
+	// SubmitWait gives up when its context does.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := p.SubmitWait(ctx, &task{name: "waiter", run: func(ctx context.Context) error { return nil }}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SubmitWait = %v, want DeadlineExceeded", err)
+	}
+
+	close(release)
+	drainPool(t, p)
+
+	if err := p.Submit(&task{name: "late", run: func(ctx context.Context) error { return nil }}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := p.SubmitWait(context.Background(), &task{name: "late2", run: func(ctx context.Context) error { return nil }}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitWait after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestPoolCloseDrains: tasks queued before Close still run to completion.
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 16})
+	const n = 8
+	var mu sync.Mutex
+	finished := 0
+	for i := 0; i < n; i++ {
+		err := p.Submit(&task{
+			name: "drainee",
+			run: func(ctx context.Context) error {
+				time.Sleep(time.Millisecond)
+				return nil
+			},
+			finish: func(err error, d time.Duration) {
+				mu.Lock()
+				finished++
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	drainPool(t, p)
+	mu.Lock()
+	defer mu.Unlock()
+	if finished != n {
+		t.Fatalf("finished = %d, want %d (Close must drain the queue)", finished, n)
+	}
+}
+
+// TestPoolCloseForce: when the drain budget expires, in-flight contexts are
+// canceled and Close still returns (with the context's error).
+func TestPoolCloseForce(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, QueueDepth: 4})
+	running := make(chan struct{})
+	got := make(chan error, 1)
+	if err := p.Submit(&task{
+		name: "stubborn",
+		run: func(ctx context.Context) error {
+			close(running)
+			<-ctx.Done()
+			return ctx.Err()
+		},
+		finish: func(err error, d time.Duration) { got <- err },
+	}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-running
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close = %v, want DeadlineExceeded", err)
+	}
+	err := <-got
+	if err == nil {
+		t.Fatal("force-canceled task reported no error")
+	}
+}

@@ -1,0 +1,667 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"intervalsim/internal/core"
+	"intervalsim/internal/experiments"
+	"intervalsim/internal/overlay"
+	"intervalsim/internal/trace"
+	"intervalsim/internal/uarch"
+	"intervalsim/internal/version"
+)
+
+// Options tunes a Server. Zero values select production-reasonable
+// defaults.
+type Options struct {
+	// Workers caps concurrently executing jobs; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; <= 0 means 64. A full
+	// queue rejects new work with 429 + Retry-After.
+	QueueDepth int
+	// DefaultTimeout is the per-job deadline when a request carries none;
+	// <= 0 means 60s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied deadlines; <= 0 means 10m.
+	MaxTimeout time.Duration
+	// MaxInsts caps per-request dynamic instruction counts; <= 0 means 20M.
+	MaxInsts int
+	// JobHistory bounds retained finished jobs; <= 0 means 256.
+	JobHistory int
+	// OverlayCapacity bounds the server's miss-event overlay cache;
+	// <= 0 means 16 (one byte per instruction per entry).
+	OverlayCapacity int
+	// MaxSweepPoints caps the grid size of one sweep request; <= 0 means 4096.
+	MaxSweepPoints int
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = defaultWorkers()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 10 * time.Minute
+	}
+	if o.MaxInsts <= 0 {
+		o.MaxInsts = 20_000_000
+	}
+	if o.JobHistory <= 0 {
+		o.JobHistory = 256
+	}
+	if o.OverlayCapacity <= 0 {
+		o.OverlayCapacity = 16
+	}
+	if o.MaxSweepPoints <= 0 {
+		o.MaxSweepPoints = 4096
+	}
+	return o
+}
+
+// Server is the intervalsimd service: the HTTP handler set plus the worker
+// pool, job store, metrics, and the caches shared across requests. Traces
+// are shared through the process-wide experiments memo (one generation +
+// pack per (workload, insts) no matter how many clients ask); overlays are
+// shared through the server's own bounded single-flight cache (one
+// speculation pre-pass per (trace, predictor, cache geometry)).
+type Server struct {
+	opts     Options
+	pool     *Pool
+	jobs     *jobStore
+	metrics  *metrics
+	overlays *overlay.Cache
+	version  string
+}
+
+// New builds a Server and starts its worker pool. Callers own shutdown:
+// call Shutdown to drain.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts: opts,
+		pool: NewPool(PoolOptions{
+			Workers:        opts.Workers,
+			QueueDepth:     opts.QueueDepth,
+			DefaultTimeout: opts.DefaultTimeout,
+		}),
+		jobs:     newJobStore(opts.JobHistory),
+		metrics:  newMetrics(),
+		overlays: overlay.NewCache(opts.OverlayCapacity),
+		version:  version.String(),
+	}
+}
+
+// Shutdown drains the pool: admission stops, queued and in-flight jobs
+// finish (or are canceled when ctx expires). Call after the HTTP server has
+// stopped accepting requests, so in-flight handlers can still submit their
+// already-admitted work and poll job state.
+func (s *Server) Shutdown(ctx context.Context) error { return s.pool.Close(ctx) }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/model", s.handleModel)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// ---- helpers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do for a dead client
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) reject(w http.ResponseWriter, code int, err error, outcome string) {
+	s.metrics.count(outcome)
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return nil
+}
+
+// statusFor maps a job outcome to the HTTP status of a synchronous reply.
+func statusFor(outcome string) int {
+	switch outcome {
+	case outcomeBadInput:
+		return http.StatusBadRequest
+	case outcomeTimeout:
+		return http.StatusGatewayTimeout
+	case outcomeCanceled:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ---- simulation execution (shared by simulate jobs and sweep points) ----
+
+// runSimulate executes one cycle-level run off the shared caches: packed
+// trace from the experiments memo, speculation outcomes replayed from the
+// server's overlay cache (bit-identical to live simulation), with ctx wired
+// through to the simulator's cancellation watchdog.
+func (s *Server) runSimulate(ctx context.Context, in simInputs) (*SimulateResult, error) {
+	_, soa, err := experiments.SharedTrace(in.wc, in.insts)
+	if err != nil {
+		return nil, err
+	}
+	ov, err := s.overlays.Get(soa, in.cfg.Pred, in.cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	res, err := uarch.RunContext(ctx, soa.Reader(), in.cfg, uarch.Options{
+		RecordMispredicts: true,
+		WarmupInsts:       in.warmup,
+		Overlay:           ov,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newSimulateResult(in, res), nil
+}
+
+// runModel answers the same question from the analytic interval model: the
+// functional profile and model characteristics come straight off the shared
+// overlay, with no cycle-level simulation at all.
+func (s *Server) runModel(_ context.Context, in simInputs) (*ModelResult, error) {
+	_, soa, err := experiments.SharedTrace(in.wc, in.insts)
+	if err != nil {
+		return nil, err
+	}
+	ov, err := s.overlays.Get(soa, in.cfg.Pred, in.cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	set, err := core.NewModelSet(soa, ov, in.cfg, in.cfg.ROBSize, in.warmup, in.insts)
+	if err != nil {
+		return nil, err
+	}
+	m, prof, err := set.For(in.cfg)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := m.PredictCPI(prof)
+	if err != nil {
+		return nil, err
+	}
+	pen, err := modelPenalty(m, prof)
+	if err != nil {
+		return nil, err
+	}
+	insts := float64(pred.Insts)
+	out := &ModelResult{
+		Benchmark:            in.wc.Name,
+		Machine:              in.cfg.Name,
+		Insts:                pred.Insts,
+		CPI:                  pred.CPI(),
+		CPIBase:              pred.Base / insts,
+		CPIBpred:             pred.Bpred / insts,
+		CPIICache:            pred.ICache / insts,
+		CPILongData:          pred.LongData / insts,
+		AvgMispredictPenalty: pen,
+	}
+	if out.CPI > 0 {
+		out.IPC = 1 / out.CPI
+	}
+	return out, nil
+}
+
+// modelPenalty is the model's mean misprediction penalty over the profiled
+// interval structure (the same aggregation cmd/sweep's model mode reports).
+func modelPenalty(m *core.Model, prof *core.Profile) (float64, error) {
+	ivs, err := core.Segment(prof.Events, prof.Insts)
+	if err != nil {
+		return 0, err
+	}
+	var pen, n float64
+	for _, iv := range ivs {
+		if !iv.Final && iv.Kind == uarch.EvBranchMispredict {
+			pen += m.MispredictPenalty(iv.Len() - 1)
+			n++
+		}
+	}
+	if n > 0 {
+		pen /= n
+	}
+	return pen, nil
+}
+
+// ---- handlers ----
+
+// handleSimulate admits an asynchronous simulation job: 200 with the queued
+// job on success, 429 + Retry-After under overload, 503 while draining.
+// Clients poll GET /v1/jobs/{id}.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
+		return
+	}
+	in, err := s.resolveSimulate(&req)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
+		return
+	}
+	job := s.jobs.create("simulate")
+	t := &task{
+		name:    job.ID,
+		timeout: in.timeout,
+		run: func(ctx context.Context) error {
+			s.jobs.markRunning(job.ID)
+			res, err := s.runSimulate(ctx, in)
+			if err != nil {
+				return err
+			}
+			raw, err := json.Marshal(res)
+			if err != nil {
+				return err
+			}
+			s.jobs.setResult(job.ID, raw)
+			return nil
+		},
+		finish: func(err error, d time.Duration) {
+			outcome := classify(err)
+			s.metrics.observe(outcome, d)
+			msg := ""
+			if err != nil {
+				msg = err.Error()
+			}
+			s.jobs.markFinished(job.ID, outcome, msg, d)
+		},
+	}
+	if err := s.submit(w, t); err != nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// submit admits t, writing the admission-control error response on failure.
+func (s *Server) submit(w http.ResponseWriter, t *task) error {
+	err := s.pool.Submit(t)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		s.reject(w, http.StatusTooManyRequests, err, outcomeRejected)
+	case errors.Is(err, ErrClosed):
+		s.reject(w, http.StatusServiceUnavailable, err, outcomeRejected)
+	default:
+		s.reject(w, http.StatusInternalServerError, err, outcomeError)
+	}
+	return err
+}
+
+// handleModel answers synchronously: the analytic model is orders of
+// magnitude cheaper than simulation, but it still runs on the pool so
+// admission control and deadlines apply uniformly.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	var req ModelRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
+		return
+	}
+	in, err := s.resolveSimulate(&req)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
+		return
+	}
+	var (
+		result  *ModelResult
+		runErr  error
+		outcome string
+		done    = make(chan struct{})
+	)
+	t := &task{
+		name:    "model",
+		timeout: in.timeout,
+		run: func(ctx context.Context) error {
+			res, err := s.runModel(ctx, in)
+			if err != nil {
+				return err
+			}
+			result = res
+			return nil
+		},
+		finish: func(err error, d time.Duration) {
+			runErr = err
+			outcome = classify(err)
+			s.metrics.observe(outcome, d)
+			close(done)
+		},
+	}
+	if err := s.submit(w, t); err != nil {
+		return
+	}
+	select {
+	case <-done:
+	case <-r.Context().Done():
+		// Client gave up; the job still runs to completion on the pool.
+		return
+	}
+	if runErr != nil {
+		writeJSON(w, statusFor(outcome), errorResponse{Error: runErr.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, result)
+}
+
+// handleJob reports one job's state.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// HealthResponse is the GET /healthz document.
+type HealthResponse struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QueueDepth    int     `json:"queue_depth"`
+	InFlight      int     `json:"inflight"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ps := s.pool.Stats()
+	_, _, uptime := s.metrics.snapshot()
+	status := "ok"
+	if ps.Closed {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        status,
+		Version:       s.version,
+		UptimeSeconds: uptime,
+		QueueDepth:    ps.Queued,
+		InFlight:      ps.InFlight,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ps := s.pool.Stats()
+	jobs, lat, uptime := s.metrics.snapshot()
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		Version:       s.version,
+		UptimeSeconds: uptime,
+		QueueDepth:    ps.Queued,
+		QueueCapacity: ps.Capacity,
+		InFlight:      ps.InFlight,
+		Workers:       ps.Workers,
+		Draining:      ps.Closed,
+		TrackedJobs:   s.jobs.len(),
+		Jobs:          jobs,
+		OverlayCache:  cacheMetrics(s.overlays.Counters()),
+		TraceCache:    cacheMetrics(experiments.TraceCacheCounters()),
+		Latency:       lat,
+	})
+}
+
+// ---- sweep streaming ----
+
+// sweepInputs is a resolved sweep request.
+type sweepInputs struct {
+	simInputs
+	widths, depths, robs []int
+	mode                 string
+}
+
+func (s *Server) resolveSweep(req *SweepRequest) (sweepInputs, error) {
+	base, err := s.resolveSimulate(&SimulateRequest{
+		Benchmark: req.Benchmark,
+		Workload:  req.Workload,
+		Insts:     req.Insts,
+		Warmup:    req.Warmup,
+		TimeoutMS: req.TimeoutMS,
+	})
+	if err != nil {
+		return sweepInputs{}, err
+	}
+	in := sweepInputs{simInputs: base, widths: req.Widths, depths: req.Depths, robs: req.ROBs}
+	if len(in.widths) == 0 {
+		in.widths = []int{2, 4, 8}
+	}
+	if len(in.depths) == 0 {
+		in.depths = []int{3, 7, 11}
+	}
+	if len(in.robs) == 0 {
+		in.robs = []int{64, 128, 256}
+	}
+	for _, axis := range [][]int{in.widths, in.depths, in.robs} {
+		for _, v := range axis {
+			if v <= 0 {
+				return sweepInputs{}, fmt.Errorf("%w: axis values must be positive", errBadRequest)
+			}
+		}
+	}
+	if n := len(in.widths) * len(in.depths) * len(in.robs); n > s.opts.MaxSweepPoints {
+		return sweepInputs{}, fmt.Errorf("%w: %d points exceeds the %d-point cap", errBadRequest, n, s.opts.MaxSweepPoints)
+	}
+	in.mode = req.Mode
+	if in.mode == "" {
+		in.mode = "sim"
+	}
+	if in.mode != "sim" && in.mode != "model" {
+		return sweepInputs{}, fmt.Errorf("%w: unknown mode %q (want sim or model)", errBadRequest, in.mode)
+	}
+	return in, nil
+}
+
+// handleSweep streams a design-space sweep as NDJSON: one SweepPoint line
+// per grid point in completion order, then a SweepTrailer. The shared trace
+// and overlay are resolved once up front (so a second identical sweep is
+// pure cache hits); each point then runs as its own pool task, applying the
+// same backpressure as every other job.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req SweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
+		return
+	}
+	in, err := s.resolveSweep(&req)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
+		return
+	}
+
+	// Shared artifacts, once per sweep — and across sweeps via the caches.
+	_, soa, err := experiments.SharedTrace(in.wc, in.insts)
+	if err != nil {
+		s.reject(w, http.StatusInternalServerError, err, outcomeError)
+		return
+	}
+	base := uarch.Baseline()
+	ov, err := s.overlays.Get(soa, base.Pred, base.Mem)
+	if err != nil {
+		s.reject(w, http.StatusInternalServerError, err, outcomeError)
+		return
+	}
+	var set *core.ModelSet
+	if in.mode == "model" {
+		maxROB := 2
+		for _, rob := range in.robs {
+			if rob > maxROB {
+				maxROB = rob
+			}
+		}
+		set, err = core.NewModelSet(soa, ov, base, maxROB, in.warmup, in.insts)
+		if err != nil {
+			s.reject(w, http.StatusInternalServerError, err, outcomeError)
+			return
+		}
+	}
+
+	// Enumerate the grid in canonical order; Seq is the canonical index.
+	type gridPoint struct {
+		seq               int
+		width, depth, rob int
+	}
+	var points []gridPoint
+	for _, width := range in.widths {
+		for _, depth := range in.depths {
+			for _, rob := range in.robs {
+				points = append(points, gridPoint{len(points), width, depth, rob})
+			}
+		}
+	}
+
+	// Admission check before committing to a stream: if the queue cannot
+	// take even one point now, turn the whole sweep away.
+	if ps := s.pool.Stats(); ps.Queued >= ps.Capacity {
+		w.Header().Set("Retry-After", "1")
+		s.reject(w, http.StatusTooManyRequests, ErrQueueFull, outcomeRejected)
+		return
+	}
+
+	lines := make(chan SweepPoint, len(points))
+	var wg sync.WaitGroup
+	wg.Add(len(points))
+	go func() {
+		wg.Wait()
+		close(lines)
+	}()
+
+	// Submit every point; later points block for queue space (backpressure)
+	// rather than failing mid-stream.
+	go func() {
+		for _, pt := range points {
+			pt := pt
+			cfg := experiments.Point(pt.width, pt.depth, pt.rob)
+			line := SweepPoint{Seq: pt.seq, Width: pt.width, Depth: pt.depth, ROB: pt.rob}
+			t := &task{
+				name:    fmt.Sprintf("sweep-%s-%s", in.wc.Name, cfg.Name),
+				timeout: in.timeout,
+				run: func(ctx context.Context) error {
+					if in.mode == "model" {
+						return s.modelSweepPoint(cfg, set, &line)
+					}
+					return s.simSweepPoint(ctx, soa, ov, cfg, in.warmup, &line)
+				},
+				finish: func(err error, d time.Duration) {
+					outcome := classify(err)
+					s.metrics.observe(outcome, d)
+					if err != nil {
+						// Do not touch line on failure: an abandoned run may
+						// still be writing it. Emit a fresh error point.
+						lines <- SweepPoint{
+							Seq: pt.seq, Width: pt.width, Depth: pt.depth, ROB: pt.rob,
+							Error: err.Error(), Outcome: outcome,
+						}
+					} else {
+						lines <- line
+					}
+					wg.Done()
+				},
+			}
+			if err := s.pool.SubmitWait(r.Context(), t); err != nil {
+				outcome := classify(err)
+				s.metrics.count(outcome)
+				lines <- SweepPoint{
+					Seq: pt.seq, Width: pt.width, Depth: pt.depth, ROB: pt.rob,
+					Error: err.Error(), Outcome: outcome,
+				}
+				wg.Done()
+			}
+		}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	ok, failed := 0, 0
+	for line := range lines {
+		if line.Error == "" {
+			ok++
+		} else {
+			failed++
+		}
+		enc.Encode(line) //nolint:errcheck // keep draining for the finishers
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(SweepTrailer{ //nolint:errcheck
+		Done: true, Points: len(points), OK: ok, Failed: failed,
+		Mode: in.mode, Elapsed: time.Since(start).Round(time.Millisecond).String(),
+	})
+}
+
+// simSweepPoint runs one cycle-level grid point into line.
+func (s *Server) simSweepPoint(ctx context.Context, soa *trace.SoA, ov *overlay.Overlay, cfg uarch.Config, warmup uint64, line *SweepPoint) error {
+	res, err := uarch.RunContext(ctx, soa.Reader(), cfg, uarch.Options{
+		RecordMispredicts: true,
+		WarmupInsts:       warmup,
+		Overlay:           ov,
+	})
+	if err != nil {
+		return err
+	}
+	line.IPC = res.IPC()
+	line.AvgMispredictPenalty = res.AvgMispredictPenalty()
+	line.Cycles = res.Cycles
+	line.Path = res.Path
+	return nil
+}
+
+// modelSweepPoint evaluates one analytic-model grid point into line.
+func (s *Server) modelSweepPoint(cfg uarch.Config, set *core.ModelSet, line *SweepPoint) error {
+	m, prof, err := set.For(cfg)
+	if err != nil {
+		return err
+	}
+	pred, err := m.PredictCPI(prof)
+	if err != nil {
+		return err
+	}
+	pen, err := modelPenalty(m, prof)
+	if err != nil {
+		return err
+	}
+	insts := float64(pred.Insts)
+	line.CPIBase = pred.Base / insts
+	line.CPIBpred = pred.Bpred / insts
+	line.CPIICache = pred.ICache / insts
+	line.CPILongData = pred.LongData / insts
+	line.AvgMispredictPenalty = pen
+	if cpi := pred.CPI(); cpi > 0 {
+		line.IPC = 1 / cpi
+	}
+	line.Path = "model"
+	return nil
+}

@@ -1,0 +1,584 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"intervalsim/internal/experiments"
+	"intervalsim/internal/uarch"
+	"intervalsim/internal/workload"
+)
+
+// newTestServer boots a Server behind httptest and registers a draining
+// cleanup, so every test exercises the real HTTP surface.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return v
+}
+
+// pollJob polls GET /v1/jobs/{id} until the job reaches a terminal state.
+func pollJob(t *testing.T, baseURL, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(baseURL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("GET job: status %d", resp.StatusCode)
+		}
+		job := decodeBody[JobView](t, resp)
+		if job.Status == JobDone || job.Status == JobFailed {
+			return job
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobView{}
+}
+
+// TestSimulateEndToEnd is the headline acceptance test: submit, poll, and
+// check the result matches a direct in-process simulation bit for bit.
+func TestSimulateEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	const insts = 50_000
+	req := SimulateRequest{
+		Benchmark: "gzip",
+		Insts:     insts,
+		Machine:   MachineSpec{Width: 4, Depth: 5, ROB: 64},
+	}
+	resp := postJSON(t, ts.URL+"/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	job := decodeBody[JobView](t, resp)
+	if job.ID == "" || job.Status != JobQueued {
+		t.Fatalf("submit returned %+v, want queued job with ID", job)
+	}
+
+	done := pollJob(t, ts.URL, job.ID)
+	if done.Status != JobDone || done.Outcome != outcomeOK {
+		t.Fatalf("job finished %+v, want done/ok", done)
+	}
+	var got SimulateResult
+	if err := json.Unmarshal(done.Result, &got); err != nil {
+		t.Fatalf("unmarshal result: %v", err)
+	}
+
+	// Direct reference run: same trace, same config, live simulation with
+	// no overlay. The service's overlay replay must be indistinguishable.
+	wc, ok := workload.SuiteConfig("gzip")
+	if !ok {
+		t.Fatal("gzip missing from suite")
+	}
+	_, soa, err := experiments.SharedTrace(wc, insts)
+	if err != nil {
+		t.Fatalf("SharedTrace: %v", err)
+	}
+	cfg := experiments.Point(4, 5, 64)
+	want, err := uarch.Run(soa.Reader(), cfg, uarch.Options{RecordMispredicts: true})
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+
+	if got.Cycles != want.Cycles || got.Insts != want.Insts {
+		t.Errorf("cycles/insts = %d/%d, want %d/%d", got.Cycles, got.Insts, want.Cycles, want.Insts)
+	}
+	if got.Mispredicts != want.Mispredicts {
+		t.Errorf("mispredicts = %d, want %d", got.Mispredicts, want.Mispredicts)
+	}
+	if got.ICacheMisses != want.ICacheMisses || got.LongDMisses != want.LongDMisses || got.ShortDMisses != want.ShortDMisses {
+		t.Errorf("miss counts = %d/%d/%d, want %d/%d/%d",
+			got.ICacheMisses, got.ShortDMisses, got.LongDMisses,
+			want.ICacheMisses, want.ShortDMisses, want.LongDMisses)
+	}
+	if got.IPC != want.IPC() || got.AvgMispredictPenalty != want.AvgMispredictPenalty() {
+		t.Errorf("ipc/penalty = %v/%v, want %v/%v", got.IPC, got.AvgMispredictPenalty, want.IPC(), want.AvgMispredictPenalty())
+	}
+	if got.Path != "soa+overlay" {
+		t.Errorf("path = %q, want soa+overlay (service must be replaying the shared overlay)", got.Path)
+	}
+	if got.Benchmark != "gzip" {
+		t.Errorf("benchmark = %q", got.Benchmark)
+	}
+}
+
+// TestModelEndpoint: the synchronous analytic-model endpoint returns a
+// plausible cycle stack.
+func TestModelEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	resp := postJSON(t, ts.URL+"/v1/model", ModelRequest{
+		Benchmark: "vpr",
+		Insts:     50_000,
+		Machine:   MachineSpec{ROB: 64},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model: status %d", resp.StatusCode)
+	}
+	got := decodeBody[ModelResult](t, resp)
+	if got.CPI <= 0 || got.IPC <= 0 {
+		t.Fatalf("model CPI/IPC = %v/%v, want positive", got.CPI, got.IPC)
+	}
+	if got.CPIBase <= 0 {
+		t.Errorf("cpi_base = %v, want positive", got.CPIBase)
+	}
+	if got.AvgMispredictPenalty <= 0 {
+		t.Errorf("avg penalty = %v, want positive", got.AvgMispredictPenalty)
+	}
+	sum := got.CPIBase + got.CPIBpred + got.CPIICache + got.CPILongData
+	if diff := sum - got.CPI; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("cycle stack %v does not sum to CPI %v", sum, got.CPI)
+	}
+}
+
+// TestBadRequests: validation failures are 400s with a JSON error, and are
+// counted under the bad_input outcome.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", `{}`},
+		{"unknown benchmark", `{"benchmark":"doom"}`},
+		{"both sources", `{"benchmark":"gzip","workload":{"name":"x"}}`},
+		{"unknown field", `{"benchmark":"gzip","bogus":1}`},
+		{"insts too small", `{"benchmark":"gzip","insts":10}`},
+		{"warmup >= insts", `{"benchmark":"gzip","insts":2000,"warmup":2000}`},
+		{"negative timeout", `{"benchmark":"gzip","timeout_ms":-5}`},
+		{"knobs and config", `{"benchmark":"gzip","machine":{"width":2,"config":{}}}`},
+		{"malformed json", `{`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		body := decodeBody[errorResponse](t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, body.Error)
+		}
+		if body.Error == "" {
+			t.Errorf("%s: empty error body", tc.name)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/j99999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	m := decodeBody[MetricsResponse](t, mustGet(t, ts.URL+"/metrics"))
+	if m.Jobs[outcomeBadInput] != uint64(len(cases)) {
+		t.Errorf("bad_input count = %d, want %d", m.Jobs[outcomeBadInput], len(cases))
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp
+}
+
+// TestOverload429: with one worker and a queue of one, a third concurrent
+// job is rejected with 429 + Retry-After — the admission-control contract.
+func TestOverload429(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+
+	slow := SimulateRequest{Benchmark: "mcf", Insts: 2_000_000}
+	first := decodeBody[JobView](t, postJSON(t, ts.URL+"/v1/simulate", slow))
+
+	// Wait until the first job occupies the worker, so the queue slot is
+	// provably free for the second.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		job := decodeBody[JobView](t, mustGet(t, ts.URL+"/v1/jobs/"+first.ID))
+		if job.Status == JobRunning {
+			break
+		}
+		if job.Status != JobQueued {
+			t.Fatalf("first job reached %s before running", job.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	second := postJSON(t, ts.URL+"/v1/simulate", slow)
+	second.Body.Close()
+	if second.StatusCode != http.StatusOK {
+		t.Fatalf("second submit: status %d, want 200 (queued)", second.StatusCode)
+	}
+
+	third := postJSON(t, ts.URL+"/v1/simulate", slow)
+	if third.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: status %d, want 429", third.StatusCode)
+	}
+	if third.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	third.Body.Close()
+
+	// A sweep must also be turned away before committing to a stream.
+	sweep := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Benchmark: "mcf", Insts: 2000})
+	sweep.Body.Close()
+	if sweep.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("sweep under overload: status %d, want 429", sweep.StatusCode)
+	}
+
+	m := decodeBody[MetricsResponse](t, mustGet(t, ts.URL+"/metrics"))
+	if m.Jobs[outcomeRejected] < 2 {
+		t.Errorf("rejected count = %d, want >= 2", m.Jobs[outcomeRejected])
+	}
+}
+
+// readSweep consumes an NDJSON sweep stream.
+func readSweep(t *testing.T, resp *http.Response) ([]SweepPoint, SweepTrailer) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("sweep: content-type %q", ct)
+	}
+	var (
+		points  []SweepPoint
+		trailer SweepTrailer
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		// The trailer is the only line with "done".
+		if bytes.Contains(line, []byte(`"done"`)) {
+			if err := json.Unmarshal(line, &trailer); err != nil {
+				t.Fatalf("trailer: %v", err)
+			}
+			continue
+		}
+		var pt SweepPoint
+		if err := json.Unmarshal(line, &pt); err != nil {
+			t.Fatalf("point: %v", err)
+		}
+		points = append(points, pt)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return points, trailer
+}
+
+// TestSweepStreamAndOverlayReuse: a sweep streams every grid point plus a
+// trailer; an identical second sweep is served from the shared caches, which
+// /metrics must show as overlay hits.
+func TestSweepStreamAndOverlayReuse(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	req := SweepRequest{
+		Benchmark: "twolf",
+		Insts:     20_000,
+		Widths:    []int{2, 4},
+		Depths:    []int{4},
+		ROBs:      []int{32, 64},
+	}
+	points, trailer := readSweep(t, postJSON(t, ts.URL+"/v1/sweep", req))
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	if !trailer.Done || trailer.Points != 4 || trailer.OK != 4 || trailer.Failed != 0 {
+		t.Fatalf("trailer = %+v, want done 4/4 ok", trailer)
+	}
+	seen := make(map[int]SweepPoint)
+	for _, pt := range points {
+		if pt.Error != "" {
+			t.Errorf("point %d failed: %s", pt.Seq, pt.Error)
+		}
+		if pt.IPC <= 0 {
+			t.Errorf("point %d: IPC = %v", pt.Seq, pt.IPC)
+		}
+		seen[pt.Seq] = pt
+	}
+	for seq := 0; seq < 4; seq++ {
+		if _, ok := seen[seq]; !ok {
+			t.Errorf("missing seq %d", seq)
+		}
+	}
+	// Canonical order: widths × depths × robs; seq 1 is width 2, rob 64.
+	if pt := seen[1]; pt.Width != 2 || pt.Depth != 4 || pt.ROB != 64 {
+		t.Errorf("seq 1 = %d/%d/%d, want 2/4/64", pt.Width, pt.Depth, pt.ROB)
+	}
+
+	// Identical sweep again: same trace, same overlay — pure cache hits.
+	_, trailer2 := readSweep(t, postJSON(t, ts.URL+"/v1/sweep", req))
+	if trailer2.OK != 4 {
+		t.Fatalf("second sweep trailer = %+v", trailer2)
+	}
+	m := decodeBody[MetricsResponse](t, mustGet(t, ts.URL+"/metrics"))
+	if m.OverlayCache.Hits == 0 {
+		t.Errorf("overlay cache hits = 0 after identical sweep, want > 0 (misses %d)", m.OverlayCache.Misses)
+	}
+	if m.TraceCache.Hits == 0 {
+		t.Errorf("trace cache hits = 0 after identical sweep, want > 0")
+	}
+	if m.Jobs[outcomeOK] < 8 {
+		t.Errorf("ok jobs = %d, want >= 8", m.Jobs[outcomeOK])
+	}
+	if m.Latency.Count < 8 {
+		t.Errorf("latency count = %d, want >= 8", m.Latency.Count)
+	}
+}
+
+// TestSweepModelMode: the analytic model serves the same grid without
+// cycle-level simulation.
+func TestSweepModelMode(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	points, trailer := readSweep(t, postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Benchmark: "gcc",
+		Insts:     20_000,
+		Widths:    []int{4},
+		Depths:    []int{4},
+		ROBs:      []int{32, 64, 128},
+		Mode:      "model",
+	}))
+	if trailer.OK != 3 || trailer.Mode != "model" {
+		t.Fatalf("trailer = %+v, want 3 ok in model mode", trailer)
+	}
+	for _, pt := range points {
+		if pt.Path != "model" {
+			t.Errorf("seq %d path = %q, want model", pt.Seq, pt.Path)
+		}
+		if pt.CPIBase <= 0 || pt.IPC <= 0 {
+			t.Errorf("seq %d: cpi_base/ipc = %v/%v, want positive", pt.Seq, pt.CPIBase, pt.IPC)
+		}
+	}
+}
+
+// TestHealthz: liveness, version, and drain reporting.
+func TestHealthz(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+
+	h := decodeBody[HealthResponse](t, mustGet(t, ts.URL+"/healthz"))
+	if h.Status != "ok" {
+		t.Fatalf("status = %q, want ok", h.Status)
+	}
+	if h.Version == "" {
+		t.Error("healthz version empty")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	h = decodeBody[HealthResponse](t, mustGet(t, ts.URL+"/healthz"))
+	if h.Status != "draining" {
+		t.Fatalf("status after shutdown = %q, want draining", h.Status)
+	}
+}
+
+// TestShutdownDrainsInFlight: Shutdown waits for an admitted job, the job's
+// result stays pollable, and new submissions get 503.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1})
+
+	job := decodeBody[JobView](t, postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Benchmark: "parser",
+		Insts:     500_000,
+	}))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The drain must have completed the job, not dropped or canceled it.
+	done := decodeBody[JobView](t, mustGet(t, ts.URL+"/v1/jobs/"+job.ID))
+	if done.Status != JobDone || done.Outcome != outcomeOK {
+		t.Fatalf("after drain, job = %+v, want done/ok", done)
+	}
+	if len(done.Result) == 0 {
+		t.Fatal("drained job has no result")
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Benchmark: "parser", Insts: 2000})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after shutdown: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestJobHistoryEviction: finished jobs are evicted beyond the bound, but
+// the store never loses a live job.
+func TestJobHistoryEviction(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, JobHistory: 3})
+
+	var last string
+	for i := 0; i < 6; i++ {
+		job := decodeBody[JobView](t, postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+			Benchmark: "gap",
+			Insts:     2000,
+		}))
+		pollJob(t, ts.URL, job.ID)
+		last = job.ID
+	}
+	m := decodeBody[MetricsResponse](t, mustGet(t, ts.URL+"/metrics"))
+	if m.TrackedJobs > 3 {
+		t.Errorf("tracked jobs = %d, want <= 3", m.TrackedJobs)
+	}
+	resp := mustGet(t, ts.URL+"/v1/jobs/"+last)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("most recent job evicted (status %d)", resp.StatusCode)
+	}
+}
+
+// TestDeadlineOutcome: a job whose deadline is far shorter than the work is
+// reported as a timeout, both on the job and in the outcome counters.
+func TestDeadlineOutcome(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	job := decodeBody[JobView](t, postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Benchmark: "vortex",
+		Insts:     10_000_000,
+		TimeoutMS: 1,
+	}))
+	done := pollJob(t, ts.URL, job.ID)
+	if done.Status != JobFailed || done.Outcome != outcomeTimeout {
+		t.Fatalf("job = %+v, want failed/timeout", done)
+	}
+	if len(done.Result) != 0 {
+		t.Error("timed-out job carries a result")
+	}
+	m := decodeBody[MetricsResponse](t, mustGet(t, ts.URL+"/metrics"))
+	if m.Jobs[outcomeTimeout] == 0 {
+		t.Error("timeout outcome not counted")
+	}
+}
+
+// TestInlineWorkload: an inline generator config works as the program
+// source, equivalently to a suite benchmark.
+func TestInlineWorkload(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	wc, ok := workload.SuiteConfig("gzip")
+	if !ok {
+		t.Fatal("gzip missing from suite")
+	}
+	job := decodeBody[JobView](t, postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Workload: &wc,
+		Insts:    20_000,
+	}))
+	done := pollJob(t, ts.URL, job.ID)
+	if done.Status != JobDone {
+		t.Fatalf("inline workload job = %+v", done)
+	}
+	var got SimulateResult
+	if err := json.Unmarshal(done.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != "gzip" || got.Cycles == 0 {
+		t.Fatalf("result = %+v", got)
+	}
+}
+
+// TestConcurrentMixedLoad hammers every endpoint at once under -race: the
+// shared caches, job store, metrics, and pool must hold up.
+func TestConcurrentMixedLoad(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 4, QueueDepth: 64})
+
+	const clients = 8
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		go func() {
+			bench := []string{"gzip", "mcf"}[c%2]
+			job := SimulateRequest{Benchmark: bench, Insts: 10_000}
+			raw, _ := json.Marshal(job)
+			for i := 0; i < 5; i++ {
+				resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var jv JobView
+				json.NewDecoder(resp.Body).Decode(&jv)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+					errs <- fmt.Errorf("submit status %d", resp.StatusCode)
+					return
+				}
+				if r, err := http.Get(ts.URL + "/metrics"); err == nil {
+					r.Body.Close()
+				}
+				if jv.ID != "" {
+					if r, err := http.Get(ts.URL + "/v1/jobs/" + jv.ID); err == nil {
+						r.Body.Close()
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package stats
+
+import "sort"
+
+// Sample is a bounded sliding-window sample for quantile estimation: it
+// keeps the most recent capacity observations in a ring and computes exact
+// quantiles over that window on demand. The daemon's /metrics endpoint uses
+// it for request-latency quantiles, where "the last few thousand requests"
+// is the population operators actually care about and an unbounded store
+// would leak across a long-lived process.
+//
+// Sample is not safe for concurrent use; callers serialize access (the
+// service layer wraps it in its metrics mutex).
+type Sample struct {
+	buf  []float64 // ring storage, len == filled portion until wrap
+	next int       // ring write index once full
+	cap  int
+	n    uint64 // observations ever Added (window holds min(n, cap))
+}
+
+// NewSample returns a Sample windowing the most recent capacity
+// observations. It panics for a non-positive capacity.
+func NewSample(capacity int) *Sample {
+	if capacity <= 0 {
+		panic("stats: sample needs positive capacity")
+	}
+	return &Sample{buf: make([]float64, 0, capacity), cap: capacity}
+}
+
+// Add records one observation, evicting the oldest when the window is full.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if len(s.buf) < s.cap {
+		s.buf = append(s.buf, x)
+		return
+	}
+	s.buf[s.next] = x
+	s.next = (s.next + 1) % s.cap
+}
+
+// Count returns the number of observations ever recorded (not the window
+// size).
+func (s *Sample) Count() uint64 { return s.n }
+
+// Len returns the number of observations currently in the window.
+func (s *Sample) Len() int { return len(s.buf) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the window using the
+// nearest-rank method on a sorted copy, or 0 for an empty window. q is
+// clamped into [0, 1].
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.buf) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.buf...)
+	sort.Float64s(sorted)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if q == 0 || i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Quantiles returns the quantiles for each q in qs, sorting the window
+// once. The result is aligned with qs.
+func (s *Sample) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(s.buf) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), s.buf...)
+	sort.Float64s(sorted)
+	for j, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		i := int(q*float64(len(sorted))) - 1
+		if q == 0 || i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		out[j] = sorted[i]
+	}
+	return out
+}
+
+// Max returns the largest observation in the window, or 0 when empty.
+func (s *Sample) Max() float64 {
+	max := 0.0
+	for i, v := range s.buf {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,92 @@
+package stats
+
+import "testing"
+
+func TestSampleQuantileExact(t *testing.T) {
+	s := NewSample(100)
+	// 1..100 in scrambled insertion order; quantiles must not depend on it.
+	for i := 0; i < 100; i++ {
+		s.Add(float64((i*37)%100 + 1))
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.5, 50}, {0.9, 90}, {0.99, 99}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := s.Max(); got != 100 {
+		t.Errorf("Max() = %v, want 100", got)
+	}
+}
+
+func TestSampleWindowEviction(t *testing.T) {
+	s := NewSample(4)
+	for _, v := range []float64{100, 200, 300, 1, 2, 3, 4} {
+		s.Add(v)
+	}
+	// Window is the last four observations: 1, 2, 3, 4.
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len() = %d, want 4", got)
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count() = %d, want 7", got)
+	}
+	if got := s.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want 4 (old values must be evicted)", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample(8)
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	if got := s.Max(); got != 0 {
+		t.Errorf("empty Max = %v, want 0", got)
+	}
+	if qs := s.Quantiles(0.5, 0.9); qs[0] != 0 || qs[1] != 0 {
+		t.Errorf("empty Quantiles = %v, want zeros", qs)
+	}
+}
+
+func TestSampleQuantilesAligned(t *testing.T) {
+	s := NewSample(10)
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	got := s.Quantiles(0.5, 0.9, 1)
+	want := []float64{5, 9, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Quantiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSampleClamps(t *testing.T) {
+	s := NewSample(3)
+	s.Add(7)
+	if got := s.Quantile(-1); got != 7 {
+		t.Errorf("Quantile(-1) = %v, want 7", got)
+	}
+	if got := s.Quantile(2); got != 7 {
+		t.Errorf("Quantile(2) = %v, want 7", got)
+	}
+}
+
+func TestSamplePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSample(0) did not panic")
+		}
+	}()
+	NewSample(0)
+}

@@ -1,0 +1,53 @@
+// Package version reports the build identity of the intervalsim binaries:
+// the module version and the VCS revision baked in by the Go toolchain.
+// Every CLI exposes it behind -version, and the intervalsimd daemon reports
+// it in /healthz, so a deployed binary can always be traced back to the
+// commit that built it.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// readBuildInfo is swapped by tests; the default reads the real build info.
+var readBuildInfo = debug.ReadBuildInfo
+
+// String returns a one-line build identity: module version, VCS revision
+// (12 hex digits, "+dirty" when the working tree was modified), and the Go
+// toolchain. Fields the toolchain did not record are omitted; a binary
+// built without module support reports "devel".
+func String() string {
+	bi, ok := readBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	ver := bi.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	out := ver
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		out = fmt.Sprintf("%s (%s)", out, rev)
+	}
+	if bi.GoVersion != "" {
+		out = fmt.Sprintf("%s %s", out, bi.GoVersion)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func withBuildInfo(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	t.Helper()
+	prev := readBuildInfo
+	readBuildInfo = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { readBuildInfo = prev })
+}
+
+func TestStringNoBuildInfo(t *testing.T) {
+	withBuildInfo(t, nil, false)
+	if got := String(); got != "devel" {
+		t.Fatalf("String() = %q, want devel", got)
+	}
+}
+
+func TestStringFull(t *testing.T) {
+	withBuildInfo(t, &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Main:      debug.Module{Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	got := String()
+	for _, want := range []string{"v1.2.3", "0123456789ab+dirty", "go1.24.0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+	if strings.Contains(got, "0123456789abc") {
+		t.Errorf("String() = %q: revision not truncated to 12 digits", got)
+	}
+}
+
+func TestStringDevelFallback(t *testing.T) {
+	withBuildInfo(t, &debug.BuildInfo{Main: debug.Module{Version: "(devel)"}}, true)
+	if got := String(); !strings.HasPrefix(got, "devel") {
+		t.Fatalf("String() = %q, want devel prefix", got)
+	}
+}
+
+// TestStringReal exercises the un-stubbed path: whatever the test binary's
+// build info is, String must return something non-empty and panic-free.
+func TestStringReal(t *testing.T) {
+	if got := String(); got == "" {
+		t.Fatal("String() returned empty")
+	}
+}
