@@ -23,17 +23,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"time"
 
+	"intervalsim/internal/cluster"
 	"intervalsim/internal/core"
 	"intervalsim/internal/overlay"
+	"intervalsim/internal/service"
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
 	"intervalsim/internal/version"
@@ -44,15 +48,15 @@ func main() { os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr)) }
 
 // benchPoint is one (benchmark, path) cell of the matrix.
 type benchPoint struct {
-	Benchmark string  `json:"benchmark"`
-	Path      string  `json:"path"` // "soa" or "generic"
-	Insts     uint64  `json:"insts"`
-	Runs      int     `json:"runs"`
-	InstPerS  float64 `json:"inst_per_s"`
-	AllocsPerRun uint64 `json:"allocs_per_run"`
-	CPI       float64 `json:"cpi"`
-	IPC       float64 `json:"ipc"`
-	Cycles    uint64  `json:"cycles"`
+	Benchmark    string  `json:"benchmark"`
+	Path         string  `json:"path"` // "soa" or "generic"
+	Insts        uint64  `json:"insts"`
+	Runs         int     `json:"runs"`
+	InstPerS     float64 `json:"inst_per_s"`
+	AllocsPerRun uint64  `json:"allocs_per_run"`
+	CPI          float64 `json:"cpi"`
+	IPC          float64 `json:"ipc"`
+	Cycles       uint64  `json:"cycles"`
 }
 
 // sweepBench is the sweep-level metric: the wall-clock of an entire
@@ -79,13 +83,37 @@ type sweepBench struct {
 	ModelMeanErr   float64 `json:"model_cpi_mean_abs_err"`
 }
 
+// clusterFleet is one fleet size of the cluster scale-out benchmark.
+type clusterFleet struct {
+	Daemons    int     `json:"daemons"`
+	Seconds    float64 `json:"seconds"`
+	Speedup    float64 `json:"speedup"`        // vs the 1-daemon fleet
+	Efficiency float64 `json:"efficiency"`     // speedup / daemons
+	Stolen     int     `json:"stolen_batches"` // work-stealing activity during the run
+}
+
+// clusterBench measures distributed-sweep scale-out: the same design-space
+// sweep dispatched through the cluster coordinator to 1, 2, and 4 local
+// intervalsimd daemons (one worker each). Cores records how much hardware
+// parallelism the host actually had — on a single-core machine the fleets
+// contend for one CPU and the speedup honestly reports ~1×, so the number is
+// interpretable rather than misleading.
+type clusterBench struct {
+	Benchmark string         `json:"benchmark"`
+	Insts     int            `json:"insts"`
+	Points    int            `json:"points"`
+	Cores     int            `json:"cores"`
+	Fleets    []clusterFleet `json:"fleets"`
+}
+
 // benchReport is the BENCH_simulator.json schema.
 type benchReport struct {
-	Quick     bool         `json:"quick"`
-	GoVersion string       `json:"go_version"`
-	Config    string       `json:"config"`
-	Points    []benchPoint `json:"points"`
-	Sweep     *sweepBench  `json:"sweep"`
+	Quick     bool          `json:"quick"`
+	GoVersion string        `json:"go_version"`
+	Config    string        `json:"config"`
+	Points    []benchPoint  `json:"points"`
+	Sweep     *sweepBench   `json:"sweep"`
+	Cluster   *clusterBench `json:"cluster"`
 }
 
 func realMain(args []string, stdout, stderr io.Writer) int {
@@ -183,7 +211,104 @@ func run(quick bool, runs int, stdout io.Writer) (*benchReport, error) {
 		sw.Benchmark, sw.Points, sw.Insts, sw.LiveSeconds,
 		sw.ReplaySeconds, sw.ReplaySpeedup, sw.ModelSeconds, sw.ModelSpeedup,
 		sw.OverlayHitRate*100, sw.ModelMeanErr*100)
+	cb, err := measureCluster(quick, stdout)
+	if err != nil {
+		return nil, err
+	}
+	rep.Cluster = cb
 	return rep, nil
+}
+
+// measureCluster times the same sweep dispatched through the cluster
+// coordinator to fleets of 1, 2, and 4 local daemons, each with a single
+// worker, so the fleet size is the only parallelism knob. Every daemon is
+// prewarmed (trace resolved, overlay built) before its fleet is timed, so
+// the measurement is steady-state sweep throughput, not setup cost.
+func measureCluster(quick bool, stdout io.Writer) (*clusterBench, error) {
+	name := "crafty"
+	insts, widths, depths, robs := 400_000, []int{2, 4, 8}, []int{3, 7}, []int{64, 128}
+	if quick {
+		insts, widths, depths, robs = 100_000, []int{2, 4}, []int{3}, []int{64, 128}
+	}
+	cb := &clusterBench{
+		Benchmark: name,
+		Insts:     insts,
+		Points:    len(widths) * len(depths) * len(robs),
+		Cores:     runtime.NumCPU(),
+	}
+	fmt.Fprintf(stdout, "cluster %s (%d pts, %d insts) on %d cores:\n", name, cb.Points, insts, cb.Cores)
+
+	for _, n := range []int{1, 2, 4} {
+		if cb.Cores < n {
+			fmt.Fprintf(stdout, "  note: %d daemons on %d cores; scale-out is core-bound\n", n, cb.Cores)
+		}
+		secs, stolen, err := timeFleet(n, name, insts, widths, depths, robs)
+		if err != nil {
+			return nil, err
+		}
+		fl := clusterFleet{Daemons: n, Seconds: secs, Stolen: stolen}
+		if len(cb.Fleets) > 0 && secs > 0 {
+			fl.Speedup = cb.Fleets[0].Seconds / secs
+			fl.Efficiency = fl.Speedup / float64(n)
+		} else if secs > 0 {
+			fl.Speedup, fl.Efficiency = 1, 1
+		}
+		cb.Fleets = append(cb.Fleets, fl)
+		fmt.Fprintf(stdout, "  %d daemon(s): %.2fs (%.2fx, eff %.2f)\n", n, secs, fl.Speedup, fl.Efficiency)
+	}
+	return cb, nil
+}
+
+// timeFleet boots n in-process daemons, prewarms them, and times one full
+// distributed sweep across the fleet.
+func timeFleet(n int, bench string, insts int, widths, depths, robs []int) (float64, int, error) {
+	ctx := context.Background()
+	endpoints := make([]string, n)
+	servers := make([]*httptest.Server, n)
+	daemons := make([]*service.Server, n)
+	for i := 0; i < n; i++ {
+		daemons[i] = service.New(service.Options{Workers: 1})
+		servers[i] = httptest.NewServer(daemons[i].Handler())
+		endpoints[i] = servers[i].URL
+	}
+	defer func() {
+		for i := range servers {
+			servers[i].Close()
+			sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			daemons[i].Shutdown(sctx) //nolint:errcheck // bench teardown
+			cancel()
+		}
+	}()
+
+	// Prewarm: one point through every daemon resolves the trace and builds
+	// the overlay before the clock starts.
+	for _, ep := range endpoints {
+		_, err := cluster.NewClient(ep).Batch(ctx, service.BatchRequest{
+			Benchmark: bench,
+			Insts:     insts,
+			Decompose: true,
+			Points:    []service.BatchPointSpec{{Seq: 0, Width: widths[0], Depth: depths[0], ROB: robs[0]}},
+		}, func(service.BatchPoint) {})
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+
+	t0 := time.Now()
+	stats, err := cluster.Run(ctx, cluster.Options{
+		Endpoints: endpoints,
+		Benches:   []string{bench},
+		Widths:    widths,
+		Depths:    depths,
+		ROBs:      robs,
+		Insts:     insts,
+		BatchSize: 1,
+		KeepGoing: true,
+	}, func(*cluster.Row) error { return nil })
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(t0).Seconds(), stats.Stolen, nil
 }
 
 // sweepGrid returns the pinned depth×ROB grid at fixed dispatch width and

@@ -40,7 +40,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"intervalsim/internal/cluster"
 	"intervalsim/internal/core"
 	"intervalsim/internal/experiments"
 	"intervalsim/internal/harness"
@@ -70,6 +72,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	keepGoing := fs.Bool("keep-going", true, "continue past failed design points (successful rows are always emitted)")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline per design point (0 = none)")
 	retries := fs.Int("retries", 0, "retries per transiently failing point")
+	endpoints := fs.String("endpoints", "", "comma-separated intervalsimd endpoints: shard the sweep across a fleet instead of simulating in-process (see sweepctl for full control)")
 	showVersion := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -91,6 +94,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sweep: unknown mode %q (want sim or model)\n", *mode)
 		return 2
 	}
+	if *endpoints != "" {
+		return runCluster(stdout, stderr, *endpoints, *bench, *mode, *insts, *warmup, *timeout, *retries, *keepGoing)
+	}
 	err := run(context.Background(), stdout, stderr, wc, *mode, *insts, *warmup, harness.Options{
 		Workers:   *jobs,
 		Timeout:   *timeout,
@@ -99,6 +105,48 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "sweep:", err)
+		return 1
+	}
+	return 0
+}
+
+// runCluster delegates the sweep to a fleet of intervalsimd daemons through
+// the cluster coordinator. The grid and the CSV output are exactly the
+// in-process sweep's; only the execution is distributed, so the bytes on
+// stdout must not depend on which path ran.
+func runCluster(stdout, stderr io.Writer, endpoints, bench, mode string, insts int, warmup uint64, timeout time.Duration, retries int, keepGoing bool) int {
+	var eps []string
+	for _, ep := range strings.Split(endpoints, ",") {
+		if ep = strings.TrimSpace(ep); ep != "" {
+			eps = append(eps, ep)
+		}
+	}
+	widths, depths, robs := gridAxes()
+	sink := cluster.NewCSVSink(stdout, mode, false)
+	stats, runErr := cluster.Run(context.Background(), cluster.Options{
+		Endpoints:    eps,
+		Benches:      []string{bench},
+		Widths:       widths,
+		Depths:       depths,
+		ROBs:         robs,
+		Mode:         mode,
+		Insts:        insts,
+		Warmup:       warmup,
+		PointTimeout: timeout,
+		Retries:      retries,
+		KeepGoing:    keepGoing,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		},
+	}, sink.Emit)
+	if stats != nil {
+		if err := sink.Finish(); err != nil && runErr == nil {
+			runErr = err
+		}
+		stats.FprintSummary(stderr)
+	}
+	if runErr != nil {
+		fmt.Fprintln(stderr, "sweep:", runErr)
 		return 1
 	}
 	return 0

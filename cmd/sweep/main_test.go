@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"intervalsim/internal/experiments"
+	"intervalsim/internal/service"
 	"intervalsim/internal/uarch"
 	"intervalsim/internal/workload"
 )
@@ -204,5 +208,44 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 	if lines := strings.Count(serial, "\n"); lines != 28 { // header + 27 rows
 		t.Fatalf("CSV has %d lines, want 28", lines)
+	}
+}
+
+// TestEndpointsModeMatchesInProcess is the distributed acceptance gate at
+// the command level: `sweep -endpoints` sharded across two daemons must
+// write byte-identical CSV to the in-process sweep of the same grid.
+func TestEndpointsModeMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid distributed sweep skipped in -short mode")
+	}
+	boot := func() *httptest.Server {
+		s := service.New(service.Options{Workers: 2})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			if err := s.Shutdown(ctx); err != nil {
+				t.Errorf("Shutdown: %v", err)
+			}
+		})
+		return ts
+	}
+	a, b := boot(), boot()
+
+	var local, localErr bytes.Buffer
+	if code := realMain(sweepArgs("-j", "4"), &local, &localErr); code != 0 {
+		t.Fatalf("in-process exit = %d (stderr: %s)", code, localErr.String())
+	}
+	var dist, distErr bytes.Buffer
+	if code := realMain(sweepArgs("-endpoints", a.URL+","+b.URL), &dist, &distErr); code != 0 {
+		t.Fatalf("distributed exit = %d (stderr: %s)", code, distErr.String())
+	}
+	if local.String() != dist.String() {
+		t.Errorf("distributed CSV differs from in-process:\n--- local ---\n%s--- distributed ---\n%s",
+			local.String(), dist.String())
+	}
+	if !strings.Contains(distErr.String(), "cluster: 27 points (27 ok, 0 failed)") {
+		t.Errorf("stderr missing fleet summary: %q", distErr.String())
 	}
 }

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// probeFleet checks every endpoint's /healthz concurrently and reports which
+// are serving. The coordinator runs it once up front: a sweep proceeds with
+// whatever subset of the fleet answers, but zero healthy endpoints is a
+// configuration error worth failing fast on.
+func probeFleet(ctx context.Context, clients []*Client, timeout time.Duration) []bool {
+	up := make([]bool, len(clients))
+	done := make(chan int, len(clients))
+	for i, c := range clients {
+		go func(i int, c *Client) {
+			pctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			if _, err := c.Health(pctx); err == nil {
+				up[i] = true
+			}
+			done <- i
+		}(i, c)
+	}
+	for range clients {
+		<-done
+	}
+	return up
+}
+
+// awaitHealthy re-probes one endpoint with doubling backoff (250ms up to 2s
+// between probes) until it answers /healthz, the context ends, or
+// maxFailures consecutive probes fail. A node that flunks out is abandoned:
+// its runner exits and the scheduler's requeue/steal machinery moves its
+// work to the rest of the fleet.
+func awaitHealthy(ctx context.Context, c *Client, maxFailures int) error {
+	backoff := 250 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < maxFailures; attempt++ {
+		pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		_, err := c.Health(pctx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+	return fmt.Errorf("cluster: %s unhealthy after %d probes: %w", c.Base, maxFailures, lastErr)
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"sync"
+
+	"intervalsim/internal/service"
+)
+
+// Row is one merged sweep result: the benchmark it belongs to, the daemon's
+// result line, and the endpoint whose commit won (summary bookkeeping only
+// — the winner never appears in the merged output, which must be identical
+// no matter which node computed a point).
+type Row struct {
+	Bench    string
+	Point    service.BatchPoint
+	Endpoint string
+}
+
+// Merger is the exactly-once commit point of a distributed sweep. Results
+// arrive from many daemons in arbitrary order — and, under work stealing,
+// more than once per point — and leave exactly once each, in global
+// sequence order. The first commit of a sequence number wins; a stolen
+// batch that later completes finds its points already committed and is
+// discarded. Emission is a reorder buffer: row k is emitted as soon as rows
+// 0..k-1 have been, so output streams during the sweep instead of arriving
+// in one burst at the end.
+type Merger struct {
+	mu         sync.Mutex
+	rows       []*Row
+	emitted    int
+	committed  int
+	failed     int
+	emit       func(*Row) error
+	emitErr    error
+	byEndpoint map[string]int
+}
+
+// NewMerger returns a merger for n points, delivering rows in sequence
+// order to emit.
+func NewMerger(n int, emit func(*Row) error) *Merger {
+	return &Merger{
+		rows:       make([]*Row, n),
+		emit:       emit,
+		byEndpoint: make(map[string]int),
+	}
+}
+
+// Commit offers one result row for global sequence seq. It reports whether
+// this commit won: false for duplicates (the point was already committed by
+// another — possibly stolen — dispatch) and for out-of-range sequences.
+// Winning commits are emitted in order as the contiguous prefix grows.
+func (m *Merger) Commit(seq int, row *Row) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if seq < 0 || seq >= len(m.rows) || m.rows[seq] != nil {
+		return false
+	}
+	m.rows[seq] = row
+	m.committed++
+	if row.Point.Error != "" {
+		m.failed++
+	}
+	m.byEndpoint[row.Endpoint]++
+	for m.emitted < len(m.rows) && m.rows[m.emitted] != nil {
+		if m.emit != nil && m.emitErr == nil {
+			m.emitErr = m.emit(m.rows[m.emitted])
+		}
+		m.emitted++
+	}
+	return true
+}
+
+// Committed returns how many points have committed so far.
+func (m *Merger) Committed() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.committed
+}
+
+// Failed returns how many committed points carry errors.
+func (m *Merger) Failed() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failed
+}
+
+// Done reports whether every point has committed (and hence been emitted).
+func (m *Merger) Done() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.committed == len(m.rows)
+}
+
+// Err returns the first emission error, if any.
+func (m *Merger) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.emitErr
+}
+
+// PerEndpoint returns how many winning commits each endpoint produced.
+func (m *Merger) PerEndpoint() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.byEndpoint))
+	for k, v := range m.byEndpoint {
+		out[k] = v
+	}
+	return out
+}
+
+// Missing returns the sequence numbers that never committed, for error
+// reporting when a sweep could not complete.
+func (m *Merger) Missing() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []int
+	for i, r := range m.rows {
+		if r == nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}

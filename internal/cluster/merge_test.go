@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"intervalsim/internal/service"
+)
+
+// TestMergerOrderedEmission: rows commit in arbitrary order but emit as the
+// contiguous prefix in sequence order.
+func TestMergerOrderedEmission(t *testing.T) {
+	var got []int
+	m := NewMerger(5, func(r *Row) error {
+		got = append(got, r.Point.Seq)
+		return nil
+	})
+	for _, seq := range []int{3, 1, 0} {
+		if !m.Commit(seq, &Row{Point: service.BatchPoint{Seq: seq}}) {
+			t.Fatalf("commit %d lost", seq)
+		}
+	}
+	// 0 and 1 are a contiguous prefix; 3 waits on 2.
+	if fmt.Sprint(got) != "[0 1]" {
+		t.Fatalf("emitted %v, want [0 1]", got)
+	}
+	m.Commit(4, &Row{Point: service.BatchPoint{Seq: 4}})
+	m.Commit(2, &Row{Point: service.BatchPoint{Seq: 2}})
+	if fmt.Sprint(got) != "[0 1 2 3 4]" {
+		t.Fatalf("emitted %v, want [0 1 2 3 4]", got)
+	}
+	if !m.Done() || m.Committed() != 5 || m.Failed() != 0 {
+		t.Fatalf("done=%v committed=%d failed=%d", m.Done(), m.Committed(), m.Failed())
+	}
+}
+
+// TestMergerRejectsDuplicatesAndBounds: second commits of a seq and
+// out-of-range seqs lose.
+func TestMergerRejectsDuplicatesAndBounds(t *testing.T) {
+	m := NewMerger(2, nil)
+	if !m.Commit(0, &Row{Endpoint: "a"}) {
+		t.Fatal("first commit lost")
+	}
+	if m.Commit(0, &Row{Endpoint: "b"}) {
+		t.Fatal("duplicate commit won")
+	}
+	if m.Commit(-1, &Row{}) || m.Commit(2, &Row{}) {
+		t.Fatal("out-of-range commit won")
+	}
+	if wins := m.PerEndpoint(); wins["a"] != 1 || wins["b"] != 0 {
+		t.Fatalf("wins = %v", wins)
+	}
+	if missing := m.Missing(); len(missing) != 1 || missing[0] != 1 {
+		t.Fatalf("missing = %v", missing)
+	}
+}
+
+// TestMergerExactlyOnceConcurrent is the work-stealing commit race reduced
+// to its essentials: many goroutines racing to commit every sequence number
+// (as a stolen batch and its original dispatch both completing would), with
+// the invariant that each point wins exactly once and emission stays in
+// order. Run with -race this doubles as the data-race gate for the commit
+// path.
+func TestMergerExactlyOnceConcurrent(t *testing.T) {
+	const n, writers = 500, 8
+	var got []int
+	m := NewMerger(n, func(r *Row) error {
+		got = append(got, r.Point.Seq)
+		return nil
+	})
+
+	var wg sync.WaitGroup
+	wins := make([]int, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ep := fmt.Sprintf("node-%d", w)
+			for seq := 0; seq < n; seq++ {
+				if m.Commit(seq, &Row{Endpoint: ep, Point: service.BatchPoint{Seq: seq}}) {
+					wins[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total != n {
+		t.Fatalf("%d wins across writers, want exactly %d", total, n)
+	}
+	if !m.Done() || m.Committed() != n {
+		t.Fatalf("done=%v committed=%d", m.Done(), m.Committed())
+	}
+	if len(got) != n {
+		t.Fatalf("emitted %d rows, want %d", len(got), n)
+	}
+	for i, seq := range got {
+		if seq != i {
+			t.Fatalf("emission out of order at %d: got seq %d", i, seq)
+		}
+	}
+	perEp := 0
+	for _, c := range m.PerEndpoint() {
+		perEp += c
+	}
+	if perEp != n {
+		t.Fatalf("per-endpoint wins sum to %d, want %d", perEp, n)
+	}
+}

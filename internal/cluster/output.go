@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"intervalsim/internal/service"
+)
+
+// simHeaders / modelHeaders mirror cmd/sweep's CSV columns exactly; byte
+// parity between a distributed and a single-process sweep depends on it.
+var (
+	simHeaders = []string{"width", "depth", "rob", "ipc", "avg_penalty",
+		"penalty_frontend", "penalty_drain", "penalty_fu", "penalty_shortd", "penalty_longd"}
+	modelHeaders = []string{"width", "depth", "rob", "ipc", "avg_penalty",
+		"cpi_base", "cpi_bpred", "cpi_icache", "cpi_longd"}
+)
+
+// CSVSink renders merged rows as the same CSV cmd/sweep emits — identical
+// headers and format verbs, so a single-benchmark distributed sweep is
+// byte-identical to the single-process tool. Sweeping multiple benchmarks
+// prepends a "bench" column. Failed points produce no row (cmd/sweep's
+// fail-soft convention: errors go to the log and the exit code).
+type CSVSink struct {
+	w           io.Writer
+	mode        string
+	multiBench  bool
+	wroteHeader bool
+}
+
+// NewCSVSink returns a sink writing mode-appropriate CSV to w.
+func NewCSVSink(w io.Writer, mode string, multiBench bool) *CSVSink {
+	return &CSVSink{w: w, mode: mode, multiBench: multiBench}
+}
+
+func (s *CSVSink) header() error {
+	s.wroteHeader = true
+	hs := simHeaders
+	if s.mode == "model" {
+		hs = modelHeaders
+	}
+	if s.multiBench {
+		hs = append([]string{"bench"}, hs...)
+	}
+	_, err := fmt.Fprintln(s.w, strings.Join(hs, ","))
+	return err
+}
+
+// Emit writes one merged row.
+func (s *CSVSink) Emit(row *Row) error {
+	if !s.wroteHeader {
+		if err := s.header(); err != nil {
+			return err
+		}
+	}
+	if row.Point.Error != "" {
+		return nil
+	}
+	pt := row.Point
+	cells := []string{
+		fmt.Sprintf("%d", pt.Width), fmt.Sprintf("%d", pt.Depth), fmt.Sprintf("%d", pt.ROB),
+		fmt.Sprintf("%.3f", pt.IPC),
+		fmt.Sprintf("%.2f", pt.AvgPenalty),
+	}
+	if s.mode == "model" {
+		cells = append(cells,
+			fmt.Sprintf("%.3f", pt.CPIBase),
+			fmt.Sprintf("%.3f", pt.CPIBpred),
+			fmt.Sprintf("%.3f", pt.CPIICache),
+			fmt.Sprintf("%.3f", pt.CPILongData),
+		)
+	} else {
+		cells = append(cells,
+			fmt.Sprintf("%.2f", pt.PenFrontend),
+			fmt.Sprintf("%.2f", pt.PenDrain),
+			fmt.Sprintf("%.2f", pt.PenFU),
+			fmt.Sprintf("%.2f", pt.PenShortD),
+			fmt.Sprintf("%.2f", pt.PenLongD),
+		)
+	}
+	if s.multiBench {
+		cells = append([]string{row.Bench}, cells...)
+	}
+	_, err := fmt.Fprintln(s.w, strings.Join(cells, ","))
+	return err
+}
+
+// Finish writes the header if no row ever did (an all-failed sweep still
+// emits a well-formed, empty CSV, as cmd/sweep does).
+func (s *CSVSink) Finish() error {
+	if s.wroteHeader {
+		return nil
+	}
+	return s.header()
+}
+
+// NDJSONSink streams merged rows as NDJSON, one object per design point
+// including failed ones, for downstream tooling that wants raw float64
+// values rather than formatted CSV cells.
+type NDJSONSink struct {
+	enc *json.Encoder
+}
+
+// NewNDJSONSink returns a sink writing NDJSON to w.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	return &NDJSONSink{enc: json.NewEncoder(w)}
+}
+
+type ndjsonRow struct {
+	Bench string `json:"bench"`
+	service.BatchPoint
+}
+
+// Emit writes one merged row.
+func (s *NDJSONSink) Emit(row *Row) error {
+	return s.enc.Encode(ndjsonRow{Bench: row.Bench, BatchPoint: row.Point})
+}

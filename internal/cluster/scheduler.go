@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"intervalsim/internal/service"
+)
+
+// Batch is one shard of a sweep: a contiguous run of design points from a
+// single benchmark's grid, carrying the coordinator's global sequence
+// numbers so results merge back into canonical order no matter which node
+// computes them.
+type Batch struct {
+	ID    int
+	Bench string
+	// Affinity is the endpoint this batch prefers. All of a benchmark's
+	// batches share an affinity group, so each daemon decodes and packs the
+	// benchmark's trace (and builds its miss-event overlay) once and then
+	// serves the rest of that benchmark's shards from its caches. Affinity
+	// is a preference, not an assignment: an idle node takes any pending
+	// batch, and a stalled batch is stolen outright.
+	Affinity string
+	Specs    []service.BatchPointSpec
+}
+
+// Plan is the sharding of a sweep across a fleet: every design point of
+// every benchmark, exactly once, in batches keyed by workload.
+type Plan struct {
+	Batches   []Batch
+	Benches   []string
+	Endpoints []string
+	Points    int // total design points across all batches
+}
+
+// BuildPlan shards the cross product of benches × widths × depths × robs
+// over the endpoints. Global sequence numbers follow canonical sweep order —
+// benchmark-major, then width, depth, rob, exactly cmd/sweep's grid order —
+// so the merged output of a distributed run is comparable (for a single
+// benchmark: byte-identical) to a single-process sweep.
+//
+// Affinity assignment keys shards by workload. With at least as many
+// benchmarks as endpoints, benchmark i prefers endpoint i mod E. With fewer,
+// each benchmark gets a near-equal contiguous group of endpoints and its
+// batches round-robin within the group — every node stays busy while still
+// seeing only one benchmark's trace.
+//
+// batchSize 0 picks a default that gives each endpoint several batches
+// (total/(4·E), floored at 1): small enough that work stealing has units to
+// move when a node slows down, large enough to amortize per-shard dispatch
+// and trace-resolution costs.
+func BuildPlan(endpoints, benches []string, widths, depths, robs []int, batchSize int) (Plan, error) {
+	if len(endpoints) == 0 {
+		return Plan{}, fmt.Errorf("cluster: no endpoints")
+	}
+	if len(benches) == 0 {
+		return Plan{}, fmt.Errorf("cluster: no benchmarks")
+	}
+	if len(widths) == 0 || len(depths) == 0 || len(robs) == 0 {
+		return Plan{}, fmt.Errorf("cluster: empty sweep axis")
+	}
+	perBench := len(widths) * len(depths) * len(robs)
+	total := perBench * len(benches)
+	if batchSize <= 0 {
+		batchSize = total / (4 * len(endpoints))
+		if batchSize < 1 {
+			batchSize = 1
+		}
+	}
+
+	// Affinity groups: which endpoints serve which benchmark.
+	groups := make([][]string, len(benches))
+	if len(benches) >= len(endpoints) {
+		for i := range benches {
+			groups[i] = endpoints[i%len(endpoints) : i%len(endpoints)+1]
+		}
+	} else {
+		base, extra := len(endpoints)/len(benches), len(endpoints)%len(benches)
+		at := 0
+		for i := range benches {
+			n := base
+			if i < extra {
+				n++
+			}
+			groups[i] = endpoints[at : at+n]
+			at += n
+		}
+	}
+
+	plan := Plan{Benches: benches, Endpoints: endpoints, Points: total}
+	seq := 0
+	for bi, bench := range benches {
+		group := groups[bi]
+		var specs []service.BatchPointSpec
+		slot := 0
+		flush := func() {
+			if len(specs) == 0 {
+				return
+			}
+			plan.Batches = append(plan.Batches, Batch{
+				ID:       len(plan.Batches),
+				Bench:    bench,
+				Affinity: group[slot%len(group)],
+				Specs:    specs,
+			})
+			slot++
+			specs = nil
+		}
+		for _, w := range widths {
+			for _, d := range depths {
+				for _, r := range robs {
+					specs = append(specs, service.BatchPointSpec{Seq: seq, Width: w, Depth: d, ROB: r})
+					seq++
+					if len(specs) == batchSize {
+						flush()
+					}
+				}
+			}
+		}
+		flush()
+	}
+	return plan, nil
+}
+
+// Fprint renders the shard plan for -dry-run: what would be dispatched
+// where, without touching any daemon.
+func (p Plan) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "plan: %d points, %d batches, %d benchmarks, %d endpoints\n",
+		p.Points, len(p.Batches), len(p.Benches), len(p.Endpoints))
+	for _, b := range p.Batches {
+		first, last := b.Specs[0].Seq, b.Specs[len(b.Specs)-1].Seq
+		fmt.Fprintf(w, "  batch %3d  %-10s -> %-24s %3d points  seq [%d..%d]\n",
+			b.ID, b.Bench, b.Affinity, len(b.Specs), first, last)
+	}
+}
+
+// batchState tracks one batch through the runtime scheduler.
+type batchState struct {
+	Batch
+	inflight bool
+	done     bool
+	runners  int       // concurrent dispatches (>1 once stolen)
+	started  time.Time // most recent dispatch, the steal clock
+	attempts int
+}
+
+// scheduler hands batches to per-endpoint runners. It is the work-stealing
+// half of the design: affinity first, then any pending work, and when
+// nothing is pending an idle runner steals a batch that has been in flight
+// longer than stealAfter — the slow or dead node's dispatch keeps running,
+// and whichever copy finishes first wins at the merger.
+type scheduler struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	all        []*batchState
+	pending    []*batchState
+	stealAfter time.Duration
+	now        func() time.Time
+	completed  int
+	stolen     int
+	stopped    bool
+}
+
+func newScheduler(plan Plan, stealAfter time.Duration) *scheduler {
+	s := &scheduler{stealAfter: stealAfter, now: time.Now}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range plan.Batches {
+		st := &batchState{Batch: plan.Batches[i]}
+		s.all = append(s.all, st)
+		s.pending = append(s.pending, st)
+	}
+	return s
+}
+
+// next blocks until there is work for endpoint, all batches are done, or the
+// scheduler is stopped; it returns nil in the latter two cases. Preference
+// order: a pending batch with matching affinity, any pending batch, then the
+// longest-in-flight stealable batch.
+func (s *scheduler) next(endpoint string) *batchState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped || s.completed == len(s.all) {
+			return nil
+		}
+		if st := s.takePending(endpoint); st != nil {
+			return st
+		}
+		if st := s.steal(); st != nil {
+			return st
+		}
+		s.cond.Wait()
+	}
+}
+
+// takePending pops the first affinity match, falling back to the head of the
+// queue. Caller holds mu.
+func (s *scheduler) takePending(endpoint string) *batchState {
+	pick := -1
+	for i, st := range s.pending {
+		if st.Affinity == endpoint {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 && len(s.pending) > 0 {
+		pick = 0
+	}
+	if pick < 0 {
+		return nil
+	}
+	st := s.pending[pick]
+	s.pending = append(s.pending[:pick], s.pending[pick+1:]...)
+	st.inflight = true
+	st.runners++
+	st.started = s.now()
+	st.attempts++
+	return st
+}
+
+// steal returns the longest-running in-flight batch past the steal age, if
+// any. Dispatching the thief resets the steal clock, so a third node waits
+// another full stealAfter before piling on. Caller holds mu.
+func (s *scheduler) steal() *batchState {
+	if s.stealAfter <= 0 {
+		return nil
+	}
+	var pick *batchState
+	now := s.now()
+	for _, st := range s.all {
+		if !st.inflight || st.done || now.Sub(st.started) < s.stealAfter {
+			continue
+		}
+		if pick == nil || st.started.Before(pick.started) {
+			pick = st
+		}
+	}
+	if pick == nil {
+		return nil
+	}
+	pick.runners++
+	pick.started = now
+	pick.attempts++
+	s.stolen++
+	return pick
+}
+
+// complete reports a dispatch that finished its batch. Only the first
+// completion counts; a stolen copy finishing later is a no-op here (its rows
+// were already discarded point-by-point at the merger).
+func (s *scheduler) complete(st *batchState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.runners--
+	if !st.done {
+		st.done = true
+		st.inflight = false
+		s.completed++
+	}
+	s.cond.Broadcast()
+}
+
+// fail reports a dispatch that could not finish its batch. When the last
+// runner of an unfinished batch fails, the batch goes back on the pending
+// queue for any node to pick up.
+func (s *scheduler) fail(st *batchState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.runners--
+	if !st.done && st.runners == 0 {
+		st.inflight = false
+		s.pending = append(s.pending, st)
+	}
+	s.cond.Broadcast()
+}
+
+// stop unblocks all runners; next returns nil from then on.
+func (s *scheduler) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// kick wakes waiting runners so they re-examine steal ages; the coordinator
+// calls it on a timer since age crossings don't otherwise signal the cond.
+func (s *scheduler) kick() {
+	s.cond.Broadcast()
+}
+
+// stats returns (completed batches, total batches, steals) so far.
+func (s *scheduler) stats() (completed, total, stolen int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completed, len(s.all), s.stolen
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func planSeqs(p Plan) []int {
+	var seqs []int
+	for _, b := range p.Batches {
+		for _, sp := range b.Specs {
+			seqs = append(seqs, sp.Seq)
+		}
+	}
+	return seqs
+}
+
+// TestBuildPlanCanonicalOrder: sequence numbers enumerate benchmark-major,
+// then width, depth, rob — cmd/sweep's grid order.
+func TestBuildPlanCanonicalOrder(t *testing.T) {
+	p, err := BuildPlan([]string{"a"}, []string{"gzip", "gcc"}, []int{2, 4}, []int{3}, []int{64, 128}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Points != 8 {
+		t.Fatalf("points = %d, want 8", p.Points)
+	}
+	for i, seq := range planSeqs(p) {
+		if seq != i {
+			t.Fatalf("seq at %d = %d, want contiguous canonical order", i, seq)
+		}
+	}
+	// First point of the second benchmark starts a fresh batch: batches
+	// never span benchmarks, or shard affinity would be meaningless.
+	want := [][2]interface{}{{0, "gzip"}, {1, "gzip"}, {2, "gcc"}, {3, "gcc"}}
+	if len(p.Batches) != len(want) {
+		t.Fatalf("batches = %d, want %d", len(p.Batches), len(want))
+	}
+	for i, b := range p.Batches {
+		if b.ID != want[i][0] || b.Bench != want[i][1] {
+			t.Fatalf("batch %d = {%d %s}, want %v", i, b.ID, b.Bench, want[i])
+		}
+	}
+	// Spot-check the knob mapping of the first two points.
+	if sp := p.Batches[0].Specs[0]; sp.Width != 2 || sp.Depth != 3 || sp.ROB != 64 {
+		t.Fatalf("seq 0 = %+v", sp)
+	}
+	if sp := p.Batches[0].Specs[1]; sp.Width != 2 || sp.Depth != 3 || sp.ROB != 128 {
+		t.Fatalf("seq 1 = %+v", sp)
+	}
+}
+
+// TestBuildPlanAffinity: with benchmarks ≥ endpoints each benchmark pins to
+// one node; with fewer benchmarks each gets a group and round-robins in it.
+func TestBuildPlanAffinity(t *testing.T) {
+	// 3 benches over 2 endpoints: i mod E.
+	p, err := BuildPlan([]string{"a", "b"}, []string{"x", "y", "z"}, []int{2}, []int{3}, []int{64, 128}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range p.Batches {
+		want := map[string]string{"x": "a", "y": "b", "z": "a"}[b.Bench]
+		if b.Affinity != want {
+			t.Fatalf("bench %s batch affinity = %s, want %s", b.Bench, b.Affinity, want)
+		}
+	}
+	// 1 bench over 3 endpoints: batches round-robin the whole fleet.
+	p, err = BuildPlan([]string{"a", "b", "c"}, []string{"x"}, []int{2, 4, 8}, []int{3}, []int{64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{p.Batches[0].Affinity, p.Batches[1].Affinity, p.Batches[2].Affinity}
+	if strings.Join(got, ",") != "a,b,c" {
+		t.Fatalf("round-robin affinities = %v", got)
+	}
+}
+
+// TestBuildPlanAutoBatchSize: the default gives each endpoint several
+// batches so stealing has units to move.
+func TestBuildPlanAutoBatchSize(t *testing.T) {
+	p, err := BuildPlan([]string{"a", "b"}, []string{"x"}, []int{2, 4, 8}, []int{3, 7, 11}, []int{64, 128, 256}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 27 points, 2 endpoints: default size 27/8 = 3 → 9 batches.
+	if len(p.Batches) != 9 {
+		t.Fatalf("batches = %d, want 9", len(p.Batches))
+	}
+	var sb strings.Builder
+	p.Fprint(&sb)
+	if !strings.Contains(sb.String(), "27 points, 9 batches") {
+		t.Fatalf("plan dump missing summary:\n%s", sb.String())
+	}
+}
+
+// TestSchedulerAffinityPendingSteal walks the scheduler's preference order
+// with a fake clock: affinity match, then any pending, then stealing an
+// in-flight batch past the steal age.
+func TestSchedulerAffinityPendingSteal(t *testing.T) {
+	p, err := BuildPlan([]string{"a", "b"}, []string{"x", "y"}, []int{2}, []int{3}, []int{64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newScheduler(p, 100*time.Millisecond)
+	now := time.Unix(1000, 0)
+	s.now = func() time.Time { return now }
+
+	// Affinity first: b's runner gets bench y even though x's batch is at
+	// the head of the queue.
+	st := s.next("b")
+	if st == nil || st.Bench != "y" {
+		t.Fatalf("next(b) = %+v, want bench y", st)
+	}
+	// Any pending second: b takes x's batch when nothing matches.
+	s.complete(st)
+	st2 := s.next("b")
+	if st2 == nil || st2.Bench != "x" {
+		t.Fatalf("next(b) = %+v, want bench x", st2)
+	}
+
+	// Steal third: with nothing pending, a's runner waits until x's batch
+	// ages past stealAfter, then steals it.
+	now = now.Add(200 * time.Millisecond)
+	stolen := s.steal()
+	if stolen != st2 {
+		t.Fatalf("steal = %+v, want the in-flight batch", stolen)
+	}
+	if stolen.runners != 2 {
+		t.Fatalf("runners = %d, want 2 after steal", stolen.runners)
+	}
+	// The steal clock reset: an immediate second steal finds nothing.
+	if again := s.steal(); again != nil {
+		t.Fatalf("second immediate steal = %+v, want nil", again)
+	}
+
+	// First completion wins; the duplicate's completion is a no-op.
+	s.complete(st2)
+	s.complete(st2)
+	if done, total, nStolen := s.stats(); done != 2 || total != 2 || nStolen != 1 {
+		t.Fatalf("stats = %d/%d stolen %d, want 2/2 stolen 1", done, total, nStolen)
+	}
+	if st3 := s.next("a"); st3 != nil {
+		t.Fatalf("next after all done = %+v, want nil", st3)
+	}
+}
+
+// TestSchedulerRequeueOnLastFailure: a batch whose every runner failed goes
+// back on the pending queue for the fleet.
+func TestSchedulerRequeueOnLastFailure(t *testing.T) {
+	p, err := BuildPlan([]string{"a"}, []string{"x"}, []int{2}, []int{3}, []int{64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newScheduler(p, -1) // stealing off
+	st := s.next("a")
+	if st == nil {
+		t.Fatal("no batch")
+	}
+	s.fail(st)
+	st2 := s.next("b")
+	if st2 != st {
+		t.Fatalf("requeued batch not handed out: %+v", st2)
+	}
+	if st2.attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", st2.attempts)
+	}
+	s.complete(st2)
+	if st3 := s.next("a"); st3 != nil {
+		t.Fatalf("next after done = %+v, want nil", st3)
+	}
+}

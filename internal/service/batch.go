@@ -1,0 +1,319 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"intervalsim/internal/core"
+	"intervalsim/internal/experiments"
+	"intervalsim/internal/overlay"
+	"intervalsim/internal/trace"
+	"intervalsim/internal/uarch"
+	"intervalsim/internal/workload"
+)
+
+// BatchPointSpec names one design point of a batch: the coordinator's
+// global sequence number plus the (width, depth, rob) knobs, resolved
+// through experiments.Point so the point means the same processor as in
+// cmd/sweep and /v1/sweep.
+type BatchPointSpec struct {
+	Seq   int `json:"seq"`
+	Width int `json:"width"`
+	Depth int `json:"depth"`
+	ROB   int `json:"rob"`
+}
+
+// BatchRequest asks for an explicit list of design points over one workload
+// — the shard unit of distributed sweeps. One batch is one HTTP request, so
+// a coordinator dispatching thousands of points pays per-shard, not
+// per-point, request overhead, and each daemon resolves the workload's
+// trace and overlay once per shard (and across shards via the caches).
+type BatchRequest struct {
+	Benchmark string           `json:"benchmark,omitempty"`
+	Workload  *workload.Config `json:"workload,omitempty"`
+	Insts     int              `json:"insts,omitempty"`
+	Warmup    uint64           `json:"warmup,omitempty"`
+	Mode      string           `json:"mode,omitempty"` // "sim" (default) or "model"
+	// Decompose adds the interval penalty decomposition (frontend, drain,
+	// FU, short-data, long-data) to each sim-mode point — the columns
+	// cmd/sweep's CSV carries. It costs one mispredict-penalty
+	// decomposition pass per point.
+	Decompose bool             `json:"decompose,omitempty"`
+	TimeoutMS int              `json:"timeout_ms,omitempty"` // per design point
+	Points    []BatchPointSpec `json:"points"`
+}
+
+// BatchPoint is one NDJSON line of a batch stream, emitted in completion
+// order (Seq echoes the request's spec). Failed points carry Error and
+// Outcome instead of measurements.
+type BatchPoint struct {
+	Seq   int `json:"seq"`
+	Width int `json:"width"`
+	Depth int `json:"depth"`
+	ROB   int `json:"rob"`
+
+	IPC        float64 `json:"ipc,omitempty"`
+	AvgPenalty float64 `json:"avg_penalty,omitempty"`
+	Cycles     uint64  `json:"cycles,omitempty"`
+
+	// Sim-mode decomposition (Decompose).
+	PenFrontend float64 `json:"pen_frontend,omitempty"`
+	PenDrain    float64 `json:"pen_drain,omitempty"`
+	PenFU       float64 `json:"pen_fu,omitempty"`
+	PenShortD   float64 `json:"pen_shortd,omitempty"`
+	PenLongD    float64 `json:"pen_longd,omitempty"`
+
+	// Model-mode cycle stack.
+	CPIBase     float64 `json:"cpi_base,omitempty"`
+	CPIBpred    float64 `json:"cpi_bpred,omitempty"`
+	CPIICache   float64 `json:"cpi_icache,omitempty"`
+	CPILongData float64 `json:"cpi_longd,omitempty"`
+
+	Path    string `json:"path,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+}
+
+// BatchTrailer is the final NDJSON line of a batch stream.
+type BatchTrailer struct {
+	Done    bool   `json:"done"`
+	Points  int    `json:"points"`
+	OK      int    `json:"ok"`
+	Failed  int    `json:"failed"`
+	Mode    string `json:"mode"`
+	Elapsed string `json:"elapsed"`
+}
+
+// batchInputs is a resolved batch request.
+type batchInputs struct {
+	simInputs
+	mode      string
+	decompose bool
+	specs     []BatchPointSpec
+}
+
+func (s *Server) resolveBatch(req *BatchRequest) (batchInputs, error) {
+	base, err := s.resolveSimulate(&SimulateRequest{
+		Benchmark: req.Benchmark,
+		Workload:  req.Workload,
+		Insts:     req.Insts,
+		Warmup:    req.Warmup,
+		TimeoutMS: req.TimeoutMS,
+	})
+	if err != nil {
+		return batchInputs{}, err
+	}
+	in := batchInputs{simInputs: base, specs: req.Points, decompose: req.Decompose}
+	if len(in.specs) == 0 {
+		return batchInputs{}, fmt.Errorf("%w: batch has no points", errBadRequest)
+	}
+	if len(in.specs) > s.opts.MaxSweepPoints {
+		return batchInputs{}, fmt.Errorf("%w: %d points exceeds the %d-point cap", errBadRequest, len(in.specs), s.opts.MaxSweepPoints)
+	}
+	for _, sp := range in.specs {
+		if sp.Width <= 0 || sp.Depth <= 0 || sp.ROB <= 0 {
+			return batchInputs{}, fmt.Errorf("%w: point seq %d has non-positive knobs", errBadRequest, sp.Seq)
+		}
+	}
+	in.mode = req.Mode
+	if in.mode == "" {
+		in.mode = "sim"
+	}
+	if in.mode != "sim" && in.mode != "model" {
+		return batchInputs{}, fmt.Errorf("%w: unknown mode %q (want sim or model)", errBadRequest, in.mode)
+	}
+	if in.decompose && in.mode != "sim" {
+		return batchInputs{}, fmt.Errorf("%w: decompose requires sim mode", errBadRequest)
+	}
+	return in, nil
+}
+
+// handleBatch streams an explicit design-point list as NDJSON: one
+// BatchPoint per spec in completion order, then a BatchTrailer. This is the
+// shard-dispatch surface of distributed sweeps (see internal/cluster): the
+// semantics mirror /v1/sweep, but the caller chooses the points, so a
+// coordinator can key shards by workload and keep each daemon's trace and
+// overlay caches hot.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req BatchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
+		return
+	}
+	in, err := s.resolveBatch(&req)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
+		return
+	}
+
+	// Shared artifacts, once per batch — and across batches via the caches.
+	tr, soa, err := experiments.SharedTrace(in.wc, in.insts)
+	if err != nil {
+		s.reject(w, http.StatusInternalServerError, err, outcomeError)
+		return
+	}
+	base := uarch.Baseline()
+	ov, err := s.overlays.Get(soa, base.Pred, base.Mem)
+	if err != nil {
+		s.reject(w, http.StatusInternalServerError, err, outcomeError)
+		return
+	}
+	var set *core.ModelSet
+	if in.mode == "model" {
+		maxROB := 2
+		for _, sp := range in.specs {
+			if sp.ROB > maxROB {
+				maxROB = sp.ROB
+			}
+		}
+		set, err = core.NewModelSet(soa, ov, base, maxROB, in.warmup, in.insts)
+		if err != nil {
+			s.reject(w, http.StatusInternalServerError, err, outcomeError)
+			return
+		}
+	}
+
+	// Admission check before committing to a stream, as for /v1/sweep.
+	if ps := s.pool.Stats(); ps.Queued >= ps.Capacity {
+		w.Header().Set("Retry-After", s.retryAfter())
+		s.reject(w, http.StatusTooManyRequests, ErrQueueFull, outcomeRejected)
+		return
+	}
+
+	lines := make(chan BatchPoint, len(in.specs))
+	var wg sync.WaitGroup
+	wg.Add(len(in.specs))
+	go func() {
+		wg.Wait()
+		close(lines)
+	}()
+
+	go func() {
+		for _, sp := range in.specs {
+			sp := sp
+			cfg := experiments.Point(sp.Width, sp.Depth, sp.ROB)
+			line := BatchPoint{Seq: sp.Seq, Width: sp.Width, Depth: sp.Depth, ROB: sp.ROB}
+			t := &task{
+				name:    fmt.Sprintf("batch-%s-%s", in.wc.Name, cfg.Name),
+				timeout: in.timeout,
+				parent:  r.Context(),
+				run: func(ctx context.Context) error {
+					if in.mode == "model" {
+						return s.modelBatchPoint(cfg, set, &line)
+					}
+					return s.simBatchPoint(ctx, tr, soa, ov, cfg, in, &line)
+				},
+				finish: func(err error, d time.Duration) {
+					outcome := classify(err)
+					s.metrics.observe(outcome, d)
+					if err != nil {
+						lines <- BatchPoint{
+							Seq: sp.Seq, Width: sp.Width, Depth: sp.Depth, ROB: sp.ROB,
+							Error: err.Error(), Outcome: outcome,
+						}
+					} else {
+						lines <- line
+					}
+					wg.Done()
+				},
+			}
+			if err := s.pool.SubmitWait(r.Context(), t); err != nil {
+				outcome := classify(err)
+				s.metrics.count(outcome)
+				lines <- BatchPoint{
+					Seq: sp.Seq, Width: sp.Width, Depth: sp.Depth, ROB: sp.ROB,
+					Error: err.Error(), Outcome: outcome,
+				}
+				wg.Done()
+			}
+		}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	ok, failed := 0, 0
+	for line := range lines {
+		if line.Error == "" {
+			ok++
+		} else {
+			failed++
+		}
+		enc.Encode(line) //nolint:errcheck // keep draining for the finishers
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(BatchTrailer{ //nolint:errcheck
+		Done: true, Points: len(in.specs), OK: ok, Failed: failed,
+		Mode: in.mode, Elapsed: time.Since(start).Round(time.Millisecond).String(),
+	})
+}
+
+// simBatchPoint runs one cycle-level point into line, with the interval
+// penalty decomposition when asked for — the exact computation behind
+// cmd/sweep's sim-mode CSV row, so a distributed sweep merges to the same
+// bytes as a single-process one.
+func (s *Server) simBatchPoint(ctx context.Context, tr *trace.Trace, soa *trace.SoA, ov *overlay.Overlay, cfg uarch.Config, in batchInputs, line *BatchPoint) error {
+	res, err := uarch.RunContext(ctx, soa.Reader(), cfg, uarch.Options{
+		RecordMispredicts: true,
+		RecordLoadLevels:  in.decompose,
+		WarmupInsts:       in.warmup,
+		Overlay:           ov,
+	})
+	if err != nil {
+		return err
+	}
+	line.IPC = res.IPC()
+	line.Cycles = res.Cycles
+	line.Path = res.Path
+	line.AvgPenalty = res.AvgMispredictPenalty()
+	if in.decompose {
+		dec, err := core.NewDecomposer(tr, res)
+		if err != nil {
+			return err
+		}
+		m := core.Mean(dec.DecomposeAll())
+		line.AvgPenalty = m.Total
+		line.PenFrontend = m.Frontend
+		line.PenDrain = m.BaseILP
+		line.PenFU = m.FULatency
+		line.PenShortD = m.ShortDMiss
+		line.PenLongD = m.LongDMiss
+	}
+	return nil
+}
+
+// modelBatchPoint evaluates one analytic-model point into line, mirroring
+// cmd/sweep's model-mode CSV row.
+func (s *Server) modelBatchPoint(cfg uarch.Config, set *core.ModelSet, line *BatchPoint) error {
+	m, prof, err := set.For(cfg)
+	if err != nil {
+		return err
+	}
+	pred, err := m.PredictCPI(prof)
+	if err != nil {
+		return err
+	}
+	pen, err := modelPenalty(m, prof)
+	if err != nil {
+		return err
+	}
+	insts := float64(pred.Insts)
+	line.AvgPenalty = pen
+	line.CPIBase = pred.Base / insts
+	line.CPIBpred = pred.Bpred / insts
+	line.CPIICache = pred.ICache / insts
+	line.CPILongData = pred.LongData / insts
+	if cpi := pred.CPI(); cpi > 0 {
+		line.IPC = 1 / cpi
+	}
+	line.Path = "model"
+	return nil
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"math"
 	"sync"
 	"time"
 
@@ -50,6 +51,7 @@ type metrics struct {
 	mu       sync.Mutex
 	outcomes map[string]uint64
 	latency  *stats.Sample // job execution latency, milliseconds
+	drain    *stats.Rate   // job completions, for Retry-After hints
 }
 
 func newMetrics() *metrics {
@@ -57,15 +59,40 @@ func newMetrics() *metrics {
 		started:  time.Now(),
 		outcomes: make(map[string]uint64),
 		latency:  stats.NewSample(2048),
+		drain:    stats.NewRate(30*time.Second, 512),
 	}
 }
 
-// observe records one executed job: its outcome plus its latency.
+// observe records one executed job: its outcome plus its latency. Every
+// executed job — success or failure — frees a queue slot, so each one is a
+// drain event for the Retry-After estimate.
 func (m *metrics) observe(outcome string, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.outcomes[outcome]++
 	m.latency.Add(float64(d) / float64(time.Millisecond))
+	m.drain.Add(time.Now())
+}
+
+// retryAfterSeconds estimates how long a rejected client should wait before
+// the queue has plausibly drained: queued-jobs-plus-one over the observed
+// completion rate, clamped to [1, 60] seconds. With no rate evidence yet
+// (cold daemon) it falls back to 1 second, the previous constant.
+func (m *metrics) retryAfterSeconds(queued int) int {
+	m.mu.Lock()
+	rate := m.drain.PerSecond(time.Now())
+	m.mu.Unlock()
+	if rate <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(queued+1) / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // count records an outcome with no execution latency: admission rejections

@@ -23,11 +23,13 @@ var (
 )
 
 // task is one unit of work admitted to the pool. run executes under a
-// context that is canceled on per-task deadline or forced shutdown; finish
+// context that is canceled on per-task deadline, forced shutdown, or —
+// when parent is set — cancellation of the submitting request; finish
 // (optional) observes the harness-classified error and the wall-clock spent.
 type task struct {
 	name    string
-	timeout time.Duration // per-attempt deadline; 0 = pool default
+	timeout time.Duration   // per-attempt deadline; 0 = pool default
+	parent  context.Context // optional request context; nil = pool lifetime only
 	run     func(ctx context.Context) error
 	finish  func(err error, d time.Duration)
 }
@@ -131,9 +133,26 @@ func (p *Pool) worker() {
 
 // runTask drives one task through a single-job harness batch, so the task
 // gets the harness's panic containment and deadline/abandonment semantics.
+// A task whose submitting request has already gone away is dropped without
+// occupying the worker: a disconnected sweep client must not keep burning
+// queued design points.
 func (p *Pool) runTask(t *task) {
 	p.inflight.Add(1)
 	defer p.inflight.Add(-1)
+	runCtx := p.baseCtx
+	if t.parent != nil {
+		if t.parent.Err() != nil {
+			if t.finish != nil {
+				t.finish(&harness.JobError{Job: t.name, Attempt: 0, Err: context.Canceled}, 0)
+			}
+			return
+		}
+		var cancel context.CancelCauseFunc
+		runCtx, cancel = context.WithCancelCause(p.baseCtx)
+		defer cancel(nil)
+		stop := context.AfterFunc(t.parent, func() { cancel(context.Canceled) })
+		defer stop()
+	}
 	timeout := t.timeout
 	if timeout <= 0 {
 		timeout = p.opts.DefaultTimeout
@@ -144,7 +163,7 @@ func (p *Pool) runTask(t *task) {
 			return struct{}{}, t.run(ctx)
 		},
 	}}
-	results, _ := harness.Run(p.baseCtx, jobs, harness.Options{
+	results, _ := harness.Run(runCtx, jobs, harness.Options{
 		Workers:   1,
 		Timeout:   timeout,
 		KeepGoing: true,

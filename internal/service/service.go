@@ -117,6 +117,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/model", s.handleModel)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -306,6 +307,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job)
 }
 
+// retryAfter renders the drain-rate-derived Retry-After value for a 429:
+// how long the current queue should take to empty at the observed
+// completion rate.
+func (s *Server) retryAfter() string {
+	return fmt.Sprintf("%d", s.metrics.retryAfterSeconds(s.pool.Stats().Queued))
+}
+
 // submit admits t, writing the admission-control error response on failure.
 func (s *Server) submit(w http.ResponseWriter, t *task) error {
 	err := s.pool.Submit(t)
@@ -313,7 +321,7 @@ func (s *Server) submit(w http.ResponseWriter, t *task) error {
 	case err == nil:
 		return nil
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		s.reject(w, http.StatusTooManyRequests, err, outcomeRejected)
 	case errors.Is(err, ErrClosed):
 		s.reject(w, http.StatusServiceUnavailable, err, outcomeRejected)
@@ -543,7 +551,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// Admission check before committing to a stream: if the queue cannot
 	// take even one point now, turn the whole sweep away.
 	if ps := s.pool.Stats(); ps.Queued >= ps.Capacity {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		s.reject(w, http.StatusTooManyRequests, ErrQueueFull, outcomeRejected)
 		return
 	}
@@ -566,6 +574,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			t := &task{
 				name:    fmt.Sprintf("sweep-%s-%s", in.wc.Name, cfg.Name),
 				timeout: in.timeout,
+				// A dropped connection must stop the sweep's work, not
+				// just its output: queued points are skipped and running
+				// ones canceled, freeing the worker slots promptly.
+				parent: r.Context(),
 				run: func(ctx context.Context) error {
 					if in.mode == "model" {
 						return s.modelSweepPoint(cfg, set, &line)

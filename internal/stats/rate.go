@@ -1,0 +1,77 @@
+package stats
+
+import "time"
+
+// Rate estimates the recent rate of discrete events — completions per
+// second — from their timestamps, over a bounded sliding window. The daemon
+// uses it to derive honest Retry-After hints: instead of a constant, the
+// 429 response tells the client how long the queue will plausibly take to
+// drain at the currently observed service rate.
+//
+// The estimate is inter-arrival based: with k events in the window spanning
+// [oldest, newest], the rate is (k-1)/(newest-oldest). That makes it robust
+// right after startup (no division by the full window before it has filled)
+// and exact for a steady stream. Fewer than two windowed events means there
+// is no evidence of a rate yet, and PerSecond reports 0.
+//
+// Rate is not safe for concurrent use; callers serialize access (the
+// service layer wraps it in its metrics mutex).
+type Rate struct {
+	window time.Duration
+	times  []time.Time // ring storage, len == filled portion until wrap
+	next   int         // ring write index once full
+	cap    int
+}
+
+// NewRate returns a Rate over the most recent capacity events no older than
+// window. It panics for a non-positive capacity or window.
+func NewRate(window time.Duration, capacity int) *Rate {
+	if capacity <= 0 || window <= 0 {
+		panic("stats: rate needs positive window and capacity")
+	}
+	return &Rate{window: window, times: make([]time.Time, 0, capacity), cap: capacity}
+}
+
+// Add records one event at time t, evicting the oldest when the ring is
+// full.
+func (r *Rate) Add(t time.Time) {
+	if len(r.times) < r.cap {
+		r.times = append(r.times, t)
+		return
+	}
+	r.times[r.next] = t
+	r.next = (r.next + 1) % r.cap
+}
+
+// PerSecond returns the observed event rate at time now, counting only
+// events within the window. It returns 0 when fewer than two windowed
+// events exist (no rate evidence yet).
+func (r *Rate) PerSecond(now time.Time) float64 {
+	cutoff := now.Add(-r.window)
+	var (
+		count          int
+		oldest, newest time.Time
+	)
+	for _, t := range r.times {
+		if t.Before(cutoff) || t.After(now) {
+			continue
+		}
+		if count == 0 || t.Before(oldest) {
+			oldest = t
+		}
+		if count == 0 || t.After(newest) {
+			newest = t
+		}
+		count++
+	}
+	if count < 2 {
+		return 0
+	}
+	span := newest.Sub(oldest)
+	if span <= 0 {
+		// All k events landed on the same instant: treat the burst as
+		// having taken one clock granule so the rate is finite and large.
+		span = time.Millisecond
+	}
+	return float64(count-1) / span.Seconds()
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateSteadyStream(t *testing.T) {
+	r := NewRate(30*time.Second, 64)
+	base := time.Unix(1000, 0)
+	// 11 events, one per 100ms: 10 intervals over 1s => 10 events/s.
+	for i := 0; i < 11; i++ {
+		r.Add(base.Add(time.Duration(i) * 100 * time.Millisecond))
+	}
+	now := base.Add(time.Second)
+	got := r.PerSecond(now)
+	if got < 9.9 || got > 10.1 {
+		t.Fatalf("PerSecond = %v, want ~10", got)
+	}
+}
+
+func TestRateNoEvidence(t *testing.T) {
+	r := NewRate(time.Second, 8)
+	now := time.Unix(1000, 0)
+	if got := r.PerSecond(now); got != 0 {
+		t.Fatalf("empty rate = %v, want 0", got)
+	}
+	r.Add(now)
+	if got := r.PerSecond(now); got != 0 {
+		t.Fatalf("single-event rate = %v, want 0", got)
+	}
+}
+
+func TestRateWindowExpiry(t *testing.T) {
+	r := NewRate(time.Second, 64)
+	base := time.Unix(1000, 0)
+	r.Add(base)
+	r.Add(base.Add(100 * time.Millisecond))
+	// Within the window both events count.
+	if got := r.PerSecond(base.Add(200 * time.Millisecond)); got == 0 {
+		t.Fatal("windowed events reported no rate")
+	}
+	// Two seconds later both have aged out.
+	if got := r.PerSecond(base.Add(2200 * time.Millisecond)); got != 0 {
+		t.Fatalf("stale rate = %v, want 0", got)
+	}
+}
+
+func TestRateRingEviction(t *testing.T) {
+	r := NewRate(time.Minute, 4)
+	base := time.Unix(1000, 0)
+	// 8 events one second apart; only the last 4 are retained.
+	for i := 0; i < 8; i++ {
+		r.Add(base.Add(time.Duration(i) * time.Second))
+	}
+	now := base.Add(7 * time.Second)
+	got := r.PerSecond(now)
+	// 4 events spanning 3s => 1 event/s.
+	if got < 0.99 || got > 1.01 {
+		t.Fatalf("PerSecond = %v, want ~1", got)
+	}
+}
+
+func TestRateBurstSameInstant(t *testing.T) {
+	r := NewRate(time.Second, 16)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		r.Add(now)
+	}
+	if got := r.PerSecond(now); got <= 0 {
+		t.Fatalf("burst rate = %v, want finite positive", got)
+	}
+}
