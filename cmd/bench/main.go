@@ -86,6 +86,7 @@ type sweepBench struct {
 // clusterFleet is one fleet size of the cluster scale-out benchmark.
 type clusterFleet struct {
 	Daemons    int     `json:"daemons"`
+	Procs      int     `json:"gomaxprocs"` // GOMAXPROCS pinned during this fleet's timing
 	Seconds    float64 `json:"seconds"`
 	Speedup    float64 `json:"speedup"`        // vs the 1-daemon fleet
 	Efficiency float64 `json:"efficiency"`     // speedup / daemons
@@ -95,15 +96,21 @@ type clusterFleet struct {
 // clusterBench measures distributed-sweep scale-out: the same design-space
 // sweep dispatched through the cluster coordinator to 1, 2, and 4 local
 // intervalsimd daemons (one worker each). Cores records how much hardware
-// parallelism the host actually had — on a single-core machine the fleets
-// contend for one CPU and the speedup honestly reports ~1×, so the number is
-// interpretable rather than misleading.
+// parallelism the host actually had, and CoresPerDaemon is the per-daemon
+// core budget each fleet was pinned to (GOMAXPROCS = daemons ×
+// CoresPerDaemon during its timing), so every fleet size sees the same
+// per-daemon hardware and the speedup curve measures scale-out, not the
+// 1-daemon fleet being gifted the whole machine. On a host with fewer cores
+// than the largest fleet the budget floors at one core per daemon and the
+// fleets contend honestly, so the numbers stay interpretable rather than
+// misleading.
 type clusterBench struct {
-	Benchmark string         `json:"benchmark"`
-	Insts     int            `json:"insts"`
-	Points    int            `json:"points"`
-	Cores     int            `json:"cores"`
-	Fleets    []clusterFleet `json:"fleets"`
+	Benchmark      string         `json:"benchmark"`
+	Insts          int            `json:"insts"`
+	Points         int            `json:"points"`
+	Cores          int            `json:"cores"`
+	CoresPerDaemon int            `json:"cores_per_daemon"`
+	Fleets         []clusterFleet `json:"fleets"`
 }
 
 // benchReport is the BENCH_simulator.json schema.
@@ -223,30 +230,40 @@ func run(quick bool, runs int, stdout io.Writer) (*benchReport, error) {
 // coordinator to fleets of 1, 2, and 4 local daemons, each with a single
 // worker, so the fleet size is the only parallelism knob. Every daemon is
 // prewarmed (trace resolved, overlay built) before its fleet is timed, so
-// the measurement is steady-state sweep throughput, not setup cost.
+// the measurement is steady-state sweep throughput, not setup cost. Each
+// fleet runs with GOMAXPROCS pinned to daemons × cores-per-daemon so the
+// per-daemon core budget is constant across fleet sizes.
 func measureCluster(quick bool, stdout io.Writer) (*clusterBench, error) {
 	name := "crafty"
 	insts, widths, depths, robs := 400_000, []int{2, 4, 8}, []int{3, 7}, []int{64, 128}
 	if quick {
 		insts, widths, depths, robs = 100_000, []int{2, 4}, []int{3}, []int{64, 128}
 	}
+	fleets := []int{1, 2, 4}
+	maxFleet := fleets[len(fleets)-1]
 	cb := &clusterBench{
 		Benchmark: name,
 		Insts:     insts,
 		Points:    len(widths) * len(depths) * len(robs),
 		Cores:     runtime.NumCPU(),
 	}
-	fmt.Fprintf(stdout, "cluster %s (%d pts, %d insts) on %d cores:\n", name, cb.Points, insts, cb.Cores)
+	cb.CoresPerDaemon = cb.Cores / maxFleet
+	if cb.CoresPerDaemon < 1 {
+		cb.CoresPerDaemon = 1
+	}
+	fmt.Fprintf(stdout, "cluster %s (%d pts, %d insts) on %d cores, %d core(s) per daemon:\n",
+		name, cb.Points, insts, cb.Cores, cb.CoresPerDaemon)
 
-	for _, n := range []int{1, 2, 4} {
+	for _, n := range fleets {
 		if cb.Cores < n {
 			fmt.Fprintf(stdout, "  note: %d daemons on %d cores; scale-out is core-bound\n", n, cb.Cores)
 		}
-		secs, stolen, err := timeFleet(n, name, insts, widths, depths, robs)
+		procs := cb.CoresPerDaemon * n
+		secs, stolen, err := timeFleet(n, procs, name, insts, widths, depths, robs)
 		if err != nil {
 			return nil, err
 		}
-		fl := clusterFleet{Daemons: n, Seconds: secs, Stolen: stolen}
+		fl := clusterFleet{Daemons: n, Procs: procs, Seconds: secs, Stolen: stolen}
 		if len(cb.Fleets) > 0 && secs > 0 {
 			fl.Speedup = cb.Fleets[0].Seconds / secs
 			fl.Efficiency = fl.Speedup / float64(n)
@@ -254,14 +271,19 @@ func measureCluster(quick bool, stdout io.Writer) (*clusterBench, error) {
 			fl.Speedup, fl.Efficiency = 1, 1
 		}
 		cb.Fleets = append(cb.Fleets, fl)
-		fmt.Fprintf(stdout, "  %d daemon(s): %.2fs (%.2fx, eff %.2f)\n", n, secs, fl.Speedup, fl.Efficiency)
+		fmt.Fprintf(stdout, "  %d daemon(s) @ %d procs: %.2fs (%.2fx, eff %.2f)\n", n, procs, secs, fl.Speedup, fl.Efficiency)
 	}
 	return cb, nil
 }
 
 // timeFleet boots n in-process daemons, prewarms them, and times one full
-// distributed sweep across the fleet.
-func timeFleet(n int, bench string, insts int, widths, depths, robs []int) (float64, int, error) {
+// distributed sweep across the fleet with GOMAXPROCS pinned to procs for
+// the duration (restored afterwards). Daemons share the bench process, so
+// pinning the process-wide limit to n × cores-per-daemon is what holds each
+// daemon's effective core share constant across fleet sizes.
+func timeFleet(n, procs int, bench string, insts int, widths, depths, robs []int) (float64, int, error) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
 	ctx := context.Background()
 	endpoints := make([]string, n)
 	servers := make([]*httptest.Server, n)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"intervalsim/internal/service"
+	"intervalsim/internal/store"
 	"intervalsim/internal/version"
 )
 
@@ -41,6 +42,8 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	queue := fs.Int("queue", 0, "job queue depth (0 = default 64)")
 	timeout := fs.Duration("timeout", 0, "default per-job deadline (0 = 60s)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	storeDir := fs.String("store", "", "durable result-store directory (empty = in-memory only)")
+	tenantQuota := fs.Int("tenant-quota", 0, "max admitted jobs per tenant (0 = unlimited)")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -50,10 +53,26 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		return 0
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.OS, *storeDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "intervalsimd: open store: %v\n", err)
+			return 1
+		}
+		defer st.Close()
+		sn := st.StatsSnapshot()
+		fmt.Fprintf(stdout, "intervalsimd: store %s: %d records (%d recovered, %d torn bytes truncated, index rebuilt %v)\n",
+			*storeDir, sn.Records, sn.RecoveredRecords, sn.TruncatedBytes, sn.IndexRebuilt)
+	}
+
 	srv := service.New(service.Options{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
+		TenantQuota:    *tenantQuota,
+		Store:          st,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

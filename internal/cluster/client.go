@@ -74,11 +74,38 @@ func getJSON(ctx context.Context, hc *http.Client, url string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
-// Health probes GET /healthz.
+// Health probes GET /healthz — liveness only: a daemon replaying durable
+// job journals after a crash still answers 200 here.
 func (c *Client) Health(ctx context.Context) (service.HealthResponse, error) {
 	var h service.HealthResponse
 	err := getJSON(ctx, c.httpClient(), c.Base+"/healthz", &h)
 	return h, err
+}
+
+// Ready probes GET /readyz — the routing signal. A daemon that is alive but
+// not ready (replaying journals after a restart, or draining) answers 503
+// with the same health document; Ready surfaces that as an error so fleet
+// probers route work elsewhere until the node recovers. A daemon too old to
+// serve /readyz (404) falls back to the liveness probe.
+func (c *Client) Ready(ctx context.Context) (service.HealthResponse, error) {
+	var h service.HealthResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/readyz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return c.Health(ctx)
+	}
+	decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&h)
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("cluster: %s not ready: status %d (%s)", c.Base, resp.StatusCode, h.Status)
+	}
+	return h, decErr
 }
 
 // Metrics scrapes GET /metrics.

@@ -6,9 +6,12 @@ import (
 	"time"
 )
 
-// probeFleet checks every endpoint's /healthz concurrently and reports which
-// are serving. The coordinator runs it once up front: a sweep proceeds with
-// whatever subset of the fleet answers, but zero healthy endpoints is a
+// probeFleet checks every endpoint's readiness concurrently and reports
+// which are routable. Readiness, not liveness: a daemon mid-restart that is
+// still replaying its durable job journals answers /healthz but 503s
+// /readyz, and the coordinator must not route sweep work at it until replay
+// finishes. The coordinator runs this once up front: a sweep proceeds with
+// whatever subset of the fleet answers, but zero ready endpoints is a
 // configuration error worth failing fast on.
 func probeFleet(ctx context.Context, clients []*Client, timeout time.Duration) []bool {
 	up := make([]bool, len(clients))
@@ -17,7 +20,7 @@ func probeFleet(ctx context.Context, clients []*Client, timeout time.Duration) [
 		go func(i int, c *Client) {
 			pctx, cancel := context.WithTimeout(ctx, timeout)
 			defer cancel()
-			if _, err := c.Health(pctx); err == nil {
+			if _, err := c.Ready(pctx); err == nil {
 				up[i] = true
 			}
 			done <- i
@@ -30,16 +33,18 @@ func probeFleet(ctx context.Context, clients []*Client, timeout time.Duration) [
 }
 
 // awaitHealthy re-probes one endpoint with doubling backoff (250ms up to 2s
-// between probes) until it answers /healthz, the context ends, or
+// between probes) until it answers /readyz, the context ends, or
 // maxFailures consecutive probes fail. A node that flunks out is abandoned:
 // its runner exits and the scheduler's requeue/steal machinery moves its
-// work to the rest of the fleet.
+// work to the rest of the fleet. A restarted node that comes back
+// "recovering" keeps failing this probe until its journal replay completes,
+// so resumed durable jobs never race freshly routed work.
 func awaitHealthy(ctx context.Context, c *Client, maxFailures int) error {
 	backoff := 250 * time.Millisecond
 	var lastErr error
 	for attempt := 0; attempt < maxFailures; attempt++ {
 		pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
-		_, err := c.Health(pctx)
+		_, err := c.Ready(pctx)
 		cancel()
 		if err == nil {
 			return nil

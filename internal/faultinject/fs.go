@@ -1,0 +1,72 @@
+package faultinject
+
+import (
+	"intervalsim/internal/store"
+)
+
+// FS wraps base so every file write runs through the injector's fault
+// schedule. Reads, directory operations, truncation, and atomic WriteFile
+// replacement pass through untouched: the recovery contract under test is
+// about torn appends, and those other operations either have their own
+// atomicity story (rename) or are the recovery mechanism itself.
+func (in *Injector) FS(base store.FS) store.FS {
+	if base == nil {
+		base = store.OS
+	}
+	return &faultFS{in: in, base: base}
+}
+
+type faultFS struct {
+	in   *Injector
+	base store.FS
+}
+
+func (f *faultFS) OpenFile(path string) (store.File, int64, error) {
+	file, size, err := f.base.OpenFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &faultFile{in: f.in, base: file}, size, nil
+}
+
+func (f *faultFS) Truncate(path string, size int64) error { return f.base.Truncate(path, size) }
+func (f *faultFS) WriteFile(path string, b []byte) error  { return f.base.WriteFile(path, b) }
+func (f *faultFS) Remove(path string) error               { return f.base.Remove(path) }
+func (f *faultFS) MkdirAll(path string) error             { return f.base.MkdirAll(path) }
+func (f *faultFS) ReadDir(dir string) ([]string, error)   { return f.base.ReadDir(dir) }
+
+// faultFile injects write and sync failures on one handle.
+type faultFile struct {
+	in   *Injector
+	base store.File
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) { return f.base.ReadAt(p, off) }
+
+// Write applies the injector's decision: pass through, fail with nothing
+// written, or land a strict prefix and then fail — the torn-write case a
+// power cut produces, which the log layer must detect and truncate on the
+// next open.
+func (f *faultFile) Write(p []byte) (int, error) {
+	d := f.in.decideWrite(len(p))
+	if !d.fail {
+		return f.base.Write(p)
+	}
+	if d.keep > 0 {
+		n, err := f.base.Write(p[:d.keep])
+		if err != nil {
+			return n, err
+		}
+		return n, injectedErr("torn write")
+	}
+	return 0, injectedErr("write")
+}
+
+func (f *faultFile) Sync() error {
+	if f.in.decideSync() {
+		return injectedErr("sync")
+	}
+	return f.base.Sync()
+}
+
+func (f *faultFile) Close() error { return f.base.Close() }

@@ -1,0 +1,102 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Transport wraps base (nil = http.DefaultTransport) so every round trip
+// runs through the injector's fault schedule: added latency, outright
+// transport errors, and synthetic 429 admission pushback carrying a
+// Retry-After header — the three failure shapes the cluster coordinator's
+// retry/backoff/steal machinery must absorb. Latency honors the request
+// context, so per-dispatch deadlines still fire.
+func (in *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{in: in, base: base}
+}
+
+type faultTransport struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+// rpcDecision is the fate of one round trip.
+type rpcDecision struct {
+	delay    time.Duration
+	fail     bool
+	throttle bool
+}
+
+func (in *Injector) decideRPC() rpcDecision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.RPCs++
+	var d rpcDecision
+	if in.src.Bool(in.cfg.RPCLatencyP) {
+		span := in.cfg.RPCLatency.MaxMS - in.cfg.RPCLatency.MinMS
+		ms := in.cfg.RPCLatency.MinMS
+		if span > 0 {
+			ms += in.src.Intn(span + 1)
+		}
+		if ms > 0 {
+			d.delay = time.Duration(ms) * time.Millisecond
+			in.stats.Delays++
+		}
+	}
+	switch {
+	case in.src.Bool(in.cfg.RPCErrProb):
+		in.stats.RPCErrs++
+		d.fail = true
+	case in.src.Bool(in.cfg.RPC429Prob):
+		in.stats.RPC429s++
+		d.throttle = true
+	}
+	return d
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.in.decideRPC()
+	if d.delay > 0 {
+		timer := time.NewTimer(d.delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	switch {
+	case d.fail:
+		return nil, fmt.Errorf("faultinject: %s %s: %w", req.Method, req.URL.Path, injectedErr("rpc"))
+	case d.throttle:
+		return synthetic429(req), nil
+	}
+	return t.base.RoundTrip(req)
+}
+
+// synthetic429 builds the response an overloaded daemon would send. The
+// body is drained by clients exactly like a real rejection.
+func synthetic429(req *http.Request) *http.Response {
+	body := []byte(`{"error":"faultinject: injected admission rejection"}`)
+	h := http.Header{}
+	h.Set("Content-Type", "application/json")
+	h.Set("Retry-After", strconv.Itoa(1))
+	return &http.Response{
+		Status:        "429 Too Many Requests",
+		StatusCode:    http.StatusTooManyRequests,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

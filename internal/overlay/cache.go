@@ -9,11 +9,10 @@ import (
 
 // key identifies one overlay: the exact packed trace (by identity — a SoA
 // is immutable after Pack, so the pointer is a stable name for its content)
-// and the canonical fingerprints of the two speculation configurations.
+// and the canonical speculation fingerprint (see SpecFingerprint).
 type key struct {
 	soa    *trace.SoA
-	predFP uint64
-	memFP  uint64
+	specFP uint64
 }
 
 // Cache is a bounded in-process overlay cache: sweeps and `experiments all`
@@ -33,7 +32,7 @@ func NewCache(capacity int) *Cache {
 // Get returns the overlay for (soa, pred, mem), computing it on first use.
 // Concurrent callers with the same key share one computation.
 func (c *Cache) Get(soa *trace.SoA, pred bpred.Config, mem icache.HierarchyConfig) (*Overlay, error) {
-	k := key{soa: soa, predFP: pred.Fingerprint(), memFP: mem.Fingerprint()}
+	k := key{soa: soa, specFP: SpecFingerprint(pred, mem)}
 	return c.memo.Get(k, func() (*Overlay, error) {
 		return Compute(soa, pred, mem)
 	})

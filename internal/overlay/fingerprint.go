@@ -1,0 +1,20 @@
+package overlay
+
+import (
+	"intervalsim/internal/bpred"
+	icache "intervalsim/internal/cache"
+)
+
+// SpecFingerprint canonically names one speculation configuration: the
+// combination of branch-predictor and cache-hierarchy geometry that fully
+// determines an overlay's per-instruction outcomes. It mixes the two
+// config fingerprints (which already exclude timing-only knobs such as
+// latencies) so callers that key on "what speculation behavior will this
+// machine exhibit" — the overlay cache, the durable result store's identity
+// keys — share one canonical value.
+func SpecFingerprint(pred bpred.Config, mem icache.HierarchyConfig) uint64 {
+	h := pred.Fingerprint()
+	// Boost-style mix: order-sensitive, avalanches both inputs.
+	h ^= mem.Fingerprint() + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	return h
+}

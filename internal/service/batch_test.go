@@ -214,10 +214,13 @@ func TestRetryAfterDrainDerived(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	second := postJSON(t, ts.URL+"/v1/simulate", slow)
+	// Distinct identities, so idempotent submission doesn't join the first.
+	slow2, slow3 := slow, slow
+	slow2.Warmup, slow3.Warmup = 1, 2
+	second := postJSON(t, ts.URL+"/v1/simulate", slow2)
 	second.Body.Close()
 
-	third := postJSON(t, ts.URL+"/v1/simulate", slow)
+	third := postJSON(t, ts.URL+"/v1/simulate", slow3)
 	third.Body.Close()
 	if third.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", third.StatusCode)

@@ -65,6 +65,75 @@ func (s *jobStore) create(kind string) JobView {
 	return *j
 }
 
+// createWithID registers a queued job under a caller-chosen (content-hashed)
+// ID — the idempotent submission path. If a live or successful job already
+// holds the ID, that job is returned with created=false: resubmitting the
+// same identity joins the existing job instead of duplicating work. A failed
+// job is replaced, so clients can retry a failure by resubmitting.
+func (s *jobStore) createWithID(id, kind string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		if j.Status != JobFailed {
+			return *j, false
+		}
+		s.dropFinished(id) // the replacement is live again; un-schedule eviction
+	}
+	j := &JobView{
+		ID:        id,
+		Kind:      kind,
+		Status:    JobQueued,
+		Submitted: time.Now().UTC(),
+	}
+	s.jobs[id] = j
+	return *j, true
+}
+
+// completeCached registers (or replaces) a job that was answered wholly from
+// the durable result store: born finished, zero execution time.
+func (s *jobStore) completeCached(id, kind string, result json.RawMessage) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now().UTC()
+	j := &JobView{
+		ID:        id,
+		Kind:      kind,
+		Status:    JobDone,
+		Submitted: now,
+		Started:   &now,
+		Finished:  &now,
+		Outcome:   outcomeOK,
+		Result:    result,
+	}
+	if _, ok := s.jobs[id]; !ok {
+		s.finished = append(s.finished, id)
+	} else {
+		s.dropFinished(id)
+		s.finished = append(s.finished, id)
+	}
+	s.jobs[id] = j
+	s.evictLocked()
+	return *j
+}
+
+// dropFinished removes id from the finished-eviction order. Caller holds mu.
+func (s *jobStore) dropFinished(id string) {
+	for i, fid := range s.finished {
+		if fid == id {
+			s.finished = append(s.finished[:i], s.finished[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictLocked enforces the finished-job history bound. Caller holds mu.
+func (s *jobStore) evictLocked() {
+	for len(s.finished) > s.history {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
 // get returns a snapshot of the job, if known.
 func (s *jobStore) get(id string) (JobView, bool) {
 	s.mu.Lock()
@@ -121,10 +190,7 @@ func (s *jobStore) markFinished(id, outcome string, errMsg string, d time.Durati
 		j.Status = JobDone
 	}
 	s.finished = append(s.finished, id)
-	for len(s.finished) > s.history {
-		delete(s.jobs, s.finished[0])
-		s.finished = s.finished[1:]
-	}
+	s.evictLocked()
 }
 
 // len returns the number of tracked jobs.

@@ -21,6 +21,7 @@ const (
 	outcomeCanceled = "canceled"
 	outcomeBadInput = "bad_input"
 	outcomeRejected = "rejected" // admission control turned the request away
+	outcomeCached   = "cached"   // answered wholly from the durable result store
 	outcomeError    = "error"
 )
 
@@ -132,6 +133,24 @@ type LatencyMetrics struct {
 	MaxMS float64 `json:"max_ms"` // max within the window
 }
 
+// StoreMetrics is the durable result store's observability slice of
+// /metrics: live hit/miss/put counters plus the recovery provenance of the
+// last Open (how many records replayed, how many torn bytes were truncated,
+// whether the sidecar index had to be rebuilt) and the journal-resume state.
+type StoreMetrics struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Puts    uint64 `json:"puts"`
+	Records int    `json:"records"`
+
+	RecoveredRecords int   `json:"recovered_records"`
+	TruncatedBytes   int64 `json:"truncated_bytes"`
+	IndexRebuilt     bool  `json:"index_rebuilt"`
+
+	Ready       bool `json:"ready"`        // journal replay finished
+	ResumedJobs int  `json:"resumed_jobs"` // incomplete sweep jobs resumed at startup
+}
+
 // MetricsResponse is the full GET /metrics document.
 type MetricsResponse struct {
 	Version       string  `json:"version"`
@@ -141,13 +160,15 @@ type MetricsResponse struct {
 	QueueCapacity int  `json:"queue_capacity"`
 	InFlight      int  `json:"inflight"`
 	Workers       int  `json:"workers"`
+	Tenants       int  `json:"tenants"` // tenants with admitted jobs
 	Draining      bool `json:"draining"`
 	TrackedJobs   int  `json:"tracked_jobs"`
 
 	Jobs map[string]uint64 `json:"jobs"`
 
-	OverlayCache CacheMetrics `json:"overlay_cache"`
-	TraceCache   CacheMetrics `json:"trace_cache"`
+	OverlayCache CacheMetrics  `json:"overlay_cache"`
+	TraceCache   CacheMetrics  `json:"trace_cache"`
+	Store        *StoreMetrics `json:"store,omitempty"` // nil without -store
 
 	Latency LatencyMetrics `json:"latency"`
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,16 +11,31 @@ import (
 	"intervalsim/internal/harness"
 )
 
-// Admission and lifecycle sentinels. Handlers map ErrQueueFull to HTTP 429
-// (with Retry-After) and ErrClosed to HTTP 503.
+// Admission and lifecycle sentinels. Handlers map ErrQueueFull and
+// ErrTenantQuota to HTTP 429 (with Retry-After) and ErrClosed to HTTP 503.
 var (
 	// ErrQueueFull is returned by Submit when the bounded queue has no
 	// space: the admission-control signal, surfaced to clients as 429.
 	ErrQueueFull = errors.New("service: job queue full")
 
+	// ErrTenantQuota is returned by Submit when one tenant already holds its
+	// fair share of admitted (queued + running) jobs: per-tenant isolation,
+	// so one client cannot monopolize the queue for everyone else.
+	ErrTenantQuota = errors.New("service: tenant quota exhausted")
+
 	// ErrClosed is returned by Submit once shutdown has begun: the pool
 	// drains what it has but accepts nothing new.
 	ErrClosed = errors.New("service: pool shutting down")
+)
+
+// Priority classes. Workers always take the highest non-empty class, FIFO
+// within a class: interactive point queries overtake bulk sweep points that
+// arrived first, and durable background jobs yield to both.
+const (
+	PriorityHigh   = 0
+	PriorityNormal = 1
+	PriorityLow    = 2
+	numPriorities  = 3
 )
 
 // task is one unit of work admitted to the pool. run executes under a
@@ -27,11 +43,13 @@ var (
 // when parent is set — cancellation of the submitting request; finish
 // (optional) observes the harness-classified error and the wall-clock spent.
 type task struct {
-	name    string
-	timeout time.Duration   // per-attempt deadline; 0 = pool default
-	parent  context.Context // optional request context; nil = pool lifetime only
-	run     func(ctx context.Context) error
-	finish  func(err error, d time.Duration)
+	name     string
+	timeout  time.Duration   // per-attempt deadline; 0 = pool default
+	parent   context.Context // optional request context; nil = pool lifetime only
+	priority int             // PriorityHigh..PriorityLow; out-of-range clamps
+	tenant   string          // quota accounting key; "" = the default tenant
+	run      func(ctx context.Context) error
+	finish   func(err error, d time.Duration)
 }
 
 // PoolOptions sizes the pool.
@@ -45,6 +63,9 @@ type PoolOptions struct {
 	// DefaultTimeout bounds each job that does not carry its own deadline;
 	// 0 means no default deadline.
 	DefaultTimeout time.Duration
+	// TenantQuota caps one tenant's admitted (queued + running) jobs;
+	// <= 0 disables per-tenant accounting.
+	TenantQuota int
 }
 
 // Pool is the daemon's bounded job queue plus a fixed worker set. Each
@@ -52,19 +73,24 @@ type PoolOptions struct {
 // guarantees the CLIs already rely on: panic containment (a panicking job
 // becomes a structured error, never a daemon crash), per-attempt deadlines
 // with abandonment of jobs that ignore their context, and structured
-// errors. Shutdown is two-phase: Close stops admission and drains queued +
-// in-flight jobs; if the drain context expires, in-flight contexts are
-// canceled and the remainder fails fast with ErrCanceled.
+// errors. Admission is three-class priority with per-tenant quotas; see the
+// Priority constants and PoolOptions.TenantQuota. Shutdown is two-phase:
+// Close stops admission and drains queued + in-flight jobs; if the drain
+// context expires, in-flight contexts are canceled and the remainder fails
+// fast with ErrCanceled.
 type Pool struct {
 	opts     PoolOptions
-	queue    chan *task
 	baseCtx  context.Context
 	cancel   context.CancelFunc
 	wg       sync.WaitGroup
 	inflight atomic.Int64
 
-	mu     sync.Mutex
-	closed bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   [numPriorities][]*task
+	queued   int
+	admitted map[string]int // tenant -> queued + running
+	closed   bool
 }
 
 // NewPool starts the workers and returns the pool.
@@ -77,11 +103,12 @@ func NewPool(opts PoolOptions) *Pool {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pool{
-		opts:    opts,
-		queue:   make(chan *task, opts.QueueDepth),
-		baseCtx: ctx,
-		cancel:  cancel,
+		opts:     opts,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		admitted: make(map[string]int),
 	}
+	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < opts.Workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -90,29 +117,48 @@ func NewPool(opts PoolOptions) *Pool {
 }
 
 // Submit admits t without blocking: ErrQueueFull when the queue is at
-// capacity, ErrClosed once shutdown has begun.
+// capacity, ErrTenantQuota when t's tenant is over its share, ErrClosed
+// once shutdown has begun.
 func (p *Pool) Submit(t *task) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return ErrClosed
 	}
-	select {
-	case p.queue <- t:
-		return nil
-	default:
+	if p.queued >= p.opts.QueueDepth {
 		return ErrQueueFull
 	}
+	if p.opts.TenantQuota > 0 && p.admitted[t.tenant] >= p.opts.TenantQuota {
+		return fmt.Errorf("%w: tenant %q at %d admitted jobs", ErrTenantQuota, tenantLabel(t.tenant), p.admitted[t.tenant])
+	}
+	pri := t.priority
+	if pri < PriorityHigh || pri > PriorityLow {
+		pri = PriorityNormal
+	}
+	p.queues[pri] = append(p.queues[pri], t)
+	p.queued++
+	p.admitted[t.tenant]++
+	p.cond.Signal()
+	return nil
 }
 
-// SubmitWait admits t, waiting for queue space if necessary. It returns
-// ctx's error if the caller gives up first, and ErrClosed once shutdown has
-// begun. Streaming endpoints use it so a long sweep applies backpressure to
-// its own producer instead of failing mid-stream.
+// tenantLabel names the default tenant in error messages.
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
+}
+
+// SubmitWait admits t, waiting for queue space (or tenant quota headroom) if
+// necessary. It returns ctx's error if the caller gives up first, and
+// ErrClosed once shutdown has begun. Streaming endpoints and durable sweep
+// jobs use it so a long sweep applies backpressure to its own producer
+// instead of failing mid-stream.
 func (p *Pool) SubmitWait(ctx context.Context, t *task) error {
 	for {
 		err := p.Submit(t)
-		if !errors.Is(err, ErrQueueFull) {
+		if !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrTenantQuota) {
 			return err
 		}
 		select {
@@ -123,11 +169,38 @@ func (p *Pool) SubmitWait(ctx context.Context, t *task) error {
 	}
 }
 
-// worker executes tasks until the queue is closed and drained.
+// worker executes tasks until shutdown has begun and the queues are drained.
 func (p *Pool) worker() {
 	defer p.wg.Done()
-	for t := range p.queue {
+	for {
+		p.mu.Lock()
+		for p.queued == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.queued == 0 {
+			p.mu.Unlock()
+			return
+		}
+		var t *task
+		for i := range p.queues {
+			if q := p.queues[i]; len(q) > 0 {
+				t, q[0] = q[0], nil
+				p.queues[i] = q[1:]
+				break
+			}
+		}
+		p.queued--
+		p.mu.Unlock()
+
 		p.runTask(t)
+
+		p.mu.Lock()
+		if p.admitted[t.tenant] <= 1 {
+			delete(p.admitted, t.tenant)
+		} else {
+			p.admitted[t.tenant]--
+		}
+		p.mu.Unlock()
 	}
 }
 
@@ -179,19 +252,21 @@ type PoolStats struct {
 	Capacity int // queue bound
 	InFlight int // tasks currently executing
 	Workers  int
+	Tenants  int // tenants with admitted jobs
 	Closed   bool
 }
 
 // Stats returns the current load snapshot.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
-	closed := p.closed
+	queued, tenants, closed := p.queued, len(p.admitted), p.closed
 	p.mu.Unlock()
 	return PoolStats{
-		Queued:   len(p.queue),
+		Queued:   queued,
 		Capacity: p.opts.QueueDepth,
 		InFlight: int(p.inflight.Load()),
 		Workers:  p.opts.Workers,
+		Tenants:  tenants,
 		Closed:   closed,
 	}
 }
@@ -205,7 +280,7 @@ func (p *Pool) Close(ctx context.Context) error {
 	p.mu.Lock()
 	if !p.closed {
 		p.closed = true
-		close(p.queue)
+		p.cond.Broadcast()
 	}
 	p.mu.Unlock()
 

@@ -8,11 +8,13 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"intervalsim/internal/core"
 	"intervalsim/internal/experiments"
 	"intervalsim/internal/overlay"
+	"intervalsim/internal/store"
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
 	"intervalsim/internal/version"
@@ -40,6 +42,14 @@ type Options struct {
 	OverlayCapacity int
 	// MaxSweepPoints caps the grid size of one sweep request; <= 0 means 4096.
 	MaxSweepPoints int
+	// TenantQuota caps one tenant's admitted (queued + running) jobs;
+	// <= 0 disables per-tenant accounting.
+	TenantQuota int
+	// Store, when set, enables the durable layer: content-addressed result
+	// caching, idempotent job IDs, and crash-resumable sweep jobs. The
+	// server takes ownership of resuming incomplete journals at startup but
+	// not of closing the store; the caller closes it after Shutdown.
+	Store *store.Store
 }
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
@@ -85,25 +95,45 @@ type Server struct {
 	metrics  *metrics
 	overlays *overlay.Cache
 	version  string
+
+	// Readiness: false until startup journal replay has re-admitted every
+	// incomplete durable job. /readyz answers 503 until then, so cluster
+	// health probers route around a daemon that is still reconstructing
+	// state (its answers would be incomplete duplicates, not wrong — but
+	// admission of new durable jobs races the replay's journal scan).
+	ready       atomic.Bool
+	resumedJobs atomic.Int64
 }
 
-// New builds a Server and starts its worker pool. Callers own shutdown:
-// call Shutdown to drain.
+// New builds a Server and starts its worker pool. If a durable store is
+// configured, incomplete sweep-job journals are replayed and resumed in the
+// background; the server reports not-ready until that replay has finished.
+// Callers own shutdown: call Shutdown to drain.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
-	return &Server{
+	s := &Server{
 		opts: opts,
 		pool: NewPool(PoolOptions{
 			Workers:        opts.Workers,
 			QueueDepth:     opts.QueueDepth,
 			DefaultTimeout: opts.DefaultTimeout,
+			TenantQuota:    opts.TenantQuota,
 		}),
 		jobs:     newJobStore(opts.JobHistory),
 		metrics:  newMetrics(),
 		overlays: overlay.NewCache(opts.OverlayCapacity),
 		version:  version.String(),
 	}
+	if opts.Store == nil {
+		s.ready.Store(true)
+	} else {
+		go s.recoverJournals()
+	}
+	return s
 }
+
+// Ready reports whether startup recovery has completed.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Shutdown drains the pool: admission stops, queued and in-flight jobs
 // finish (or are canceled when ctx expires). Call after the HTTP server has
@@ -119,9 +149,30 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/sweepjobs", s.handleSweepJobSubmit)
+	mux.HandleFunc("GET /v1/sweepjobs/{id}", s.handleSweepJob)
+	mux.HandleFunc("GET /v1/sweepjobs/{id}/csv", s.handleSweepJobCSV)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// admission extracts the scheduling headers: X-Tenant names the quota
+// bucket (default tenant when absent) and X-Priority selects the class.
+func admission(r *http.Request) (tenant string, priority int, err error) {
+	tenant = r.Header.Get("X-Tenant")
+	switch p := r.Header.Get("X-Priority"); p {
+	case "", "normal":
+		priority = PriorityNormal
+	case "high", "interactive":
+		priority = PriorityHigh
+	case "low", "batch":
+		priority = PriorityLow
+	default:
+		err = fmt.Errorf("%w: unknown X-Priority %q (want high, normal, or low)", errBadRequest, p)
+	}
+	return tenant, priority, err
 }
 
 // ---- helpers ----
@@ -263,6 +314,12 @@ func modelPenalty(m *core.Model, prof *core.Profile) (float64, error) {
 // handleSimulate admits an asynchronous simulation job: 200 with the queued
 // job on success, 429 + Retry-After under overload, 503 while draining.
 // Clients poll GET /v1/jobs/{id}.
+//
+// Submission is idempotent: the job ID is derived from the request's
+// canonical content identity, so resubmitting the same simulation joins the
+// live job instead of duplicating work — and with a durable store
+// configured, an identity whose result is already on disk is answered as a
+// born-finished job without touching the queue at all.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
 	if err := decodeJSON(w, r, &req); err != nil {
@@ -274,10 +331,34 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
 		return
 	}
-	job := s.jobs.create("simulate")
+	tenant, priority, err := admission(r)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
+		return
+	}
+	key := simKey(in)
+	id := jobID("j", key)
+	if job, ok := s.jobs.get(id); ok && job.Status != JobFailed {
+		writeJSON(w, http.StatusOK, job)
+		return
+	}
+	if st := s.opts.Store; st != nil {
+		if raw, ok, gerr := st.Get(key); gerr == nil && ok {
+			s.metrics.count(outcomeCached)
+			writeJSON(w, http.StatusOK, s.jobs.completeCached(id, "simulate", raw))
+			return
+		}
+	}
+	job, created := s.jobs.createWithID(id, "simulate")
+	if !created {
+		writeJSON(w, http.StatusOK, job)
+		return
+	}
 	t := &task{
-		name:    job.ID,
-		timeout: in.timeout,
+		name:     job.ID,
+		timeout:  in.timeout,
+		priority: priority,
+		tenant:   tenant,
 		run: func(ctx context.Context) error {
 			s.jobs.markRunning(job.ID)
 			res, err := s.runSimulate(ctx, in)
@@ -287,6 +368,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			raw, err := json.Marshal(res)
 			if err != nil {
 				return err
+			}
+			if st := s.opts.Store; st != nil {
+				// Best-effort: a failed Put only loses the cache entry, not
+				// the freshly computed answer.
+				st.Put(key, raw) //nolint:errcheck
 			}
 			s.jobs.setResult(job.ID, raw)
 			return nil
@@ -302,6 +388,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 	if err := s.submit(w, t); err != nil {
+		s.jobs.markFinished(job.ID, outcomeRejected, err.Error(), 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
@@ -320,7 +407,7 @@ func (s *Server) submit(w http.ResponseWriter, t *task) error {
 	switch {
 	case err == nil:
 		return nil
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQuota):
 		w.Header().Set("Retry-After", s.retryAfter())
 		s.reject(w, http.StatusTooManyRequests, err, outcomeRejected)
 	case errors.Is(err, ErrClosed):
@@ -345,6 +432,11 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
 		return
 	}
+	tenant, priority, err := admission(r)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
+		return
+	}
 	var (
 		result  *ModelResult
 		runErr  error
@@ -352,8 +444,10 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		done    = make(chan struct{})
 	)
 	t := &task{
-		name:    "model",
-		timeout: in.timeout,
+		name:     "model",
+		timeout:  in.timeout,
+		priority: priority,
+		tenant:   tenant,
 		run: func(ctx context.Context) error {
 			res, err := s.runModel(ctx, in)
 			if err != nil {
@@ -395,48 +489,91 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job)
 }
 
-// HealthResponse is the GET /healthz document.
+// HealthResponse is the GET /healthz (liveness) and GET /readyz (readiness)
+// document. Liveness answers 200 whenever the process can serve HTTP at all;
+// readiness answers 503 while the daemon is replaying durable job journals
+// ("recovering") or draining, so fleet probers route work elsewhere.
 type HealthResponse struct {
-	Status        string  `json:"status"` // "ok" or "draining"
+	Status        string  `json:"status"` // "ok", "recovering", or "draining"
 	Version       string  `json:"version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	QueueDepth    int     `json:"queue_depth"`
 	InFlight      int     `json:"inflight"`
+	ResumedJobs   int     `json:"resumed_jobs,omitempty"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// health assembles the shared liveness/readiness document.
+func (s *Server) health() HealthResponse {
 	ps := s.pool.Stats()
 	_, _, uptime := s.metrics.snapshot()
 	status := "ok"
-	if ps.Closed {
+	switch {
+	case !s.ready.Load():
+		status = "recovering"
+	case ps.Closed:
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{
+	return HealthResponse{
 		Status:        status,
 		Version:       s.version,
 		UptimeSeconds: uptime,
 		QueueDepth:    ps.Queued,
 		InFlight:      ps.InFlight,
-	})
+		ResumedJobs:   int(s.resumedJobs.Load()),
+	}
+}
+
+// handleHealthz is liveness: 200 as long as the handler runs, whatever the
+// recovery or drain state — restarting a recovering daemon would only make
+// it recover again.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// handleReadyz is readiness: 503 until journal replay has finished, and 503
+// again once draining begins, with the same document either way.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	code := http.StatusOK
+	if h.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	ps := s.pool.Stats()
 	jobs, lat, uptime := s.metrics.snapshot()
-	writeJSON(w, http.StatusOK, MetricsResponse{
+	resp := MetricsResponse{
 		Version:       s.version,
 		UptimeSeconds: uptime,
 		QueueDepth:    ps.Queued,
 		QueueCapacity: ps.Capacity,
 		InFlight:      ps.InFlight,
 		Workers:       ps.Workers,
+		Tenants:       ps.Tenants,
 		Draining:      ps.Closed,
 		TrackedJobs:   s.jobs.len(),
 		Jobs:          jobs,
 		OverlayCache:  cacheMetrics(s.overlays.Counters()),
 		TraceCache:    cacheMetrics(experiments.TraceCacheCounters()),
 		Latency:       lat,
-	})
+	}
+	if st := s.opts.Store; st != nil {
+		sn := st.StatsSnapshot()
+		resp.Store = &StoreMetrics{
+			Hits:             sn.Hits,
+			Misses:           sn.Misses,
+			Puts:             sn.Puts,
+			Records:          sn.Records,
+			RecoveredRecords: sn.RecoveredRecords,
+			TruncatedBytes:   sn.TruncatedBytes,
+			IndexRebuilt:     sn.IndexRebuilt,
+			Ready:            s.ready.Load(),
+			ResumedJobs:      int(s.resumedJobs.Load()),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ---- sweep streaming ----
@@ -502,6 +639,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	in, err := s.resolveSweep(&req)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
+		return
+	}
+	tenant, priority, err := admission(r)
 	if err != nil {
 		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
 		return
@@ -572,8 +714,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			cfg := experiments.Point(pt.width, pt.depth, pt.rob)
 			line := SweepPoint{Seq: pt.seq, Width: pt.width, Depth: pt.depth, ROB: pt.rob}
 			t := &task{
-				name:    fmt.Sprintf("sweep-%s-%s", in.wc.Name, cfg.Name),
-				timeout: in.timeout,
+				name:     fmt.Sprintf("sweep-%s-%s", in.wc.Name, cfg.Name),
+				timeout:  in.timeout,
+				priority: priority,
+				tenant:   tenant,
 				// A dropped connection must stop the sweep's work, not
 				// just its output: queued points are skipped and running
 				// ones canceled, freeing the worker slots promptly.

@@ -258,13 +258,17 @@ func TestOverload429(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 
-	second := postJSON(t, ts.URL+"/v1/simulate", slow)
+	// Distinct identities: resubmitting the same body would idempotently
+	// join the first job instead of consuming admission slots.
+	slow2, slow3 := slow, slow
+	slow2.Warmup, slow3.Warmup = 1, 2
+	second := postJSON(t, ts.URL+"/v1/simulate", slow2)
 	second.Body.Close()
 	if second.StatusCode != http.StatusOK {
 		t.Fatalf("second submit: status %d, want 200 (queued)", second.StatusCode)
 	}
 
-	third := postJSON(t, ts.URL+"/v1/simulate", slow)
+	third := postJSON(t, ts.URL+"/v1/simulate", slow3)
 	if third.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("third submit: status %d, want 429", third.StatusCode)
 	}

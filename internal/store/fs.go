@@ -1,0 +1,133 @@
+// Package store is intervalsimd's durability layer: a persistent,
+// content-addressed result store plus crash-safe job journals, built on one
+// append-only record log format.
+//
+// The format is deliberately simple enough to reason about under power loss:
+// every file is a fixed 8-byte magic header followed by length-prefixed,
+// CRC-protected records, appended with fsync'd boundaries. A crash can only
+// ever leave a *suffix* of the file torn; Open detects the first record that
+// fails its length or checksum and truncates the tail, so every record that
+// was ever acknowledged (Append returned) survives and nothing half-written
+// is ever served. Recovery is exercised directly by fault-injection tests
+// (package faultinject), not just by the CI SIGKILL smoke job.
+//
+// Identity is content-addressed: the store maps canonical key bytes — the
+// service builds them from the (workload, uarch config, predictor/cache
+// fingerprint) identity that package overlay already canonicalizes — to
+// result bytes. Lookups verify full key equality, so a 64-bit index hash
+// collision degrades to a miss, never to a wrong answer.
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the handle the log layer needs: random-access reads, appends at
+// the current end, and durable flush. *os.File satisfies it; the
+// fault-injection layer wraps it to tear writes and fail syncs.
+type File interface {
+	io.ReaderAt
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the store runs on. Production code uses OS;
+// tests substitute a fault-injecting wrapper to exercise the recovery paths
+// deterministically.
+type FS interface {
+	// OpenFile opens path for reading and appending, creating it if absent,
+	// and returns the handle plus the current size.
+	OpenFile(path string) (File, int64, error)
+	// Truncate cuts path to size bytes (used to discard torn tails).
+	Truncate(path string, size int64) error
+	// WriteFile atomically replaces path with data (write temp + rename), so
+	// a crash never leaves a half-written file under the final name.
+	WriteFile(path string, data []byte) error
+	// Remove deletes path.
+	Remove(path string) error
+	// MkdirAll creates the directory path and any missing parents.
+	MkdirAll(path string) error
+	// ReadDir lists the file names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS is the production FS.
+var OS FS = osFS{}
+
+func (osFS) OpenFile(path string) (File, int64, error) {
+	// O_APPEND, not a seek: every write lands at the *current* end of file,
+	// so truncating a torn tail (by path) repositions subsequent appends
+	// automatically. Reads use pread and are unaffected.
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, st.Size(), nil
+}
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (osFS) WriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// readRange reads [off, off+n) from f, tolerating a short tail: it returns
+// whatever prefix was readable. Only a real I/O error is reported.
+func readRange(f File, off, n int64) ([]byte, error) {
+	buf := make([]byte, n)
+	read, err := f.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf[:read], nil
+}
+
+// ensureDir is a small helper shared by Open paths.
+func ensureDir(fs FS, dir string) error {
+	if err := fs.MkdirAll(dir); err != nil {
+		return fmt.Errorf("store: mkdir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// join keeps path building in one place so FS implementations only ever see
+// slash-joined paths under the store root.
+func join(parts ...string) string { return filepath.Join(parts...) }

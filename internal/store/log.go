@@ -1,0 +1,226 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Log file format. Every durable file in the store is one of these:
+//
+//	header:  8-byte magic ("ISLOG1\r\n")
+//	record:  u32 bodyLen | u32 crc32c(body) | body
+//	body:    u8 kind | payload
+//
+// Records are appended with an fsync after the full frame, so a record is
+// either entirely durable or detectably torn. Open scans from the header and
+// stops at the first frame whose length is implausible, runs past the end of
+// the file, or fails its checksum; everything after that point is a torn
+// tail from a crash and is truncated away. Committed records are never lost:
+// truncation only ever removes bytes that Append never acknowledged.
+
+var logMagic = [8]byte{'I', 'S', 'L', 'O', 'G', '1', '\r', '\n'}
+
+const (
+	frameHeaderSize = 8       // u32 len + u32 crc
+	maxRecordSize   = 1 << 26 // 64 MiB; larger lengths are treated as corruption
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a structurally invalid log (bad magic). A torn tail is
+// NOT corruption — it is recovered silently — but a file that does not start
+// with the log magic was never ours and is refused rather than overwritten.
+var ErrCorrupt = errors.New("store: not a log file")
+
+// Record is one decoded log record.
+type Record struct {
+	Kind    uint8
+	Payload []byte
+	Offset  int64 // file offset of the record's frame
+}
+
+// RecoveryInfo summarizes what Open found.
+type RecoveryInfo struct {
+	Records        int   // committed records recovered
+	TruncatedBytes int64 // torn-tail bytes discarded
+}
+
+// Log is an append-only record log with crash-safe boundaries.
+type Log struct {
+	fs   FS
+	f    File
+	path string
+	size int64
+	sync bool
+}
+
+// OpenLog opens (or creates) the log at path, replays every committed
+// record, truncates any torn tail, and leaves the log ready to append.
+// When syncEach is true every Append fsyncs before returning — the
+// durability contract journals and segments rely on.
+func OpenLog(fs FS, path string, syncEach bool) (*Log, []Record, RecoveryInfo, error) {
+	f, size, err := fs.OpenFile(path)
+	if err != nil {
+		return nil, nil, RecoveryInfo{}, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	l := &Log{fs: fs, f: f, path: path, size: size, sync: syncEach}
+
+	if size < int64(len(logMagic)) {
+		// New file, or a crash tore the header itself (no record can have
+		// committed before the header did). Start clean.
+		if err := l.reset(size > 0); err != nil {
+			f.Close()
+			return nil, nil, RecoveryInfo{}, err
+		}
+		return l, nil, RecoveryInfo{TruncatedBytes: size}, nil
+	}
+
+	head, err := readRange(f, 0, int64(len(logMagic)))
+	if err != nil {
+		f.Close()
+		return nil, nil, RecoveryInfo{}, fmt.Errorf("store: read %s: %w", path, err)
+	}
+	if len(head) != len(logMagic) || [8]byte(head) != logMagic {
+		f.Close()
+		return nil, nil, RecoveryInfo{}, fmt.Errorf("%w: %s", ErrCorrupt, path)
+	}
+
+	body, err := readRange(f, int64(len(logMagic)), size-int64(len(logMagic)))
+	if err != nil {
+		f.Close()
+		return nil, nil, RecoveryInfo{}, fmt.Errorf("store: read %s: %w", path, err)
+	}
+	records, good := scanRecords(body, int64(len(logMagic)))
+	info := RecoveryInfo{Records: len(records), TruncatedBytes: size - good}
+	if good < size {
+		if err := l.truncate(good); err != nil {
+			f.Close()
+			return nil, nil, RecoveryInfo{}, err
+		}
+	}
+	return l, records, info, nil
+}
+
+// scanRecords decodes frames from buf (which starts at file offset base),
+// returning the valid records and the file offset just past the last one.
+func scanRecords(buf []byte, base int64) ([]Record, int64) {
+	var records []Record
+	off := 0
+	for {
+		if len(buf)-off < frameHeaderSize {
+			break
+		}
+		n := binary.LittleEndian.Uint32(buf[off:])
+		crc := binary.LittleEndian.Uint32(buf[off+4:])
+		if n == 0 || n > maxRecordSize || len(buf)-off-frameHeaderSize < int(n) {
+			break
+		}
+		body := buf[off+frameHeaderSize : off+frameHeaderSize+int(n)]
+		if crc32.Checksum(body, crcTable) != crc {
+			break
+		}
+		records = append(records, Record{
+			Kind:    body[0],
+			Payload: body[1:],
+			Offset:  base + int64(off),
+		})
+		off += frameHeaderSize + int(n)
+	}
+	return records, base + int64(off)
+}
+
+// reset rewrites the log to just a header. existing reports whether stale
+// bytes must be cut first.
+func (l *Log) reset(existing bool) error {
+	if existing {
+		if err := l.truncate(0); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(logMagic[:]); err != nil {
+		return fmt.Errorf("store: write header %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", l.path, err)
+	}
+	l.size = int64(len(logMagic))
+	return nil
+}
+
+// truncate cuts the file to size and records the new append position.
+func (l *Log) truncate(size int64) error {
+	if err := l.fs.Truncate(l.path, size); err != nil {
+		return fmt.Errorf("store: truncate %s: %w", l.path, err)
+	}
+	l.size = size
+	return nil
+}
+
+// Append writes one record and, in sync mode, fsyncs before acknowledging.
+// On a write error the log attempts to cut back to the last committed
+// boundary so a partial frame cannot linger in front of later appends; the
+// original error is returned either way.
+func (l *Log) Append(kind uint8, payload []byte) (int64, error) {
+	frame := make([]byte, frameHeaderSize+1+len(payload))
+	body := frame[frameHeaderSize:]
+	body[0] = kind
+	copy(body[1:], payload)
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(body, crcTable))
+
+	off := l.size
+	if _, err := l.f.Write(frame); err != nil {
+		// Best effort: discard whatever prefix of the frame landed.
+		l.truncate(off) //nolint:errcheck // reopening recovers regardless
+		return 0, fmt.Errorf("store: append %s: %w", l.path, err)
+	}
+	l.size += int64(len(frame))
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("store: sync %s: %w", l.path, err)
+		}
+	}
+	return off, nil
+}
+
+// ReadAt re-decodes the single record at offset off (as returned by Append
+// or carried by a Record from OpenLog).
+func (l *Log) ReadAt(off int64) (Record, error) {
+	head, err := readRange(l.f, off, frameHeaderSize)
+	if err != nil || len(head) < frameHeaderSize {
+		return Record{}, fmt.Errorf("store: read frame at %d in %s: %v", off, l.path, err)
+	}
+	n := binary.LittleEndian.Uint32(head)
+	crc := binary.LittleEndian.Uint32(head[4:])
+	if n == 0 || n > maxRecordSize {
+		return Record{}, fmt.Errorf("store: bad frame length %d at %d in %s", n, off, l.path)
+	}
+	body, err := readRange(l.f, off+frameHeaderSize, int64(n))
+	if err != nil || len(body) < int(n) {
+		return Record{}, fmt.Errorf("store: short frame body at %d in %s: %v", off, l.path, err)
+	}
+	if crc32.Checksum(body, crcTable) != crc {
+		return Record{}, fmt.Errorf("store: frame checksum mismatch at %d in %s", off, l.path)
+	}
+	return Record{Kind: body[0], Payload: body[1:], Offset: off}, nil
+}
+
+// Size returns the current committed size in bytes.
+func (l *Log) Size() int64 { return l.size }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Sync forces an fsync (useful when the log was opened without syncEach).
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Close syncs and closes the file.
+func (l *Log) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

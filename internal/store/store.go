@@ -1,0 +1,387 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"strings"
+	"sync"
+)
+
+// Store layout under one directory:
+//
+//	results.seg   append-only log of result records (kind recordResult,
+//	              body = u16 keyLen | key | value)
+//	results.idx   sidecar index: a snapshot of (hash, offset, length)
+//	              triples covering a prefix of the segment, rewritten
+//	              atomically on Close and every indexEvery puts
+//	jobs/<id>.log one journal per durable job (see Journal kinds)
+//
+// The segment is the source of truth; the index only makes reopening cheap.
+// Open loads the index if it validates, scans the (normally tiny) segment
+// suffix the index does not cover, and falls back to a full scan when the
+// index is missing, stale, or damaged — so deleting results.idx is always
+// safe, and a crash between segment append and index rewrite costs nothing.
+
+const (
+	recordResult uint8 = 1
+
+	segmentName = "results.seg"
+	indexName   = "results.idx"
+	jobsDir     = "jobs"
+
+	// indexEvery bounds how much un-indexed segment suffix a crash can leave
+	// behind (the suffix is re-scanned on open, so this is a reopen-latency
+	// knob, not a durability one).
+	indexEvery = 256
+)
+
+var idxMagic = [8]byte{'I', 'S', 'I', 'D', 'X', '1', '\r', '\n'}
+
+// idxEnt locates one result record in the segment.
+type idxEnt struct {
+	off  int64
+	hash uint64
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Puts   uint64 `json:"puts"`
+
+	Records int `json:"records"` // distinct keys resident
+
+	// Recovery provenance from the last Open.
+	RecoveredRecords int   `json:"recovered_records"`
+	TruncatedBytes   int64 `json:"truncated_bytes"`
+	IndexRebuilt     bool  `json:"index_rebuilt"` // index was absent/stale; segment fully rescanned
+}
+
+// Store is a durable, content-addressed result store. All methods are safe
+// for concurrent use.
+type Store struct {
+	fs  FS
+	dir string
+
+	mu        sync.Mutex
+	seg       *Log
+	index     map[uint64][]idxEnt // key hash -> candidate records
+	records   int
+	unindexed int // puts since the last index snapshot
+	stats     Stats
+	closed    bool
+}
+
+// Open opens (or initializes) the store rooted at dir on fs (nil fs = OS).
+// It recovers the segment — truncating any torn tail — and rebuilds or
+// fast-loads the index.
+func Open(fs FS, dir string) (*Store, error) {
+	if fs == nil {
+		fs = OS
+	}
+	if err := ensureDir(fs, dir); err != nil {
+		return nil, err
+	}
+	if err := ensureDir(fs, join(dir, jobsDir)); err != nil {
+		return nil, err
+	}
+	s := &Store{fs: fs, dir: dir, index: make(map[uint64][]idxEnt)}
+
+	seg, records, info, err := OpenLog(fs, join(dir, segmentName), true)
+	if err != nil {
+		return nil, err
+	}
+	s.seg = seg
+	s.stats.RecoveredRecords = info.Records
+	s.stats.TruncatedBytes = info.TruncatedBytes
+
+	covered, ok := s.loadIndex(seg.Size(), records)
+	if !ok {
+		s.stats.IndexRebuilt = true
+		covered = int64(len(logMagic))
+		s.index = make(map[uint64][]idxEnt)
+		s.records = 0
+	}
+	// Index whatever suffix the snapshot did not cover (everything, after a
+	// rebuild). records is in offset order, so replays apply last-wins.
+	for _, rec := range records {
+		if rec.Offset < covered {
+			continue
+		}
+		key, _, err := decodeResult(rec)
+		if err != nil {
+			return nil, err
+		}
+		s.addEntry(hashKey(key), rec.Offset, key)
+		s.unindexed++
+	}
+	s.stats.Records = s.records
+	return s, nil
+}
+
+// decodeResult splits a result record body into key and value.
+func decodeResult(rec Record) (key, value []byte, err error) {
+	if rec.Kind != recordResult {
+		return nil, nil, fmt.Errorf("store: unexpected record kind %d at %d", rec.Kind, rec.Offset)
+	}
+	p := rec.Payload
+	if len(p) < 2 {
+		return nil, nil, fmt.Errorf("store: short result record at %d", rec.Offset)
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	if len(p)-2 < n {
+		return nil, nil, fmt.Errorf("store: result record key overruns body at %d", rec.Offset)
+	}
+	return p[2 : 2+n], p[2+n:], nil
+}
+
+// addEntry indexes one record, keeping last-wins semantics for re-put keys.
+// Caller holds mu (or is inside Open, before the store is shared).
+func (s *Store) addEntry(h uint64, off int64, key []byte) {
+	ents := s.index[h]
+	for i := range ents {
+		rec, err := s.seg.ReadAt(ents[i].off)
+		if err == nil {
+			if k, _, derr := decodeResult(rec); derr == nil && bytes.Equal(k, key) {
+				ents[i].off = off // same key re-put: newest record wins
+				return
+			}
+		}
+	}
+	s.index[h] = append(ents, idxEnt{off: off, hash: h})
+	s.records++
+}
+
+// Get returns the value stored for key. The index narrows by 64-bit hash;
+// the match is confirmed against the full key bytes from the segment, so
+// hash collisions cost a extra read, never a wrong answer.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, fmt.Errorf("store: closed")
+	}
+	for _, ent := range s.index[hashKey(key)] {
+		rec, err := s.seg.ReadAt(ent.off)
+		if err != nil {
+			return nil, false, err
+		}
+		k, v, err := decodeResult(rec)
+		if err != nil {
+			return nil, false, err
+		}
+		if bytes.Equal(k, key) {
+			s.stats.Hits++
+			out := make([]byte, len(v))
+			copy(out, v)
+			return out, true, nil
+		}
+	}
+	s.stats.Misses++
+	return nil, false, nil
+}
+
+// Put durably records value under key (fsync'd before returning) and
+// indexes it. Re-putting a key replaces its value (last record wins, both on
+// the live index and on replay).
+func (s *Store) Put(key, value []byte) error {
+	if len(key) == 0 || len(key) > 1<<16-1 {
+		return fmt.Errorf("store: key length %d outside [1, 65535]", len(key))
+	}
+	body := make([]byte, 2+len(key)+len(value))
+	binary.LittleEndian.PutUint16(body, uint16(len(key)))
+	copy(body[2:], key)
+	copy(body[2+len(key):], value)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	off, err := s.seg.Append(recordResult, body)
+	if err != nil {
+		return err
+	}
+	s.addEntry(hashKey(key), off, key)
+	s.stats.Puts++
+	s.stats.Records = s.records
+	s.unindexed++
+	if s.unindexed >= indexEvery {
+		s.writeIndex() //nolint:errcheck // advisory; a failed snapshot only slows reopen
+	}
+	return nil
+}
+
+// Len returns the number of distinct keys resident.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records
+}
+
+// StatsSnapshot returns the counter snapshot.
+func (s *Store) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Records = s.records
+	return st
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close snapshots the index and closes the segment. Further calls fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.writeIndex()
+	if cerr := s.seg.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ---- index snapshot ----
+
+// Index file layout (all little-endian, after the 8-byte magic):
+//
+//	u64 coveredSize  segment size the snapshot covers
+//	u32 count        entries
+//	count × (u64 hash | u64 offset)
+//	u32 crc32c       over everything after the magic
+//
+// WriteFile replaces it atomically, so the index is always either the old
+// snapshot or the new one, never a blend.
+
+// writeIndex snapshots the current index. Caller holds mu.
+func (s *Store) writeIndex() error {
+	n := 0
+	for _, ents := range s.index {
+		n += len(ents)
+	}
+	buf := make([]byte, 8+8+4+16*n+4)
+	copy(buf, idxMagic[:])
+	binary.LittleEndian.PutUint64(buf[8:], uint64(s.seg.Size()))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(n))
+	at := 20
+	for _, ents := range s.index {
+		for _, e := range ents {
+			binary.LittleEndian.PutUint64(buf[at:], e.hash)
+			binary.LittleEndian.PutUint64(buf[at+8:], uint64(e.off))
+			at += 16
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[at:], crc32.Checksum(buf[8:at], crcTable))
+	if err := s.fs.WriteFile(join(s.dir, indexName), buf); err != nil {
+		return fmt.Errorf("store: write index: %w", err)
+	}
+	s.unindexed = 0
+	return nil
+}
+
+// loadIndex tries the sidecar snapshot: on success it populates the index
+// and returns the segment prefix it covers. Any mismatch — missing file,
+// bad magic or checksum, coverage past the recovered segment end, or an
+// entry that does not decode — rejects the snapshot entirely.
+func (s *Store) loadIndex(segSize int64, records []Record) (int64, bool) {
+	f, size, err := s.fs.OpenFile(join(s.dir, indexName))
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	buf, err := readRange(f, 0, size)
+	if err != nil || len(buf) < 24 || [8]byte(buf[:8]) != idxMagic {
+		return 0, false
+	}
+	if crc32.Checksum(buf[8:len(buf)-4], crcTable) != binary.LittleEndian.Uint32(buf[len(buf)-4:]) {
+		return 0, false
+	}
+	covered := int64(binary.LittleEndian.Uint64(buf[8:]))
+	count := int(binary.LittleEndian.Uint32(buf[16:]))
+	if covered < int64(len(logMagic)) || covered > segSize || len(buf) != 24+16*count {
+		return 0, false
+	}
+	// The snapshot must agree with the recovered segment: every covered
+	// record offset must exist. Build the authoritative set from records.
+	valid := make(map[int64]bool, len(records))
+	for _, r := range records {
+		valid[r.Offset] = true
+	}
+	index := make(map[uint64][]idxEnt, count)
+	n := 0
+	for at := 20; at < len(buf)-4; at += 16 {
+		h := binary.LittleEndian.Uint64(buf[at:])
+		off := int64(binary.LittleEndian.Uint64(buf[at+8:]))
+		if off >= covered || !valid[off] {
+			return 0, false
+		}
+		index[h] = append(index[h], idxEnt{off: off, hash: h})
+		n++
+	}
+	s.index = index
+	s.records = n
+	return covered, true
+}
+
+// hashKey is FNV-1a over the canonical key bytes.
+func hashKey(key []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// ---- job journals ----
+
+// Journal record kinds. A journal is one Log per durable job: a begin
+// record (the canonical job spec), one point record per committed unit of
+// work, and a done record. A journal with no done record marks a job to
+// resume; its committed points are never recomputed.
+const (
+	JournalBegin uint8 = 1
+	JournalPoint uint8 = 2
+	JournalDone  uint8 = 3
+)
+
+// journalFile maps a job ID to its file name.
+func journalFile(id string) string { return id + ".log" }
+
+// OpenJournal opens (or creates) the journal for job id, returning its
+// replayed records and recovery info. Append-side durability matches the
+// segment: every record is fsync'd.
+func (s *Store) OpenJournal(id string) (*Log, []Record, RecoveryInfo, error) {
+	return OpenLog(s.fs, join(s.dir, jobsDir, journalFile(id)), true)
+}
+
+// Journals lists the IDs of all jobs with a journal on disk.
+func (s *Store) Journals() ([]string, error) {
+	names, err := s.fs.ReadDir(join(s.dir, jobsDir))
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, n := range names {
+		if id, ok := strings.CutSuffix(n, ".log"); ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
+}
+
+// RemoveJournal deletes job id's journal.
+func (s *Store) RemoveJournal(id string) error {
+	return s.fs.Remove(join(s.dir, jobsDir, journalFile(id)))
+}

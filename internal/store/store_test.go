@@ -1,0 +1,317 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLogRoundTripAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.log")
+	l, recs, info, err := OpenLog(OS, path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || info.Records != 0 {
+		t.Fatalf("fresh log has records: %v %v", recs, info)
+	}
+	payloads := [][]byte{[]byte("alpha"), []byte(""), bytes.Repeat([]byte{0xAB}, 4096)}
+	for i, p := range payloads {
+		if _, err := l.Append(uint8(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs, info, err := OpenLog(OS, path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.TruncatedBytes != 0 {
+		t.Fatalf("clean log reported truncation: %+v", info)
+	}
+	if len(recs) != len(payloads) {
+		t.Fatalf("got %d records, want %d", len(recs), len(payloads))
+	}
+	for i, r := range recs {
+		if r.Kind != uint8(i+1) || !bytes.Equal(r.Payload, payloads[i]) {
+			t.Fatalf("record %d mismatch: kind %d payload %q", i, r.Kind, r.Payload)
+		}
+		rr, err := l2.ReadAt(r.Offset)
+		if err != nil || !bytes.Equal(rr.Payload, payloads[i]) {
+			t.Fatalf("ReadAt(%d): %v %q", r.Offset, err, rr.Payload)
+		}
+	}
+}
+
+// TestLogTornTailRecovery appends garbage suffixes of every flavor — short
+// frame header, truncated body, corrupted checksum — and requires reopen to
+// keep all committed records and discard exactly the tail.
+func TestLogTornTailRecovery(t *testing.T) {
+	taints := []struct {
+		name string
+		tail []byte
+	}{
+		{"short_header", []byte{0x05, 0x00}},
+		{"truncated_body", []byte{0x10, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}},
+		{"bad_crc", []byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x41, 0x42}},
+		{"zero_len", []byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}},
+		{"absurd_len", []byte{0xff, 0xff, 0xff, 0x7f, 0x00, 0x00, 0x00, 0x00, 0x41}},
+	}
+	for _, tc := range taints {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "x.log")
+			l, _, _, err := OpenLog(OS, path, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				if _, err := l.Append(1, []byte(fmt.Sprintf("rec-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			good := l.Size()
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tc.tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			l2, recs, info, err := OpenLog(OS, path, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			if len(recs) != 5 {
+				t.Fatalf("recovered %d records, want 5", len(recs))
+			}
+			if info.TruncatedBytes != int64(len(tc.tail)) {
+				t.Fatalf("truncated %d bytes, want %d", info.TruncatedBytes, len(tc.tail))
+			}
+			if l2.Size() != good {
+				t.Fatalf("size %d after recovery, want %d", l2.Size(), good)
+			}
+			// The log must be appendable after recovery and stay clean.
+			if _, err := l2.Append(2, []byte("after")); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLogRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.log")
+	if err := os.WriteFile(path, []byte("this is not a log file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := OpenLog(OS, path, true); err == nil {
+		t.Fatal("OpenLog accepted a foreign file")
+	}
+}
+
+func TestStorePutGetPersist(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := map[string]string{
+		"key-a": "value-a",
+		"key-b": `{"ipc":1.25,"cycles":1000}`,
+		"key-c": "",
+	}
+	for k, v := range kv {
+		if err := s.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-put replaces.
+	if err := s.Put([]byte("key-a"), []byte("value-a2")); err != nil {
+		t.Fatal(err)
+	}
+	kv["key-a"] = "value-a2"
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	check := func(s *Store) {
+		t.Helper()
+		for k, v := range kv {
+			got, ok, err := s.Get([]byte(k))
+			if err != nil || !ok || string(got) != v {
+				t.Fatalf("Get(%s) = %q %v %v, want %q", k, got, ok, err, v)
+			}
+		}
+		if _, ok, err := s.Get([]byte("absent")); ok || err != nil {
+			t.Fatalf("Get(absent) = %v %v", ok, err)
+		}
+	}
+	check(s)
+	st := s.StatsSnapshot()
+	if st.Puts != 4 || st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: index snapshot fast path (written by Close).
+	s2, err := Open(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.StatsSnapshot().IndexRebuilt {
+		t.Fatal("reopen after clean Close rebuilt the index")
+	}
+	check(s2)
+	s2.Close()
+
+	// Delete the index: full rescan must agree.
+	if err := os.Remove(filepath.Join(dir, indexName)); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if !s3.StatsSnapshot().IndexRebuilt {
+		t.Fatal("missing index did not trigger a rebuild")
+	}
+	check(s3)
+}
+
+// TestStoreStaleIndex crashes "between" segment append and index rewrite:
+// the index snapshot covers a prefix, later puts live only in the segment.
+// Open must serve both the indexed prefix and the scanned suffix.
+func TestStoreStaleIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("old"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // snapshots the index covering "old"
+		t.Fatal(err)
+	}
+	s, err = Open(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("new"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate SIGKILL: no Close, so the index still only covers "old".
+	s.seg.Close()
+
+	s2, err := Open(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.StatsSnapshot().IndexRebuilt {
+		t.Fatal("valid stale index was rejected")
+	}
+	for k, v := range map[string]string{"old": "1", "new": "2"} {
+		got, ok, err := s2.Get([]byte(k))
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("Get(%s) = %q %v %v", k, got, ok, err)
+		}
+	}
+}
+
+func TestStoreCorruptIndexFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idx := filepath.Join(dir, indexName)
+	raw, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(idx, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.StatsSnapshot().IndexRebuilt {
+		t.Fatal("corrupt index was trusted")
+	}
+	got, ok, err := s2.Get([]byte("k"))
+	if err != nil || !ok || string(got) != "v" {
+		t.Fatalf("Get(k) = %q %v %v", got, ok, err)
+	}
+}
+
+func TestJournalLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	j, recs, _, err := s.OpenJournal("s0011223344556677")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal has %d records", len(recs))
+	}
+	if _, err := j.Append(JournalBegin, []byte(`{"spec":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := j.Append(JournalPoint, []byte(fmt.Sprintf(`{"seq":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	ids, err := s.Journals()
+	if err != nil || len(ids) != 1 || ids[0] != "s0011223344556677" {
+		t.Fatalf("Journals = %v, %v", ids, err)
+	}
+	j2, recs, _, err := s.OpenJournal(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[0].Kind != JournalBegin || recs[3].Kind != JournalPoint {
+		t.Fatalf("replayed %d records, kinds %v", len(recs), recs)
+	}
+	if _, err := j2.Append(JournalDone, nil); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	if err := s.RemoveJournal(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := s.Journals(); len(ids) != 0 {
+		t.Fatalf("journal survived removal: %v", ids)
+	}
+}
