@@ -10,6 +10,8 @@
 package intervalsim_test
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"testing"
 
@@ -131,6 +133,78 @@ func BenchmarkSimulatorReplay(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(soa.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkSimulatorLockstep measures SimulateMany advancing four ROB
+// configurations over one shared packed trace, each simulator stepped one
+// cycle per round. The reported Minst/s is aggregate (trace length × K per
+// iteration): the number to compare against K separate BenchmarkSimulator
+// runs, since all K simulators touch the same resident trace window instead
+// of streaming the trace K times.
+func BenchmarkSimulatorLockstep(b *testing.B) {
+	wc, _ := workload.SuiteConfig("crafty")
+	soa, err := trace.PackReader(workload.MustNew(wc, 200_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cfgs []uarch.Config
+	for _, rob := range []int{32, 64, 128, 256} {
+		cfg := uarch.Baseline()
+		cfg.Name = fmt.Sprintf("lockstep-r%d", rob)
+		cfg.ROBSize = rob
+		cfg.IQSize = rob / 2
+		cfgs = append(cfgs, cfg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uarch.SimulateMany(context.Background(), soa, nil, cfgs, uarch.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(soa.Len())*float64(len(cfgs))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkSampledSweep measures a small depth×ROB sweep run in sampled mode
+// (systematic detailed/fast-forward alternation with functional warming) —
+// the per-point cost that buys a confidence interval instead of an exact
+// cycle count. Points/s is the sweep-throughput headline; compare against
+// BenchmarkSimulator for the full-run cost the sampling avoids.
+func BenchmarkSampledSweep(b *testing.B) {
+	wc, _ := workload.SuiteConfig("crafty")
+	soa, err := trace.PackReader(workload.MustNew(wc, 200_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cfgs []uarch.Config
+	for _, depth := range []int{3, 7} {
+		for _, rob := range []int{64, 128} {
+			cfg := uarch.Baseline()
+			cfg.Name = fmt.Sprintf("sampled-d%d-r%d", depth, rob)
+			cfg.FrontendDepth = depth
+			cfg.ROBSize = rob
+			cfg.IQSize = rob / 2
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			res, err := uarch.Run(soa.Reader(), cfg, uarch.Options{
+				SampleStartSkip: 20_000,
+				SampleDetailed:  2_000,
+				SampleSkip:      18_000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Sample == nil || res.Sample.Units == 0 {
+				b.Fatal("sampled run produced no sampling stats")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(cfgs))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
 }
 
 // BenchmarkOverlayCompute measures the one-time pre-pass that records
@@ -302,3 +376,4 @@ func BenchmarkA1ModelAblation(b *testing.B)     { runExperiment(b, experiments.A
 func BenchmarkA2PredictorSweep(b *testing.B)    { runExperiment(b, experiments.A2) }
 func BenchmarkE12Predication(b *testing.B)      { runExperiment(b, experiments.E12) }
 func BenchmarkA3SampledSimulation(b *testing.B) { runExperiment(b, experiments.A3) }
+func BenchmarkA4SampledCI(b *testing.B)         { runExperiment(b, experiments.A4) }

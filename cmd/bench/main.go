@@ -61,26 +61,43 @@ type benchPoint struct {
 
 // sweepBench is the sweep-level metric: the wall-clock of an entire
 // depth×ROB design-space sweep at a fixed predictor and cache hierarchy,
-// run three ways over the same packed trace — live cycle-level simulation,
-// cycle-level simulation replaying a shared miss-event overlay, and the
-// analytic interval model evaluated straight off the overlay. Replay must
-// reproduce live cycle counts exactly (checked); the model trades exactness
-// for orders-of-magnitude less work, and its mean CPI error vs live is
-// recorded as the sanity bound. Setup costs (overlay computation, shared
-// ILP characteristics) are charged to the timings they benefit.
+// run five ways over the same packed trace — live cycle-level simulation,
+// cycle-level simulation replaying a shared miss-event overlay, all points
+// advanced together in lockstep over that overlay, SMARTS-style sampled
+// simulation, and the analytic interval model evaluated straight off the
+// overlay. Replay and lockstep must reproduce live cycle counts exactly
+// (checked); sampling trades exactness for a confidence interval, and the
+// number of points whose CPI interval covers the full-run CPI is recorded
+// alongside its speedup; the model trades exactness for orders-of-magnitude
+// less work, and its mean CPI error vs live is recorded as the sanity
+// bound. Setup costs (overlay computation, shared ILP characteristics) are
+// charged to the timings they benefit.
 type sweepBench struct {
-	Benchmark      string  `json:"benchmark"`
-	Insts          int     `json:"insts"`
-	Points         int     `json:"points"`
-	LiveSeconds    float64 `json:"live_s"`
-	ReplaySeconds  float64 `json:"replay_s"`
-	ModelSeconds   float64 `json:"model_s"`
-	ReplaySpeedup  float64 `json:"replay_speedup"`
-	ModelSpeedup   float64 `json:"model_speedup"`
-	OverlayHits    uint64  `json:"overlay_hits"`
-	OverlayMisses  uint64  `json:"overlay_misses"`
-	OverlayHitRate float64 `json:"overlay_hit_rate"`
-	ModelMeanErr   float64 `json:"model_cpi_mean_abs_err"`
+	Benchmark       string  `json:"benchmark"`
+	Insts           int     `json:"insts"`
+	Points          int     `json:"points"`
+	LiveSeconds     float64 `json:"live_s"`
+	ReplaySeconds   float64 `json:"replay_s"`
+	LockstepSeconds float64 `json:"lockstep_s"`
+	SampledSeconds  float64 `json:"sampled_s"`
+	ModelSeconds    float64 `json:"model_s"`
+	ReplaySpeedup   float64 `json:"replay_speedup"`
+	LockstepSpeedup float64 `json:"lockstep_speedup"`
+	SampledSpeedup  float64 `json:"sampled_speedup"`
+	ModelSpeedup    float64 `json:"model_speedup"`
+	OverlayHits     uint64  `json:"overlay_hits"`
+	OverlayMisses   uint64  `json:"overlay_misses"`
+	OverlayHitRate  float64 `json:"overlay_hit_rate"`
+	ModelMeanErr    float64 `json:"model_cpi_mean_abs_err"`
+	// Sampled-run accounting: the pinned phase lengths, the fewest
+	// measurement units any point observed, how many of the Points'
+	// 95% CPI intervals cover that point's full-run CPI, and the mean
+	// absolute CPI error of the sampled point estimates vs live.
+	SampledDetailed uint64  `json:"sampled_detailed"`
+	SampledSkip     uint64  `json:"sampled_skip"`
+	SampledMinUnits int     `json:"sampled_min_units"`
+	SampledCovered  int     `json:"sampled_cpi_ci_covered"`
+	SampledMeanErr  float64 `json:"sampled_cpi_mean_abs_err"`
 }
 
 // clusterFleet is one fleet size of the cluster scale-out benchmark.
@@ -214,9 +231,12 @@ func run(quick bool, runs int, stdout io.Writer) (*benchReport, error) {
 		return nil, err
 	}
 	rep.Sweep = sw
-	fmt.Fprintf(stdout, "sweep %s (%d pts, %d insts): live %.2fs, replay %.2fs (%.2fx), model %.2fs (%.1fx), overlay hit rate %.0f%%, model CPI |err| %.1f%%\n",
+	fmt.Fprintf(stdout, "sweep %s (%d pts, %d insts): live %.2fs, replay %.2fs (%.2fx), lockstep %.2fs (%.2fx), sampled %.2fs (%.2fx, %d/%d CI cover, |err| %.1f%%), model %.2fs (%.1fx), overlay hit rate %.0f%%, model CPI |err| %.1f%%\n",
 		sw.Benchmark, sw.Points, sw.Insts, sw.LiveSeconds,
-		sw.ReplaySeconds, sw.ReplaySpeedup, sw.ModelSeconds, sw.ModelSpeedup,
+		sw.ReplaySeconds, sw.ReplaySpeedup,
+		sw.LockstepSeconds, sw.LockstepSpeedup,
+		sw.SampledSeconds, sw.SampledSpeedup, sw.SampledCovered, sw.Points, sw.SampledMeanErr*100,
+		sw.ModelSeconds, sw.ModelSpeedup,
 		sw.OverlayHitRate*100, sw.ModelMeanErr*100)
 	cb, err := measureCluster(quick, stdout)
 	if err != nil {
@@ -409,6 +429,57 @@ func measureSweep(quick bool) (*sweepBench, error) {
 	}
 	sw.ReplaySeconds = time.Since(t1).Seconds()
 
+	// Lockstep: the same grid advanced as one K-way set over the shared
+	// overlay — one pass over the trace bytes instead of len(cfgs). Must be
+	// cycle-exact against live, like replay.
+	lov, err := oc.Get(soa, cfgs[0].Pred, cfgs[0].Mem)
+	if err != nil {
+		return nil, err
+	}
+	tl := time.Now()
+	lres, err := uarch.SimulateMany(context.Background(), soa, lov, cfgs, uarch.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sw.LockstepSeconds = time.Since(tl).Seconds()
+	for i, res := range lres {
+		if res.Cycles != liveCycles[i] {
+			return nil, fmt.Errorf("lockstep point %s: %d cycles, live %d", cfgs[i].Name, res.Cycles, liveCycles[i])
+		}
+	}
+
+	// Sampled: each point simulated in detail only during short systematic
+	// phases, with functional warming between them. No start-skip, so the
+	// sampled estimate targets the same whole-run CPI the live sweep
+	// measured; the confidence interval of every point should cover it.
+	sw.SampledDetailed, sw.SampledSkip = sampledPhases(quick)
+	var sampErr float64
+	ts := time.Now()
+	for i, cfg := range cfgs {
+		res, err := uarch.Run(soa.Reader(), cfg, uarch.Options{
+			SampleDetailed: sw.SampledDetailed,
+			SampleSkip:     sw.SampledSkip,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res.Sample == nil {
+			return nil, fmt.Errorf("sampled point %s carried no sampling stats", cfg.Name)
+		}
+		if u := res.Sample.Units; sw.SampledMinUnits == 0 || u < sw.SampledMinUnits {
+			sw.SampledMinUnits = u
+		}
+		if res.Sample.CPI.Covers(liveCPI[i]) {
+			sw.SampledCovered++
+		}
+		sampErr += math.Abs(res.Sample.CPI.Mean-liveCPI[i]) / liveCPI[i]
+	}
+	sw.SampledSeconds = time.Since(ts).Seconds()
+	sw.SampledMeanErr = sampErr / float64(len(cfgs))
+	if sw.SampledCovered*10 < len(cfgs)*9 {
+		return nil, fmt.Errorf("sampled sweep: only %d/%d CPI intervals cover the full-run CPI", sw.SampledCovered, len(cfgs))
+	}
+
 	base := uarch.Baseline()
 	maxROB := 0
 	for _, cfg := range cfgs {
@@ -449,10 +520,27 @@ func measureSweep(quick bool) (*sweepBench, error) {
 	if sw.ReplaySeconds > 0 {
 		sw.ReplaySpeedup = sw.LiveSeconds / sw.ReplaySeconds
 	}
+	if sw.LockstepSeconds > 0 {
+		sw.LockstepSpeedup = sw.LiveSeconds / sw.LockstepSeconds
+	}
+	if sw.SampledSeconds > 0 {
+		sw.SampledSpeedup = sw.LiveSeconds / sw.SampledSeconds
+	}
 	if sw.ModelSeconds > 0 {
 		sw.ModelSpeedup = sw.LiveSeconds / sw.ModelSeconds
 	}
 	return sw, nil
+}
+
+// sampledPhases returns the pinned detailed/fast-forward phase lengths of
+// the sampled sweep timing: a 1-in-20 detail fraction, long enough phases
+// that functional warming dominates the cost, short enough that the full
+// grid still observes tens of measurement units per point.
+func sampledPhases(quick bool) (detailed, skip uint64) {
+	if quick {
+		return 2_000, 18_000
+	}
+	return 2_000, 38_000
 }
 
 // measure runs one matrix point `runs` times and keeps the best throughput

@@ -64,10 +64,18 @@ func TestQuickRun(t *testing.T) {
 	if sw.Points != 4 || sw.Benchmark == "" {
 		t.Errorf("quick sweep shape wrong: %+v", sw)
 	}
-	if sw.LiveSeconds <= 0 || sw.ReplaySeconds <= 0 || sw.ModelSeconds <= 0 {
+	if sw.LiveSeconds <= 0 || sw.ReplaySeconds <= 0 || sw.ModelSeconds <= 0 ||
+		sw.LockstepSeconds <= 0 || sw.SampledSeconds <= 0 {
 		t.Errorf("sweep timings not recorded: %+v", sw)
 	}
-	if sw.OverlayMisses != 1 || sw.OverlayHits != uint64(sw.Points) {
+	// The sampled engine must report its statistical accounting; at least
+	// 90% interval coverage is enforced inside measureSweep itself.
+	if sw.SampledMinUnits == 0 || sw.SampledCovered == 0 || sw.SampledDetailed == 0 || sw.SampledSkip == 0 {
+		t.Errorf("sampled sweep accounting missing: %+v", sw)
+	}
+	// One miss computes the overlay; every replayed point hits it, plus one
+	// more hit when the lockstep engine fetches the shared overlay.
+	if sw.OverlayMisses != 1 || sw.OverlayHits != uint64(sw.Points)+1 {
 		t.Errorf("overlay cache not shared across sweep: %d hits, %d misses", sw.OverlayHits, sw.OverlayMisses)
 	}
 	if sw.ModelMeanErr < 0 || sw.ModelMeanErr > 0.25 {

@@ -4,7 +4,7 @@
 //
 //	experiments [-insts N] [-warmup N] [-quick] [-j N] [-timeout D] [-keep-going] <id>|all
 //
-// where id is one of t1, t2, e1..e12, a1..a3 (see DESIGN.md's experiment index).
+// where id is one of t1, t2, e1..e12, a1..a4 (see DESIGN.md's experiment index).
 //
 // "all" regenerates every experiment concurrently on a fail-soft worker
 // pool: a failing experiment never aborts the rest, completed tables are

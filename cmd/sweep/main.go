@@ -4,15 +4,21 @@
 // the "what if" harness interval analysis exists to support: the penalty
 // columns show how the five contributors shift across the design space.
 //
-// Two engines are available. The default (-mode sim) runs the cycle-level
+// Four engines are available. The default (-mode sim) runs the cycle-level
 // simulator at every point, replaying branch-predictor and I-cache outcomes
 // from a miss-event overlay computed once for the whole grid (the grid
 // varies only timing parameters, so speculation outcomes are shared). -mode
-// model skips the detailed simulator entirely: it evaluates the analytic
-// interval model at every point from the same shared overlay plus ILP
-// characteristics profiled once per dispatch width — minutes of simulation
-// become seconds of arithmetic, at the model's accuracy rather than the
-// simulator's.
+// lockstep produces byte-identical rows through uarch.SimulateMany: the grid
+// is chunked into K-sets that advance over the shared trace in lockstep,
+// amortizing the trace memory traffic across configurations. -mode sampled
+// runs SMARTS-style systematic sampling at every point (detailed phases with
+// functional warming in between) and emits CPI with its confidence interval
+// instead of the penalty decomposition — a fraction of the wall clock at
+// quantified statistical precision. -mode model skips the detailed simulator
+// entirely: it evaluates the analytic interval model at every point from the
+// same shared overlay plus ILP characteristics profiled once per dispatch
+// width — minutes of simulation become seconds of arithmetic, at the model's
+// accuracy rather than the simulator's.
 //
 // Points run in parallel on a fail-soft worker pool: a design point that
 // fails (or hangs past -timeout) is reported on stderr while every other
@@ -24,7 +30,7 @@
 //
 // Usage:
 //
-//	sweep [-bench crafty] [-mode sim|model] [-insts N] [-warmup N] [-j N] [-timeout D] [-keep-going] > sweep.csv
+//	sweep [-bench crafty] [-mode sim|lockstep|sampled|model] [-insts N] [-warmup N] [-j N] [-timeout D] [-keep-going] > sweep.csv
 //
 // Exit codes: 0 success, 1 runtime error or failed points, 2 usage error.
 package main
@@ -65,9 +71,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	bench := fs.String("bench", "crafty", "benchmark to sweep")
-	mode := fs.String("mode", "sim", "engine per grid point: sim (cycle-level) or model (analytic interval model)")
+	mode := fs.String("mode", "sim", "engine per grid point: sim (cycle-level), lockstep (K configs per trace pass, same rows as sim), sampled (systematic sampling with confidence intervals), or model (analytic interval model)")
 	insts := fs.Int("insts", 1_000_000, "dynamic instructions per point")
-	warmup := fs.Uint64("warmup", 200_000, "warmup instructions per point")
+	warmup := fs.Uint64("warmup", 200_000, "warmup instructions per point (the initial functional skip in sampled mode)")
+	lockstepK := fs.Int("lockstep-k", 8, "configurations advanced per lockstep set (-mode lockstep)")
+	sampleDetailed := fs.Uint64("sample-detailed", 2_000, "instructions per detailed phase (-mode sampled)")
+	sampleSkip := fs.Uint64("sample-skip", 18_000, "instructions functionally warmed between detailed phases (-mode sampled)")
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "design points simulated in parallel")
 	keepGoing := fs.Bool("keep-going", true, "continue past failed design points (successful rows are always emitted)")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline per design point (0 = none)")
@@ -90,14 +99,32 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sweep: unknown benchmark %q\n", *bench)
 		return 2
 	}
-	if *mode != "sim" && *mode != "model" {
-		fmt.Fprintf(stderr, "sweep: unknown mode %q (want sim or model)\n", *mode)
+	switch *mode {
+	case "sim", "model", "lockstep", "sampled":
+	default:
+		fmt.Fprintf(stderr, "sweep: unknown mode %q (want sim, lockstep, sampled or model)\n", *mode)
 		return 2
 	}
-	if *endpoints != "" {
-		return runCluster(stdout, stderr, *endpoints, *bench, *mode, *insts, *warmup, *timeout, *retries, *keepGoing)
+	if *lockstepK < 1 {
+		fmt.Fprintf(stderr, "sweep: -lockstep-k must be at least 1\n")
+		return 2
 	}
-	err := run(context.Background(), stdout, stderr, wc, *mode, *insts, *warmup, harness.Options{
+	if *mode == "sampled" && (*sampleDetailed == 0 || *sampleSkip == 0) {
+		fmt.Fprintf(stderr, "sweep: -sample-detailed and -sample-skip must be positive in sampled mode\n")
+		return 2
+	}
+	params := sweepParams{
+		mode:           *mode,
+		insts:          *insts,
+		warmup:         *warmup,
+		lockstepK:      *lockstepK,
+		sampleDetailed: *sampleDetailed,
+		sampleSkip:     *sampleSkip,
+	}
+	if *endpoints != "" {
+		return runCluster(stdout, stderr, *endpoints, *bench, params, *timeout, *retries, *keepGoing)
+	}
+	err := run(context.Background(), stdout, stderr, wc, params, harness.Options{
 		Workers:   *jobs,
 		Timeout:   *timeout,
 		Retries:   *retries,
@@ -110,11 +137,21 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// sweepParams bundles the engine selection of one sweep invocation.
+type sweepParams struct {
+	mode           string
+	insts          int
+	warmup         uint64
+	lockstepK      int
+	sampleDetailed uint64
+	sampleSkip     uint64
+}
+
 // runCluster delegates the sweep to a fleet of intervalsimd daemons through
 // the cluster coordinator. The grid and the CSV output are exactly the
 // in-process sweep's; only the execution is distributed, so the bytes on
 // stdout must not depend on which path ran.
-func runCluster(stdout, stderr io.Writer, endpoints, bench, mode string, insts int, warmup uint64, timeout time.Duration, retries int, keepGoing bool) int {
+func runCluster(stdout, stderr io.Writer, endpoints, bench string, p sweepParams, timeout time.Duration, retries int, keepGoing bool) int {
 	var eps []string
 	for _, ep := range strings.Split(endpoints, ",") {
 		if ep = strings.TrimSpace(ep); ep != "" {
@@ -122,19 +159,22 @@ func runCluster(stdout, stderr io.Writer, endpoints, bench, mode string, insts i
 		}
 	}
 	widths, depths, robs := gridAxes()
-	sink := cluster.NewCSVSink(stdout, mode, false)
+	sink := cluster.NewCSVSink(stdout, p.mode, false)
 	stats, runErr := cluster.Run(context.Background(), cluster.Options{
-		Endpoints:    eps,
-		Benches:      []string{bench},
-		Widths:       widths,
-		Depths:       depths,
-		ROBs:         robs,
-		Mode:         mode,
-		Insts:        insts,
-		Warmup:       warmup,
-		PointTimeout: timeout,
-		Retries:      retries,
-		KeepGoing:    keepGoing,
+		Endpoints:      eps,
+		Benches:        []string{bench},
+		Widths:         widths,
+		Depths:         depths,
+		ROBs:           robs,
+		Mode:           p.mode,
+		Insts:          p.insts,
+		Warmup:         p.warmup,
+		LockstepK:      p.lockstepK,
+		SampleDetailed: p.sampleDetailed,
+		SampleSkip:     p.sampleSkip,
+		PointTimeout:   timeout,
+		Retries:        retries,
+		KeepGoing:      keepGoing,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		},
@@ -219,11 +259,18 @@ func (pt *pathTally) summarize(w io.Writer) {
 	}
 }
 
-func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, mode string, insts int, warmup uint64, hopts harness.Options) error {
+// simHeaders is the CSV schema shared by sim and lockstep modes: lockstep
+// rows must be byte-identical to sim rows, starting with the header.
+func simHeaders() []string {
+	return []string{"width", "depth", "rob", "ipc", "avg_penalty",
+		"penalty_frontend", "penalty_drain", "penalty_fu", "penalty_shortd", "penalty_longd"}
+}
+
+func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, p sweepParams, hopts harness.Options) error {
 	// Pack the trace once: every grid point reuses the struct-of-arrays
 	// layout and its precomputed dependence metadata (the simulator's
 	// index-based fast path), instead of re-decoding per configuration.
-	soa, err := trace.PackReader(workload.MustNew(wc, insts))
+	soa, err := trace.PackReader(workload.MustNew(wc, p.insts))
 	if err != nil {
 		return err
 	}
@@ -233,60 +280,107 @@ func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, mode
 	// serves the whole sweep. A point whose speculation configuration
 	// diverges (e.g. via testPointHook) is caught by the simulator's
 	// fingerprint check and falls back to live simulation, which the path
-	// summary below makes visible.
+	// summary below makes visible. Sampled runs bypass replay by design
+	// (precomputed dependences do not apply), so that mode never computes
+	// the overlay at all.
 	base := uarch.Baseline()
-	ov, err := overlay.Shared.Get(soa, base.Pred, base.Mem)
-	if err != nil {
-		return err
+	var ov *overlay.Overlay
+	if p.mode != "sampled" {
+		if ov, err = overlay.Shared.Get(soa, base.Pred, base.Mem); err != nil {
+			return err
+		}
 	}
 
+	// Jobs yield whole CSV row groups: one row for per-point engines, K rows
+	// for a lockstep set.
 	points := grid()
-	jobs := make([]harness.Job[[]string], len(points))
+	var jobs []harness.Job[[][]string]
 	var headers []string
 	var tally pathTally
 
-	switch mode {
+	switch p.mode {
 	case "sim":
-		headers = []string{"width", "depth", "rob", "ipc", "avg_penalty",
-			"penalty_frontend", "penalty_drain", "penalty_fu", "penalty_shortd", "penalty_longd"}
+		headers = simHeaders()
 		tr := soa.Unpack() // AoS view for the decomposer
-		for i, cfg := range points {
+		for _, cfg := range points {
 			cfg := cfg
-			jobs[i] = harness.Job[[]string]{
+			jobs = append(jobs, harness.Job[[][]string]{
 				Name: cfg.Name,
-				Run: func(ctx context.Context) ([]string, error) {
-					return simPoint(ctx, soa, tr, ov, cfg, warmup, &tally)
+				Run: func(ctx context.Context) ([][]string, error) {
+					row, err := simPoint(ctx, soa, tr, ov, cfg, p.warmup, &tally)
+					if err != nil {
+						return nil, err
+					}
+					return [][]string{row}, nil
 				},
+			})
+		}
+	case "lockstep":
+		headers = simHeaders()
+		tr := soa.Unpack()
+		for start := 0; start < len(points); start += p.lockstepK {
+			set := points[start:min(start+p.lockstepK, len(points))]
+			name := set[0].Name
+			if len(set) > 1 {
+				name = fmt.Sprintf("lockstep[%s..%s]", set[0].Name, set[len(set)-1].Name)
 			}
+			jobs = append(jobs, harness.Job[[][]string]{
+				Name: name,
+				Run: func(ctx context.Context) ([][]string, error) {
+					return lockstepSet(ctx, soa, tr, ov, set, p.warmup, &tally)
+				},
+			})
+		}
+	case "sampled":
+		headers = []string{"width", "depth", "rob", "ipc",
+			"cpi", "cpi_lo", "cpi_hi", "cpi_rel_err", "units"}
+		for _, cfg := range points {
+			cfg := cfg
+			jobs = append(jobs, harness.Job[[][]string]{
+				Name: cfg.Name,
+				Run: func(ctx context.Context) ([][]string, error) {
+					row, err := sampledPoint(ctx, soa, cfg, p, &tally)
+					if err != nil {
+						return nil, err
+					}
+					return [][]string{row}, nil
+				},
+			})
 		}
 	case "model":
 		headers = []string{"width", "depth", "rob", "ipc", "avg_penalty",
 			"cpi_base", "cpi_bpred", "cpi_icache", "cpi_longd"}
 		_, _, robs := gridAxes()
-		set, err := core.NewModelSet(soa, ov, base, robs[len(robs)-1], warmup, insts)
+		set, err := core.NewModelSet(soa, ov, base, robs[len(robs)-1], p.warmup, p.insts)
 		if err != nil {
 			return err
 		}
-		for i, cfg := range points {
+		for _, cfg := range points {
 			cfg := cfg
-			jobs[i] = harness.Job[[]string]{
+			jobs = append(jobs, harness.Job[[][]string]{
 				Name: cfg.Name,
-				Run: func(ctx context.Context) ([]string, error) {
-					return modelPoint(set, cfg)
+				Run: func(ctx context.Context) ([][]string, error) {
+					row, err := modelPoint(set, cfg)
+					if err != nil {
+						return nil, err
+					}
+					return [][]string{row}, nil
 				},
-			}
+			})
 		}
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", p.mode)
 	}
 
 	results, runErr := harness.Run(ctx, jobs, hopts)
 
-	// Fail-soft emission: every completed point's row, in grid order.
+	// Fail-soft emission: every completed row group, in grid order.
 	t := report.New("", headers...)
 	for _, r := range results {
 		if r.Err == nil {
-			t.AddRow(r.Value...)
+			for _, row := range r.Value {
+				t.AddRow(row...)
+			}
 		}
 	}
 	if err := t.FprintCSV(stdout); err != nil {
@@ -319,6 +413,12 @@ func simPoint(ctx context.Context, soa *trace.SoA, tr *trace.Trace, ov *overlay.
 		return nil, err
 	}
 	tally.note(res)
+	return simRow(tr, cfg, res)
+}
+
+// simRow renders the sim/lockstep CSV row for one simulated design point:
+// IPC plus the mean misprediction-penalty decomposition.
+func simRow(tr *trace.Trace, cfg uarch.Config, res *uarch.Result) ([]string, error) {
 	dec, err := core.NewDecomposer(tr, res)
 	if err != nil {
 		return nil, harness.Permanent(err)
@@ -333,6 +433,68 @@ func simPoint(ctx context.Context, soa *trace.SoA, tr *trace.Trace, ov *overlay.
 		fmt.Sprintf("%.2f", m.FULatency),
 		fmt.Sprintf("%.2f", m.ShortDMiss),
 		fmt.Sprintf("%.2f", m.LongDMiss),
+	}, nil
+}
+
+// lockstepSet simulates one K-set of design points in lockstep over the
+// shared trace and renders their CSV rows — the same rows, byte for byte,
+// that simPoint would produce for each member. Per-config path/fallback
+// provenance is tallied per result, not once per batch. A failure of any
+// member (bad config, watchdog) cancels and fails the whole set, matching
+// SimulateMany's contract.
+func lockstepSet(ctx context.Context, soa *trace.SoA, tr *trace.Trace, ov *overlay.Overlay, cfgs []uarch.Config, warmup uint64, tally *pathTally) ([][]string, error) {
+	results, err := uarch.SimulateMany(ctx, soa, ov, cfgs, uarch.Options{
+		RecordMispredicts: true,
+		RecordLoadLevels:  true,
+		WarmupInsts:       warmup,
+	})
+	if err != nil {
+		if errors.Is(err, uarch.ErrBadConfig) || errors.Is(err, uarch.ErrWatchdog) {
+			return nil, harness.Permanent(err)
+		}
+		return nil, err
+	}
+	rows := make([][]string, len(results))
+	for i, res := range results {
+		tally.note(res)
+		row, err := simRow(tr, cfgs[i], res)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// sampledPoint runs one design point under systematic sampling and renders
+// the CPI confidence-interval row. The warmup budget becomes the initial
+// functional skip; no overlay is involved (sampled runs track dependences
+// live by design).
+func sampledPoint(ctx context.Context, soa *trace.SoA, cfg uarch.Config, p sweepParams, tally *pathTally) ([]string, error) {
+	res, err := uarch.RunContext(ctx, soa.Reader(), cfg, uarch.Options{
+		SampleStartSkip: p.warmup,
+		SampleDetailed:  p.sampleDetailed,
+		SampleSkip:      p.sampleSkip,
+	})
+	if err != nil {
+		if errors.Is(err, uarch.ErrBadConfig) || errors.Is(err, uarch.ErrWatchdog) {
+			return nil, harness.Permanent(err)
+		}
+		return nil, err
+	}
+	tally.note(res)
+	st := res.Sample
+	if st == nil {
+		return nil, harness.Permanent(fmt.Errorf("%s: sampled run carries no sample statistics", cfg.Name))
+	}
+	return []string{
+		fmt.Sprintf("%d", cfg.DispatchWidth), fmt.Sprintf("%d", cfg.FrontendDepth), fmt.Sprintf("%d", cfg.ROBSize),
+		fmt.Sprintf("%.3f", res.IPC()),
+		fmt.Sprintf("%.4f", st.CPI.Mean),
+		fmt.Sprintf("%.4f", st.CPI.Lower),
+		fmt.Sprintf("%.4f", st.CPI.Upper),
+		fmt.Sprintf("%.4f", st.CPI.RelErr),
+		fmt.Sprintf("%d", st.Units),
 	}, nil
 }
 

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"intervalsim/internal/experiments"
+	"intervalsim/internal/overlay"
 	"intervalsim/internal/service"
 	"intervalsim/internal/uarch"
 	"intervalsim/internal/workload"
@@ -211,6 +213,127 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestLockstepModeMatchesSim is the lockstep acceptance gate at the command
+// level: `-mode lockstep` must write byte-identical CSV to `-mode sim` over
+// the same grid — header included — for set sizes that do and do not divide
+// the 27-point grid, and must still run every point on the overlay-replay
+// fast path.
+func TestLockstepModeMatchesSim(t *testing.T) {
+	render := func(extra ...string) (string, string) {
+		var out, errb bytes.Buffer
+		if code := realMain(sweepArgs(extra...), &out, &errb); code != 0 {
+			t.Fatalf("%v exit = %d (stderr: %s)", extra, code, errb.String())
+		}
+		return out.String(), errb.String()
+	}
+	sim, _ := render("-j", "4")
+	for _, k := range []string{"2", "5", "8", "27"} {
+		lockstep, se := render("-mode", "lockstep", "-lockstep-k", k, "-j", "4")
+		if lockstep != sim {
+			t.Errorf("-lockstep-k %s CSV differs from sim mode:\n--- sim ---\n%s--- lockstep ---\n%s", k, sim, lockstep)
+		}
+		if !strings.Contains(se, "simulator paths: 27×soa+overlay") {
+			t.Errorf("-lockstep-k %s stderr missing overlay path summary: %q", k, se)
+		}
+		if strings.Contains(se, "fallback:") {
+			t.Errorf("-lockstep-k %s unexpected fallback: %q", k, se)
+		}
+	}
+}
+
+// TestLockstepBrokenPointFailsSet pins SimulateMany's all-or-nothing set
+// contract at the command level: one broken design point fails its whole
+// K-set (those rows are withheld), every other set still emits, and the
+// exit code reports the failure.
+func TestLockstepBrokenPointFailsSet(t *testing.T) {
+	testPointHook = func(cfg *uarch.Config) {
+		if cfg.Name == "w4-d7-r128" {
+			cfg.ROBSize = -1 // fails Validate with ErrBadConfig
+		}
+	}
+	defer func() { testPointHook = nil }()
+
+	var out, errb bytes.Buffer
+	code := realMain(sweepArgs("-mode", "lockstep", "-lockstep-k", "8"), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	// The broken point is grid index 13, inside the second 8-point set: the
+	// whole set's rows are withheld, the other 19 points survive.
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1+19 {
+		t.Fatalf("CSV has %d lines, want 20:\n%s", len(lines), out.String())
+	}
+	se := errb.String()
+	if !strings.Contains(se, "FAIL lockstep[") || !strings.Contains(se, "invalid configuration") {
+		t.Fatalf("stderr missing set failure: %q", se)
+	}
+}
+
+// TestSampledMode exercises the sampling engine end to end: sampled CSV
+// schema, deterministic under parallelism, well-ordered confidence bounds,
+// and no overlay computed (sampled runs bypass replay by design).
+func TestSampledMode(t *testing.T) {
+	args := func(j string) []string {
+		return sweepArgs("-mode", "sampled", "-sample-detailed", "500", "-sample-skip", "1500", "-j", j)
+	}
+	render := func(j string) (string, string) {
+		var out, errb bytes.Buffer
+		if code := realMain(args(j), &out, &errb); code != 0 {
+			t.Fatalf("-j %s exit = %d (stderr: %s)", j, code, errb.String())
+		}
+		return out.String(), errb.String()
+	}
+	beforeHits, beforeMisses := overlay.Shared.Stats()
+	serial, se := render("1")
+	if parallel, _ := render("8"); serial != parallel {
+		t.Fatalf("sampled-mode CSV not deterministic:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	lines := strings.Split(strings.TrimSpace(serial), "\n")
+	if len(lines) != 1+27 {
+		t.Fatalf("CSV has %d lines, want 28:\n%s", len(lines), serial)
+	}
+	if lines[0] != "width,depth,rob,ipc,cpi,cpi_lo,cpi_hi,cpi_rel_err,units" {
+		t.Fatalf("sampled CSV header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		cols := strings.Split(l, ",")
+		if len(cols) != 9 {
+			t.Fatalf("row %q has %d columns", l, len(cols))
+		}
+		cpi, lo, hi := parseF(t, cols[4]), parseF(t, cols[5]), parseF(t, cols[6])
+		if !(lo <= cpi && cpi <= hi) || cpi <= 0 {
+			t.Errorf("row %q interval out of order", l)
+		}
+		if units := parseF(t, cols[8]); units < 4 || units > 6 {
+			t.Errorf("row %q units = %v, want about (12000-2000)/2000 = 5", l, units)
+		}
+	}
+	// Every point runs live (the sampled path rejects replay), and no
+	// overlay is ever computed for the grid.
+	if !strings.Contains(se, "simulator paths: 27×soa") || strings.Contains(se, "soa+overlay") {
+		t.Errorf("stderr paths = %q, want 27×soa live runs", se)
+	}
+	if !strings.Contains(se, "fallback: sampled run") {
+		t.Errorf("stderr missing the sampled-run fallback provenance: %q", se)
+	}
+	// The shared overlay cache is process-global, so compare against the
+	// pre-test snapshot: both sampled sweeps must leave it untouched.
+	if hits, misses := overlay.Shared.Stats(); hits != beforeHits || misses != beforeMisses {
+		t.Errorf("sampled sweeps touched the overlay cache: %d hits %d misses, was %d/%d",
+			hits, misses, beforeHits, beforeMisses)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
 // TestEndpointsModeMatchesInProcess is the distributed acceptance gate at
 // the command level: `sweep -endpoints` sharded across two daemons must
 // write byte-identical CSV to the in-process sweep of the same grid.
@@ -247,5 +370,48 @@ func TestEndpointsModeMatchesInProcess(t *testing.T) {
 	}
 	if !strings.Contains(distErr.String(), "cluster: 27 points (27 ok, 0 failed)") {
 		t.Errorf("stderr missing fleet summary: %q", distErr.String())
+	}
+}
+
+// TestEndpointsLockstepAndSampledMatchInProcess extends the distributed gate
+// to the new engines: a fleet-sharded lockstep sweep merges to the same bytes
+// as the in-process sim sweep (lockstep rows are sim rows), and a sampled
+// fleet sweep merges to the in-process sampled CSV, confidence columns
+// included.
+func TestEndpointsLockstepAndSampledMatchInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid distributed sweeps skipped in -short mode")
+	}
+	s := service.New(service.Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+
+	run := func(args []string) string {
+		var out, errb bytes.Buffer
+		if code := realMain(args, &out, &errb); code != 0 {
+			t.Fatalf("%v exit = %d (stderr: %s)", args, code, errb.String())
+		}
+		return out.String()
+	}
+
+	local := run(sweepArgs("-j", "4"))
+	dist := run(sweepArgs("-mode", "lockstep", "-lockstep-k", "4", "-endpoints", ts.URL))
+	if dist != local {
+		t.Errorf("distributed lockstep CSV differs from in-process sim:\n--- local ---\n%s--- distributed ---\n%s", local, dist)
+	}
+
+	sampledArgs := []string{"-mode", "sampled", "-sample-detailed", "500", "-sample-skip", "1500"}
+	localSampled := run(sweepArgs(append(sampledArgs, "-j", "4")...))
+	distSampled := run(sweepArgs(append(sampledArgs, "-endpoints", ts.URL)...))
+	if distSampled != localSampled {
+		t.Errorf("distributed sampled CSV differs from in-process:\n--- local ---\n%s--- distributed ---\n%s",
+			localSampled, distSampled)
 	}
 }

@@ -33,9 +33,17 @@ type Options struct {
 
 	Widths, Depths, ROBs []int // design-space axes, in output order
 
-	Mode   string // "sim" (default) or "model"
+	Mode   string // "sim" (default), "lockstep", "sampled", or "model"
 	Insts  int    // dynamic instructions per point
 	Warmup uint64 // warmup instructions per point
+
+	// LockstepK is the number of configurations each daemon advances per
+	// lockstep set in lockstep mode (0 means the daemon default of 8).
+	LockstepK int
+	// SampleDetailed/SampleSkip are the systematic-sampling phase lengths,
+	// required (both positive) in sampled mode and ignored otherwise.
+	SampleDetailed uint64
+	SampleSkip     uint64
 
 	// BatchSize is the number of design points per dispatched shard; 0
 	// picks a default sized so each endpoint sees several shards.
@@ -139,8 +147,13 @@ func Run(ctx context.Context, opts Options, emit func(*Row) error) (*RunStats, e
 	if mode == "" {
 		mode = "sim"
 	}
-	if mode != "sim" && mode != "model" {
-		return nil, fmt.Errorf("cluster: unknown mode %q (want sim or model)", mode)
+	switch mode {
+	case "sim", "lockstep", "sampled", "model":
+	default:
+		return nil, fmt.Errorf("cluster: unknown mode %q (want sim, lockstep, sampled or model)", mode)
+	}
+	if mode == "sampled" && (opts.SampleDetailed == 0 || opts.SampleSkip == 0) {
+		return nil, fmt.Errorf("cluster: sampled mode needs positive SampleDetailed and SampleSkip")
 	}
 	if opts.Insts <= 0 {
 		return nil, fmt.Errorf("cluster: non-positive insts %d", opts.Insts)
@@ -294,9 +307,16 @@ func (r *run) dispatch(ctx context.Context, c *Client, st *batchState) error {
 		Insts:     r.opts.Insts,
 		Warmup:    r.opts.Warmup,
 		Mode:      r.mode,
-		Decompose: r.mode == "sim",
+		Decompose: r.mode == "sim" || r.mode == "lockstep",
 		TimeoutMS: int(r.opts.PointTimeout / time.Millisecond),
 		Points:    st.Specs,
+	}
+	switch r.mode {
+	case "lockstep":
+		req.LockstepK = r.opts.LockstepK
+	case "sampled":
+		req.SampleDetailed = r.opts.SampleDetailed
+		req.SampleSkip = r.opts.SampleSkip
 	}
 	backoff := 200 * time.Millisecond
 	for attempt := 0; ; attempt++ {

@@ -407,3 +407,29 @@ func TestClientIncompleteStream(t *testing.T) {
 		t.Fatalf("err = %v, want incomplete-stream", err)
 	}
 }
+
+// TestRunModeValidation pins the mode contract at the cluster layer: unknown
+// modes and sampled sweeps missing their phase lengths fail before any
+// endpoint is contacted.
+func TestRunModeValidation(t *testing.T) {
+	base := Options{
+		Endpoints: []string{"http://127.0.0.1:1"}, // never dialed
+		Benches:   []string{"gzip"},
+		Widths:    []int{2}, Depths: []int{3}, ROBs: []int{64},
+		Insts: 1000,
+	}
+
+	bad := base
+	bad.Mode = "turbo"
+	if _, err := Run(context.Background(), bad, func(*Row) error { return nil }); err == nil ||
+		!strings.Contains(err.Error(), `unknown mode "turbo"`) {
+		t.Errorf("unknown mode: err = %v", err)
+	}
+
+	samp := base
+	samp.Mode = "sampled" // SampleDetailed/SampleSkip left zero
+	if _, err := Run(context.Background(), samp, func(*Row) error { return nil }); err == nil ||
+		!strings.Contains(err.Error(), "needs positive SampleDetailed and SampleSkip") {
+		t.Errorf("sampled without phases: err = %v", err)
+	}
+}

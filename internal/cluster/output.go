@@ -9,13 +9,17 @@ import (
 	"intervalsim/internal/service"
 )
 
-// simHeaders / modelHeaders mirror cmd/sweep's CSV columns exactly; byte
-// parity between a distributed and a single-process sweep depends on it.
+// simHeaders / modelHeaders / sampledHeaders mirror cmd/sweep's CSV columns
+// exactly; byte parity between a distributed and a single-process sweep
+// depends on it. Lockstep mode shares simHeaders: its rows are byte-identical
+// to sim rows by construction.
 var (
 	simHeaders = []string{"width", "depth", "rob", "ipc", "avg_penalty",
 		"penalty_frontend", "penalty_drain", "penalty_fu", "penalty_shortd", "penalty_longd"}
 	modelHeaders = []string{"width", "depth", "rob", "ipc", "avg_penalty",
 		"cpi_base", "cpi_bpred", "cpi_icache", "cpi_longd"}
+	sampledHeaders = []string{"width", "depth", "rob", "ipc",
+		"cpi", "cpi_lo", "cpi_hi", "cpi_rel_err", "units"}
 )
 
 // CSVSink renders merged rows as the same CSV cmd/sweep emits — identical
@@ -38,8 +42,11 @@ func NewCSVSink(w io.Writer, mode string, multiBench bool) *CSVSink {
 func (s *CSVSink) header() error {
 	s.wroteHeader = true
 	hs := simHeaders
-	if s.mode == "model" {
+	switch s.mode {
+	case "model":
 		hs = modelHeaders
+	case "sampled":
+		hs = sampledHeaders
 	}
 	if s.multiBench {
 		hs = append([]string{"bench"}, hs...)
@@ -62,17 +69,27 @@ func (s *CSVSink) Emit(row *Row) error {
 	cells := []string{
 		fmt.Sprintf("%d", pt.Width), fmt.Sprintf("%d", pt.Depth), fmt.Sprintf("%d", pt.ROB),
 		fmt.Sprintf("%.3f", pt.IPC),
-		fmt.Sprintf("%.2f", pt.AvgPenalty),
 	}
-	if s.mode == "model" {
+	switch s.mode {
+	case "model":
 		cells = append(cells,
+			fmt.Sprintf("%.2f", pt.AvgPenalty),
 			fmt.Sprintf("%.3f", pt.CPIBase),
 			fmt.Sprintf("%.3f", pt.CPIBpred),
 			fmt.Sprintf("%.3f", pt.CPIICache),
 			fmt.Sprintf("%.3f", pt.CPILongData),
 		)
-	} else {
+	case "sampled":
 		cells = append(cells,
+			fmt.Sprintf("%.4f", pt.CPI),
+			fmt.Sprintf("%.4f", pt.CPILo),
+			fmt.Sprintf("%.4f", pt.CPIHi),
+			fmt.Sprintf("%.4f", pt.CPIRelErr),
+			fmt.Sprintf("%d", pt.SampleUnits),
+		)
+	default:
+		cells = append(cells,
+			fmt.Sprintf("%.2f", pt.AvgPenalty),
 			fmt.Sprintf("%.2f", pt.PenFrontend),
 			fmt.Sprintf("%.2f", pt.PenDrain),
 			fmt.Sprintf("%.2f", pt.PenFU),

@@ -45,6 +45,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"a2":  {"predictor sweep", "perceptron", "perfect"},
 		"e12": {"if-conversion", "targeted IPC", "arbitrary IPC"},
 		"a3":  {"sampled simulation", "err%", "speedup"},
+		"a4":  {"confidence intervals", "95% CI", "units", "covered"},
 	}
 	reg := Registry()
 	for id, needles := range wants {
@@ -74,13 +75,13 @@ func TestEveryExperimentRuns(t *testing.T) {
 
 func TestRegistryCoversAll(t *testing.T) {
 	reg := Registry()
-	for _, id := range []string{"t1", "t2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3"} {
+	for _, id := range []string{"t1", "t2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3", "a4"} {
 		if _, ok := reg[id]; !ok {
 			t.Errorf("registry missing %s", id)
 		}
 	}
-	if len(reg) != 17 {
-		t.Errorf("registry has %d entries, want 17", len(reg))
+	if len(reg) != 18 {
+		t.Errorf("registry has %d entries, want 18", len(reg))
 	}
 }
 

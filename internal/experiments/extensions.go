@@ -310,3 +310,56 @@ func A3(w io.Writer, p Params) error {
 	}
 	return t.Fprint(w)
 }
+
+// A4 pins the statistical machinery sampled mode reports: for every
+// benchmark, the 95% confidence interval a sampled run attaches to its CPI
+// (a ratio estimator over the systematic measurement units) must cover the
+// CPI of a full detailed run over the same steady-state region. Phase
+// lengths scale with the sizing (1% detailed, 4% functional warming per
+// period), so quick and full runs both observe ~15 units per point. Unlike
+// A3, no cell here derives from wall-clock time: the whole table is
+// byte-reproducible without -deterministic.
+func A4(w io.Writer, p Params) error {
+	cfg := uarch.Baseline()
+	detailed := uint64(p.Insts) / 100
+	skip := 4 * detailed
+	t := report.New(fmt.Sprintf("A4 (extension): sampled-run CPI confidence intervals (95%%; %d detailed / %d warming per period)", detailed, skip),
+		"benchmark", "full CPI", "sampled CPI", "95% CI", "rel err", "units", "covered")
+	for _, wc := range workload.Suite() {
+		st, err := suiteTraceFor(wc, p.Insts)
+		if err != nil {
+			return err
+		}
+		// The full-run reference excludes the cold-start region the sampled
+		// run fast-forwards, so both estimate the same steady state.
+		full, err := uarch.Run(st.soa.Reader(), cfg, uarch.Options{WarmupInsts: p.Warmup})
+		if err != nil {
+			return err
+		}
+		sampled, err := uarch.Run(st.soa.Reader(), cfg, uarch.Options{
+			SampleStartSkip: p.Warmup,
+			SampleDetailed:  detailed,
+			SampleSkip:      skip,
+		})
+		if err != nil {
+			return err
+		}
+		s := sampled.Sample
+		if s == nil {
+			return fmt.Errorf("experiments: %s sampled run carried no sampling statistics", wc.Name)
+		}
+		covered := "yes"
+		if !s.CPI.Covers(full.CPI()) {
+			covered = "NO"
+		}
+		t.AddRow(wc.Name,
+			fmt.Sprintf("%.3f", full.CPI()),
+			fmt.Sprintf("%.3f", s.CPI.Mean),
+			fmt.Sprintf("[%.3f, %.3f]", s.CPI.Lower, s.CPI.Upper),
+			fmt.Sprintf("%.1f%%", 100*s.CPI.RelErr),
+			fmt.Sprintf("%d", s.Units),
+			covered,
+		)
+	}
+	return t.Fprint(w)
+}

@@ -77,6 +77,18 @@ func TestGoldenE5Table(t *testing.T) {
 	compareGolden(t, filepath.Join("testdata", "golden_e5.txt"), buf.String())
 }
 
+// TestGoldenA4Table pins the rendered sampled-CI table: the ratio-estimator
+// intervals, unit counts, and coverage column of the sampled experiment are
+// all deterministic, so any drift in the sampling machinery — phase
+// scheduling, unit bookkeeping, the Student-t interval — changes the bytes.
+func TestGoldenA4Table(t *testing.T) {
+	var buf bytes.Buffer
+	if err := A4(&buf, goldenParams()); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "golden_a4.txt"), buf.String())
+}
+
 func compareGolden(t *testing.T, path, got string) {
 	t.Helper()
 	if *updateGolden {

@@ -230,8 +230,13 @@ type SweepRequest struct {
 	Widths    []int            `json:"widths,omitempty"`
 	Depths    []int            `json:"depths,omitempty"`
 	ROBs      []int            `json:"robs,omitempty"`
-	Mode      string           `json:"mode,omitempty"`       // "sim" (default) or "model"
-	TimeoutMS int              `json:"timeout_ms,omitempty"` // per design point
+	Mode      string           `json:"mode,omitempty"` // "sim" (default), "sampled", or "model"
+	// SampleDetailed/SampleSkip are the systematic-sampling phase lengths
+	// (sampled mode only; both must be positive). Warmup becomes the initial
+	// functional skip of a sampled sweep.
+	SampleDetailed uint64 `json:"sample_detailed,omitempty"`
+	SampleSkip     uint64 `json:"sample_skip,omitempty"`
+	TimeoutMS      int    `json:"timeout_ms,omitempty"` // per design point
 }
 
 // SweepPoint is one NDJSON line of a sweep stream, emitted in completion
@@ -250,7 +255,17 @@ type SweepPoint struct {
 	CPIBpred             float64 `json:"cpi_bpred,omitempty"`
 	CPIICache            float64 `json:"cpi_icache,omitempty"`
 	CPILongData          float64 `json:"cpi_longd,omitempty"`
-	Path                 string  `json:"path,omitempty"`
+
+	// Sampled-mode confidence interval: the ratio-estimator CPI over the
+	// measurement units with its Student-t bounds (see uarch.SampleStats).
+	CPI         float64 `json:"cpi,omitempty"`
+	CPILo       float64 `json:"cpi_lo,omitempty"`
+	CPIHi       float64 `json:"cpi_hi,omitempty"`
+	CPIRelErr   float64 `json:"cpi_rel_err,omitempty"`
+	SampleUnits int     `json:"sample_units,omitempty"`
+
+	Path     string `json:"path,omitempty"`
+	Fallback string `json:"fallback,omitempty"`
 
 	Error   string `json:"error,omitempty"`
 	Outcome string `json:"outcome,omitempty"`

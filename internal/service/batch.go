@@ -37,14 +37,25 @@ type BatchRequest struct {
 	Workload  *workload.Config `json:"workload,omitempty"`
 	Insts     int              `json:"insts,omitempty"`
 	Warmup    uint64           `json:"warmup,omitempty"`
-	Mode      string           `json:"mode,omitempty"` // "sim" (default) or "model"
+	Mode      string           `json:"mode,omitempty"` // "sim" (default), "lockstep", "sampled", or "model"
 	// Decompose adds the interval penalty decomposition (frontend, drain,
-	// FU, short-data, long-data) to each sim-mode point — the columns
-	// cmd/sweep's CSV carries. It costs one mispredict-penalty
+	// FU, short-data, long-data) to each sim- or lockstep-mode point — the
+	// columns cmd/sweep's CSV carries. It costs one mispredict-penalty
 	// decomposition pass per point.
-	Decompose bool             `json:"decompose,omitempty"`
-	TimeoutMS int              `json:"timeout_ms,omitempty"` // per design point
-	Points    []BatchPointSpec `json:"points"`
+	Decompose bool `json:"decompose,omitempty"`
+	// LockstepK is the number of configurations advanced per lockstep set
+	// (lockstep mode only; <= 0 means 8). The batch's points are chunked in
+	// request order into sets of this size, each set simulated in one pass
+	// over the shared trace via uarch.SimulateMany.
+	LockstepK int `json:"lockstep_k,omitempty"`
+	// SampleDetailed/SampleSkip are the systematic-sampling phase lengths
+	// (sampled mode only; both must be positive): simulate SampleDetailed
+	// instructions cycle-accurately, functionally warm SampleSkip, repeat.
+	// The request's Warmup becomes the initial functional skip.
+	SampleDetailed uint64           `json:"sample_detailed,omitempty"`
+	SampleSkip     uint64           `json:"sample_skip,omitempty"`
+	TimeoutMS      int              `json:"timeout_ms,omitempty"` // per design point
+	Points         []BatchPointSpec `json:"points"`
 }
 
 // BatchPoint is one NDJSON line of a batch stream, emitted in completion
@@ -73,9 +84,22 @@ type BatchPoint struct {
 	CPIICache   float64 `json:"cpi_icache,omitempty"`
 	CPILongData float64 `json:"cpi_longd,omitempty"`
 
-	Path    string `json:"path,omitempty"`
-	Error   string `json:"error,omitempty"`
-	Outcome string `json:"outcome,omitempty"`
+	// Sampled-mode confidence interval: the ratio-estimator CPI over the
+	// measurement units with its Student-t bounds (see uarch.SampleStats).
+	CPI         float64 `json:"cpi,omitempty"`
+	CPILo       float64 `json:"cpi_lo,omitempty"`
+	CPIHi       float64 `json:"cpi_hi,omitempty"`
+	CPIRelErr   float64 `json:"cpi_rel_err,omitempty"`
+	SampleUnits int     `json:"sample_units,omitempty"`
+
+	Path string `json:"path,omitempty"`
+	// Fallback is this point's own fast-path bypass provenance
+	// (uarch.Result.Fallback) — per config even in lockstep mode, where one
+	// set member can fall back (e.g. a divergent speculation fingerprint)
+	// while its siblings replay the overlay.
+	Fallback string `json:"fallback,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Outcome  string `json:"outcome,omitempty"`
 }
 
 // BatchTrailer is the final NDJSON line of a batch stream.
@@ -91,9 +115,12 @@ type BatchTrailer struct {
 // batchInputs is a resolved batch request.
 type batchInputs struct {
 	simInputs
-	mode      string
-	decompose bool
-	specs     []BatchPointSpec
+	mode           string
+	decompose      bool
+	lockstepK      int
+	sampleDetailed uint64
+	sampleSkip     uint64
+	specs          []BatchPointSpec
 }
 
 func (s *Server) resolveBatch(req *BatchRequest) (batchInputs, error) {
@@ -123,11 +150,21 @@ func (s *Server) resolveBatch(req *BatchRequest) (batchInputs, error) {
 	if in.mode == "" {
 		in.mode = "sim"
 	}
-	if in.mode != "sim" && in.mode != "model" {
-		return batchInputs{}, fmt.Errorf("%w: unknown mode %q (want sim or model)", errBadRequest, in.mode)
+	switch in.mode {
+	case "sim", "lockstep", "sampled", "model":
+	default:
+		return batchInputs{}, fmt.Errorf("%w: unknown mode %q (want sim, lockstep, sampled or model)", errBadRequest, in.mode)
 	}
-	if in.decompose && in.mode != "sim" {
-		return batchInputs{}, fmt.Errorf("%w: decompose requires sim mode", errBadRequest)
+	if in.decompose && in.mode != "sim" && in.mode != "lockstep" {
+		return batchInputs{}, fmt.Errorf("%w: decompose requires sim or lockstep mode", errBadRequest)
+	}
+	in.lockstepK = req.LockstepK
+	if in.lockstepK <= 0 {
+		in.lockstepK = 8
+	}
+	in.sampleDetailed, in.sampleSkip = req.SampleDetailed, req.SampleSkip
+	if in.mode == "sampled" && (in.sampleDetailed == 0 || in.sampleSkip == 0) {
+		return batchInputs{}, fmt.Errorf("%w: sampled mode needs positive sample_detailed and sample_skip", errBadRequest)
 	}
 	return in, nil
 }
@@ -152,16 +189,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Shared artifacts, once per batch — and across batches via the caches.
+	// Sampled runs bypass overlay replay by design (precomputed dependences
+	// do not apply to fast-forwarded runs), so that mode never computes one.
 	tr, soa, err := experiments.SharedTrace(in.wc, in.insts)
 	if err != nil {
 		s.reject(w, http.StatusInternalServerError, err, outcomeError)
 		return
 	}
 	base := uarch.Baseline()
-	ov, err := s.overlays.Get(soa, base.Pred, base.Mem)
-	if err != nil {
-		s.reject(w, http.StatusInternalServerError, err, outcomeError)
-		return
+	var ov *overlay.Overlay
+	if in.mode != "sampled" {
+		if ov, err = s.overlays.Get(soa, base.Pred, base.Mem); err != nil {
+			s.reject(w, http.StatusInternalServerError, err, outcomeError)
+			return
+		}
 	}
 	var set *core.ModelSet
 	if in.mode == "model" {
@@ -194,6 +235,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	go func() {
+		if in.mode == "lockstep" {
+			s.submitLockstepSets(r, tr, soa, ov, in, lines, &wg)
+			return
+		}
 		for _, sp := range in.specs {
 			sp := sp
 			cfg := experiments.Point(sp.Width, sp.Depth, sp.ROB)
@@ -203,10 +248,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				timeout: in.timeout,
 				parent:  r.Context(),
 				run: func(ctx context.Context) error {
-					if in.mode == "model" {
+					switch in.mode {
+					case "model":
 						return s.modelBatchPoint(cfg, set, &line)
+					case "sampled":
+						return s.sampledBatchPoint(ctx, soa, cfg, in, &line)
+					default:
+						return s.simBatchPoint(ctx, tr, soa, ov, cfg, in, &line)
 					}
-					return s.simBatchPoint(ctx, tr, soa, ov, cfg, in, &line)
 				},
 				finish: func(err error, d time.Duration) {
 					outcome := classify(err)
@@ -270,11 +319,18 @@ func (s *Server) simBatchPoint(ctx context.Context, tr *trace.Trace, soa *trace.
 	if err != nil {
 		return err
 	}
+	return fillSimPoint(tr, res, in.decompose, line)
+}
+
+// fillSimPoint renders one simulated result into its batch line — shared by
+// the per-point sim path and the lockstep path, so their rows are identical.
+func fillSimPoint(tr *trace.Trace, res *uarch.Result, decompose bool, line *BatchPoint) error {
 	line.IPC = res.IPC()
 	line.Cycles = res.Cycles
 	line.Path = res.Path
+	line.Fallback = res.Fallback
 	line.AvgPenalty = res.AvgMispredictPenalty()
-	if in.decompose {
+	if decompose {
 		dec, err := core.NewDecomposer(tr, res)
 		if err != nil {
 			return err
@@ -287,6 +343,103 @@ func (s *Server) simBatchPoint(ctx context.Context, tr *trace.Trace, soa *trace.
 		line.PenShortD = m.ShortDMiss
 		line.PenLongD = m.LongDMiss
 	}
+	return nil
+}
+
+// submitLockstepSets chunks a lockstep batch's points in request order into
+// K-sets and submits one pool task per set. Each set is one SimulateMany pass
+// over the shared trace; its results fill the same fields simBatchPoint
+// would, per point, including each config's own fallback provenance. A set
+// member failing (bad config, watchdog) fails the whole set — every member
+// then reports the error, matching SimulateMany's all-or-nothing contract.
+func (s *Server) submitLockstepSets(r *http.Request, tr *trace.Trace, soa *trace.SoA, ov *overlay.Overlay, in batchInputs, lines chan<- BatchPoint, wg *sync.WaitGroup) {
+	for start := 0; start < len(in.specs); start += in.lockstepK {
+		set := in.specs[start:min(start+in.lockstepK, len(in.specs))]
+		cfgs := make([]uarch.Config, len(set))
+		pts := make([]BatchPoint, len(set))
+		for i, sp := range set {
+			cfgs[i] = experiments.Point(sp.Width, sp.Depth, sp.ROB)
+			pts[i] = BatchPoint{Seq: sp.Seq, Width: sp.Width, Depth: sp.Depth, ROB: sp.ROB}
+		}
+		emitAll := func(err error, outcome string) {
+			for i, sp := range set {
+				if err != nil {
+					lines <- BatchPoint{
+						Seq: sp.Seq, Width: sp.Width, Depth: sp.Depth, ROB: sp.ROB,
+						Error: err.Error(), Outcome: outcome,
+					}
+				} else {
+					lines <- pts[i]
+				}
+				wg.Done()
+			}
+		}
+		t := &task{
+			name:    fmt.Sprintf("batch-%s-lockstep-%s", in.wc.Name, cfgs[0].Name),
+			timeout: in.timeout,
+			parent:  r.Context(),
+			run: func(ctx context.Context) error {
+				return s.lockstepBatchSet(ctx, tr, soa, ov, cfgs, in, pts)
+			},
+			finish: func(err error, d time.Duration) {
+				outcome := classify(err)
+				s.metrics.observe(outcome, d)
+				emitAll(err, outcome)
+			},
+		}
+		if err := s.pool.SubmitWait(r.Context(), t); err != nil {
+			s.metrics.count(classify(err))
+			emitAll(err, classify(err))
+		}
+	}
+}
+
+// lockstepBatchSet runs one K-set of design points in lockstep and fills
+// their batch lines — the same values, per point, that the per-point sim
+// path produces (pinned by TestBatchLockstepMatchesSim).
+func (s *Server) lockstepBatchSet(ctx context.Context, tr *trace.Trace, soa *trace.SoA, ov *overlay.Overlay, cfgs []uarch.Config, in batchInputs, pts []BatchPoint) error {
+	results, err := uarch.SimulateMany(ctx, soa, ov, cfgs, uarch.Options{
+		RecordMispredicts: true,
+		RecordLoadLevels:  in.decompose,
+		WarmupInsts:       in.warmup,
+	})
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		if err := fillSimPoint(tr, res, in.decompose, &pts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sampledBatchPoint runs one design point under systematic sampling and
+// fills the CPI confidence-interval fields. The request's warmup budget
+// becomes the initial functional skip; no overlay is involved (sampled runs
+// track dependences live by design).
+func (s *Server) sampledBatchPoint(ctx context.Context, soa *trace.SoA, cfg uarch.Config, in batchInputs, line *BatchPoint) error {
+	res, err := uarch.RunContext(ctx, soa.Reader(), cfg, uarch.Options{
+		SampleStartSkip: in.warmup,
+		SampleDetailed:  in.sampleDetailed,
+		SampleSkip:      in.sampleSkip,
+	})
+	if err != nil {
+		return err
+	}
+	st := res.Sample
+	if st == nil {
+		return fmt.Errorf("%s: sampled run carries no sample statistics", cfg.Name)
+	}
+	line.IPC = res.IPC()
+	line.Cycles = res.Cycles
+	line.Path = res.Path
+	line.Fallback = res.Fallback
+	line.CPI = st.CPI.Mean
+	line.CPILo = st.CPI.Lower
+	line.CPIHi = st.CPI.Upper
+	line.CPIRelErr = st.CPI.RelErr
+	line.SampleUnits = st.Units
 	return nil
 }
 

@@ -140,6 +140,118 @@ func TestBatchModelMode(t *testing.T) {
 	}
 }
 
+// TestBatchLockstepMatchesSim pins the lockstep shard contract: a lockstep
+// batch returns, per point, exactly the values the per-point sim path
+// returns — measurements, decomposition, path, and each config's own
+// fallback provenance — for set sizes that do and do not divide the batch.
+func TestBatchLockstepMatchesSim(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	specs := []BatchPointSpec{
+		{Seq: 0, Width: 2, Depth: 3, ROB: 64},
+		{Seq: 1, Width: 4, Depth: 7, ROB: 128},
+		{Seq: 2, Width: 8, Depth: 11, ROB: 256},
+		{Seq: 3, Width: 4, Depth: 3, ROB: 96},
+		{Seq: 4, Width: 2, Depth: 7, ROB: 192},
+	}
+	req := BatchRequest{Benchmark: "gzip", Insts: 20_000, Warmup: 4_000, Decompose: true, Points: specs}
+	collect := func(req BatchRequest) map[int]BatchPoint {
+		points, trailer := readBatch(t, postJSON(t, ts.URL+"/v1/batch", req))
+		if trailer.OK != len(specs) || trailer.Failed != 0 {
+			t.Fatalf("mode %q trailer = %+v, want %d ok", req.Mode, trailer, len(specs))
+		}
+		bySeq := make(map[int]BatchPoint, len(points))
+		for _, pt := range points {
+			bySeq[pt.Seq] = pt
+		}
+		return bySeq
+	}
+
+	sim := collect(req)
+	for _, k := range []int{2, 3, 5} {
+		lreq := req
+		lreq.Mode, lreq.LockstepK = "lockstep", k
+		lockstep := collect(lreq)
+		for seq, want := range sim {
+			if got := lockstep[seq]; got != want {
+				t.Errorf("lockstep_k %d seq %d = %+v, want sim point %+v", k, seq, got, want)
+			}
+		}
+	}
+	for seq, pt := range sim {
+		if pt.Path != "soa+overlay" || pt.Fallback != "" {
+			t.Errorf("seq %d path/fallback = %q/%q, want clean overlay replay", seq, pt.Path, pt.Fallback)
+		}
+	}
+}
+
+// TestBatchLockstepSetFailsTogether pins the all-or-nothing set contract at
+// the service: when a lockstep set dies (here: per-point timeout), every
+// member of the set reports the error — no partial sets.
+func TestBatchLockstepSetFailsTogether(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	points, trailer := readBatch(t, postJSON(t, ts.URL+"/v1/batch", BatchRequest{
+		Benchmark: "mcf",
+		Insts:     5_000_000,
+		Mode:      "lockstep",
+		LockstepK: 2,
+		TimeoutMS: 1, // far below the work
+		Points: []BatchPointSpec{
+			{Seq: 0, Width: 4, Depth: 7, ROB: 128},
+			{Seq: 1, Width: 4, Depth: 7, ROB: 256},
+		},
+	}))
+	if trailer.Failed != 2 || trailer.OK != 0 {
+		t.Fatalf("trailer = %+v, want the whole set failed", trailer)
+	}
+	for _, pt := range points {
+		if pt.Error == "" || pt.Outcome != outcomeTimeout {
+			t.Errorf("point %+v, want a timeout error line", pt)
+		}
+	}
+}
+
+// TestBatchSampledCarriesCI: sampled batch points carry the ratio-estimator
+// CPI interval and the per-point fallback provenance explaining that replay
+// was bypassed — the CI fields a distributed sampled sweep's CSV is built
+// from.
+func TestBatchSampledCarriesCI(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	points, trailer := readBatch(t, postJSON(t, ts.URL+"/v1/batch", BatchRequest{
+		Benchmark:      "gzip",
+		Insts:          60_000,
+		Warmup:         10_000,
+		Mode:           "sampled",
+		SampleDetailed: 1_000,
+		SampleSkip:     4_000,
+		Points: []BatchPointSpec{
+			{Seq: 0, Width: 4, Depth: 7, ROB: 128},
+			{Seq: 1, Width: 2, Depth: 3, ROB: 64},
+		},
+	}))
+	if trailer.OK != 2 || trailer.Mode != "sampled" {
+		t.Fatalf("trailer = %+v", trailer)
+	}
+	for _, pt := range points {
+		if !(pt.CPILo <= pt.CPI && pt.CPI <= pt.CPIHi) || pt.CPI <= 0 {
+			t.Errorf("seq %d interval out of order: %+v", pt.Seq, pt)
+		}
+		// (60000-10000)/(1000+4000) periods, ±1 for the trailing partial unit.
+		if pt.SampleUnits < 10 || pt.SampleUnits > 11 {
+			t.Errorf("seq %d units = %d, want about 10", pt.Seq, pt.SampleUnits)
+		}
+		if pt.Path != "soa" || !strings.Contains(pt.Fallback, "sampled") {
+			t.Errorf("seq %d path/fallback = %q/%q, want a live run with sampled-fallback provenance",
+				pt.Seq, pt.Path, pt.Fallback)
+		}
+		if pt.AvgPenalty != 0 || pt.PenFrontend != 0 {
+			t.Errorf("seq %d carries penalty columns in sampled mode: %+v", pt.Seq, pt)
+		}
+	}
+}
+
 // TestBatchValidation: malformed batches are rejected up front.
 func TestBatchValidation(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
@@ -151,7 +263,9 @@ func TestBatchValidation(t *testing.T) {
 		{"no points", `{"benchmark":"gzip"}`},
 		{"bad knobs", `{"benchmark":"gzip","points":[{"seq":0,"width":0,"depth":3,"rob":64}]}`},
 		{"decompose model", `{"benchmark":"gzip","mode":"model","decompose":true,"points":[{"seq":0,"width":2,"depth":3,"rob":64}]}`},
+		{"decompose sampled", `{"benchmark":"gzip","mode":"sampled","decompose":true,"sample_detailed":1000,"sample_skip":4000,"points":[{"seq":0,"width":2,"depth":3,"rob":64}]}`},
 		{"bad mode", `{"benchmark":"gzip","mode":"oracular","points":[{"seq":0,"width":2,"depth":3,"rob":64}]}`},
+		{"sampled without phases", `{"benchmark":"gzip","mode":"sampled","points":[{"seq":0,"width":2,"depth":3,"rob":64}]}`},
 		{"unknown benchmark", `{"benchmark":"doom","points":[{"seq":0,"width":2,"depth":3,"rob":64}]}`},
 	}
 	for _, tc := range cases {

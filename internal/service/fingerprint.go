@@ -73,23 +73,30 @@ type sweepKeyDoc struct {
 	Depths   []int           `json:"depths"`
 	ROBs     []int           `json:"robs"`
 	Mode     string          `json:"mode"`
-	SpecFP   uint64          `json:"spec_fp"`
+	// Sampling phase lengths, set only in sampled mode. omitempty keeps the
+	// key bytes of every pre-existing sim/model identity unchanged, so no
+	// keyVersion bump: stored results stay addressable.
+	SampleDetailed uint64 `json:"sample_detailed,omitempty"`
+	SampleSkip     uint64 `json:"sample_skip,omitempty"`
+	SpecFP         uint64 `json:"spec_fp"`
 }
 
 // sweepKey builds the canonical identity bytes for a resolved sweep.
 func sweepKey(in sweepInputs) []byte {
 	base := uarch.Baseline()
 	raw, err := json.Marshal(sweepKeyDoc{
-		V:        keyVersion,
-		Kind:     "sweep",
-		Workload: in.wc,
-		Insts:    in.insts,
-		Warmup:   in.warmup,
-		Widths:   in.widths,
-		Depths:   in.depths,
-		ROBs:     in.robs,
-		Mode:     in.mode,
-		SpecFP:   overlay.SpecFingerprint(base.Pred, base.Mem),
+		V:              keyVersion,
+		Kind:           "sweep",
+		Workload:       in.wc,
+		Insts:          in.insts,
+		Warmup:         in.warmup,
+		Widths:         in.widths,
+		Depths:         in.depths,
+		ROBs:           in.robs,
+		Mode:           in.mode,
+		SampleDetailed: in.sampleDetailed,
+		SampleSkip:     in.sampleSkip,
+		SpecFP:         overlay.SpecFingerprint(base.Pred, base.Mem),
 	})
 	if err != nil {
 		panic(fmt.Sprintf("service: canonical key marshal: %v", err))

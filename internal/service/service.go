@@ -583,6 +583,8 @@ type sweepInputs struct {
 	simInputs
 	widths, depths, robs []int
 	mode                 string
+	sampleDetailed       uint64
+	sampleSkip           uint64
 }
 
 func (s *Server) resolveSweep(req *SweepRequest) (sweepInputs, error) {
@@ -620,8 +622,14 @@ func (s *Server) resolveSweep(req *SweepRequest) (sweepInputs, error) {
 	if in.mode == "" {
 		in.mode = "sim"
 	}
-	if in.mode != "sim" && in.mode != "model" {
-		return sweepInputs{}, fmt.Errorf("%w: unknown mode %q (want sim or model)", errBadRequest, in.mode)
+	// Lockstep is a batch-API (shard-dispatch) mode: grid sweeps reach it
+	// through /v1/batch via the cluster coordinator, not through /v1/sweep.
+	if in.mode != "sim" && in.mode != "sampled" && in.mode != "model" {
+		return sweepInputs{}, fmt.Errorf("%w: unknown mode %q (want sim, sampled or model)", errBadRequest, in.mode)
+	}
+	in.sampleDetailed, in.sampleSkip = req.SampleDetailed, req.SampleSkip
+	if in.mode == "sampled" && (in.sampleDetailed == 0 || in.sampleSkip == 0) {
+		return sweepInputs{}, fmt.Errorf("%w: sampled mode needs positive sample_detailed and sample_skip", errBadRequest)
 	}
 	return in, nil
 }
@@ -650,16 +658,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Shared artifacts, once per sweep — and across sweeps via the caches.
+	// Sampled sweeps never compute an overlay: replay does not apply to
+	// fast-forwarded runs.
 	_, soa, err := experiments.SharedTrace(in.wc, in.insts)
 	if err != nil {
 		s.reject(w, http.StatusInternalServerError, err, outcomeError)
 		return
 	}
 	base := uarch.Baseline()
-	ov, err := s.overlays.Get(soa, base.Pred, base.Mem)
-	if err != nil {
-		s.reject(w, http.StatusInternalServerError, err, outcomeError)
-		return
+	var ov *overlay.Overlay
+	if in.mode != "sampled" {
+		if ov, err = s.overlays.Get(soa, base.Pred, base.Mem); err != nil {
+			s.reject(w, http.StatusInternalServerError, err, outcomeError)
+			return
+		}
 	}
 	var set *core.ModelSet
 	if in.mode == "model" {
@@ -723,10 +735,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				// ones canceled, freeing the worker slots promptly.
 				parent: r.Context(),
 				run: func(ctx context.Context) error {
-					if in.mode == "model" {
+					switch in.mode {
+					case "model":
 						return s.modelSweepPoint(cfg, set, &line)
+					case "sampled":
+						return s.sampledSweepPoint(ctx, soa, cfg, in, &line)
+					default:
+						return s.simSweepPoint(ctx, soa, ov, cfg, in.warmup, &line)
 					}
-					return s.simSweepPoint(ctx, soa, ov, cfg, in.warmup, &line)
 				},
 				finish: func(err error, d time.Duration) {
 					outcome := classify(err)
@@ -792,6 +808,35 @@ func (s *Server) simSweepPoint(ctx context.Context, soa *trace.SoA, ov *overlay.
 	line.AvgMispredictPenalty = res.AvgMispredictPenalty()
 	line.Cycles = res.Cycles
 	line.Path = res.Path
+	line.Fallback = res.Fallback
+	return nil
+}
+
+// sampledSweepPoint runs one grid point under systematic sampling into line:
+// the ratio-estimator CPI with its confidence interval instead of the
+// penalty statistics. The sweep's warmup is the initial functional skip.
+func (s *Server) sampledSweepPoint(ctx context.Context, soa *trace.SoA, cfg uarch.Config, in sweepInputs, line *SweepPoint) error {
+	res, err := uarch.RunContext(ctx, soa.Reader(), cfg, uarch.Options{
+		SampleStartSkip: in.warmup,
+		SampleDetailed:  in.sampleDetailed,
+		SampleSkip:      in.sampleSkip,
+	})
+	if err != nil {
+		return err
+	}
+	st := res.Sample
+	if st == nil {
+		return fmt.Errorf("%s: sampled run carries no sample statistics", cfg.Name)
+	}
+	line.IPC = res.IPC()
+	line.Cycles = res.Cycles
+	line.Path = res.Path
+	line.Fallback = res.Fallback
+	line.CPI = st.CPI.Mean
+	line.CPILo = st.CPI.Lower
+	line.CPIHi = st.CPI.Upper
+	line.CPIRelErr = st.CPI.RelErr
+	line.SampleUnits = st.Units
 	return nil
 }
 

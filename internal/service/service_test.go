@@ -413,6 +413,104 @@ func TestSweepModelMode(t *testing.T) {
 	}
 }
 
+// TestSweepSampledMode: a sampled sweep streams the ratio-estimator CPI
+// interval per point, never computes an overlay, and rejects requests
+// without the sampling phase lengths. Lockstep stays a batch-API mode.
+func TestSweepSampledMode(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	points, trailer := readSweep(t, postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Benchmark:      "vpr",
+		Insts:          60_000,
+		Warmup:         10_000,
+		Widths:         []int{2, 4},
+		Depths:         []int{4},
+		ROBs:           []int{64},
+		Mode:           "sampled",
+		SampleDetailed: 1_000,
+		SampleSkip:     4_000,
+	}))
+	if trailer.OK != 2 || trailer.Mode != "sampled" {
+		t.Fatalf("trailer = %+v, want 2 ok in sampled mode", trailer)
+	}
+	for _, pt := range points {
+		if !(pt.CPILo <= pt.CPI && pt.CPI <= pt.CPIHi) || pt.CPI <= 0 {
+			t.Errorf("seq %d interval out of order: %+v", pt.Seq, pt)
+		}
+		// (60000-10000)/(1000+4000) periods, ±1 for the trailing partial unit.
+		if pt.SampleUnits < 10 || pt.SampleUnits > 11 {
+			t.Errorf("seq %d units = %d, want about 10", pt.Seq, pt.SampleUnits)
+		}
+		if pt.Path != "soa" || !strings.Contains(pt.Fallback, "sampled") {
+			t.Errorf("seq %d path/fallback = %q/%q, want live run with sampled provenance", pt.Seq, pt.Path, pt.Fallback)
+		}
+	}
+	m := decodeBody[MetricsResponse](t, mustGet(t, ts.URL+"/metrics"))
+	if m.OverlayCache.Hits+m.OverlayCache.Misses != 0 {
+		t.Errorf("sampled sweep touched the overlay cache: %+v", m.OverlayCache)
+	}
+
+	for name, body := range map[string]SweepRequest{
+		"sampled without phases": {Benchmark: "vpr", Insts: 60_000, Mode: "sampled"},
+		"lockstep not a sweep mode": {Benchmark: "vpr", Insts: 60_000, Mode: "lockstep"},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/sweep", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestSweepKeySamplingIdentity pins the store-fingerprint compatibility
+// contract: sim/model sweep identities carry no sampling fields (their key
+// bytes — and so their stored results — are unchanged by this feature), and
+// sampled sweeps with different phase lengths are distinct identities.
+func TestSweepKeySamplingIdentity(t *testing.T) {
+	s := New(Options{})
+	defer s.Shutdown(context.Background()) //nolint:errcheck
+
+	resolve := func(req SweepRequest) sweepInputs {
+		in, err := s.resolveSweep(&req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	base := SweepRequest{Benchmark: "gzip", Insts: 20_000, Widths: []int{2}, Depths: []int{4}, ROBs: []int{64}}
+	simKeyBytes := sweepKey(resolve(base))
+	if bytes.Contains(simKeyBytes, []byte("sample_detailed")) {
+		t.Errorf("sim sweep key carries sampling fields (old store entries would miss): %s", simKeyBytes)
+	}
+
+	sampled := base
+	sampled.Mode, sampled.SampleDetailed, sampled.SampleSkip = "sampled", 1_000, 4_000
+	k1 := sweepKey(resolve(sampled))
+	sampled.SampleSkip = 9_000
+	k2 := sweepKey(resolve(sampled))
+	if bytes.Equal(k1, k2) {
+		t.Error("sampled sweeps with different phase lengths share an identity")
+	}
+	if !bytes.Contains(k1, []byte(`"sample_detailed":1000`)) {
+		t.Errorf("sampled key missing phase lengths: %s", k1)
+	}
+}
+
+// TestBuildSweepCSVSampled: the durable sweep-job artifact renders the CI
+// columns with fixed verbs in seq order.
+func TestBuildSweepCSVSampled(t *testing.T) {
+	got := string(buildSweepCSV("sampled", map[int]SweepPoint{
+		1: {Seq: 1, Width: 4, Depth: 7, ROB: 128, IPC: 1.5, CPI: 0.66667, CPILo: 0.6, CPIHi: 0.73334, CPIRelErr: 0.1, SampleUnits: 10},
+		0: {Seq: 0, Width: 2, Depth: 3, ROB: 64, IPC: 1.25, CPI: 0.8, CPILo: 0.75, CPIHi: 0.85, CPIRelErr: 0.0625, SampleUnits: 10},
+	}))
+	want := "seq,width,depth,rob,ipc,cpi,cpi_lo,cpi_hi,cpi_rel_err,units\n" +
+		"0,2,3,64,1.250,0.8000,0.7500,0.8500,0.0625,10\n" +
+		"1,4,7,128,1.500,0.6667,0.6000,0.7333,0.1000,10\n"
+	if got != want {
+		t.Errorf("sampled CSV:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 // TestHealthz: liveness, version, and drain reporting.
 func TestHealthz(t *testing.T) {
 	s, ts := newTestServer(t, Options{})

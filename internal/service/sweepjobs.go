@@ -12,6 +12,7 @@ import (
 
 	"intervalsim/internal/core"
 	"intervalsim/internal/experiments"
+	"intervalsim/internal/overlay"
 	"intervalsim/internal/store"
 	"intervalsim/internal/uarch"
 	"intervalsim/internal/workload"
@@ -32,31 +33,35 @@ import (
 // job in a fresh process. Axes are journaled in resolved form so a resume
 // enumerates the identical grid even if server-side defaults change.
 type sweepJobSpec struct {
-	Benchmark string           `json:"benchmark,omitempty"`
-	Workload  *workload.Config `json:"workload,omitempty"`
-	Insts     int              `json:"insts"`
-	Warmup    uint64           `json:"warmup,omitempty"`
-	Widths    []int            `json:"widths"`
-	Depths    []int            `json:"depths"`
-	ROBs      []int            `json:"robs"`
-	Mode      string           `json:"mode"`
-	TimeoutMS int              `json:"timeout_ms,omitempty"`
-	Tenant    string           `json:"tenant,omitempty"`
-	Priority  int              `json:"priority,omitempty"`
+	Benchmark      string           `json:"benchmark,omitempty"`
+	Workload       *workload.Config `json:"workload,omitempty"`
+	Insts          int              `json:"insts"`
+	Warmup         uint64           `json:"warmup,omitempty"`
+	Widths         []int            `json:"widths"`
+	Depths         []int            `json:"depths"`
+	ROBs           []int            `json:"robs"`
+	Mode           string           `json:"mode"`
+	SampleDetailed uint64           `json:"sample_detailed,omitempty"`
+	SampleSkip     uint64           `json:"sample_skip,omitempty"`
+	TimeoutMS      int              `json:"timeout_ms,omitempty"`
+	Tenant         string           `json:"tenant,omitempty"`
+	Priority       int              `json:"priority,omitempty"`
 }
 
 // request converts the journaled spec back into a resolvable request.
 func (sp sweepJobSpec) request() *SweepRequest {
 	return &SweepRequest{
-		Benchmark: sp.Benchmark,
-		Workload:  sp.Workload,
-		Insts:     sp.Insts,
-		Warmup:    sp.Warmup,
-		Widths:    sp.Widths,
-		Depths:    sp.Depths,
-		ROBs:      sp.ROBs,
-		Mode:      sp.Mode,
-		TimeoutMS: sp.TimeoutMS,
+		Benchmark:      sp.Benchmark,
+		Workload:       sp.Workload,
+		Insts:          sp.Insts,
+		Warmup:         sp.Warmup,
+		Widths:         sp.Widths,
+		Depths:         sp.Depths,
+		ROBs:           sp.ROBs,
+		Mode:           sp.Mode,
+		SampleDetailed: sp.SampleDetailed,
+		SampleSkip:     sp.SampleSkip,
+		TimeoutMS:      sp.TimeoutMS,
 	}
 }
 
@@ -121,17 +126,19 @@ func (s *Server) handleSweepJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	spec := sweepJobSpec{
-		Benchmark: req.Benchmark,
-		Workload:  req.Workload,
-		Insts:     in.insts,
-		Warmup:    in.warmup,
-		Widths:    in.widths,
-		Depths:    in.depths,
-		ROBs:      in.robs,
-		Mode:      in.mode,
-		TimeoutMS: req.TimeoutMS,
-		Tenant:    tenant,
-		Priority:  priority,
+		Benchmark:      req.Benchmark,
+		Workload:       req.Workload,
+		Insts:          in.insts,
+		Warmup:         in.warmup,
+		Widths:         in.widths,
+		Depths:         in.depths,
+		ROBs:           in.robs,
+		Mode:           in.mode,
+		SampleDetailed: in.sampleDetailed,
+		SampleSkip:     in.sampleSkip,
+		TimeoutMS:      req.TimeoutMS,
+		Tenant:         tenant,
+		Priority:       priority,
 	}
 	j, _, _, err := s.opts.Store.OpenJournal(id)
 	if err != nil {
@@ -265,10 +272,12 @@ func (s *Server) runSweepJob(id string, j *store.Log, spec sweepJobSpec, in swee
 		return
 	}
 	base := uarch.Baseline()
-	ov, err := s.overlays.Get(soa, base.Pred, base.Mem)
-	if err != nil {
-		failJob(err)
-		return
+	var ov *overlay.Overlay
+	if in.mode != "sampled" {
+		if ov, err = s.overlays.Get(soa, base.Pred, base.Mem); err != nil {
+			failJob(err)
+			return
+		}
 	}
 	var set *core.ModelSet
 	if in.mode == "model" {
@@ -319,10 +328,14 @@ func (s *Server) runSweepJob(id string, j *store.Log, spec sweepJobSpec, in swee
 			priority: spec.Priority,
 			tenant:   spec.Tenant,
 			run: func(ctx context.Context) error {
-				if in.mode == "model" {
+				switch in.mode {
+				case "model":
 					return s.modelSweepPoint(cfg, set, &line)
+				case "sampled":
+					return s.sampledSweepPoint(ctx, soa, cfg, in, &line)
+				default:
+					return s.simSweepPoint(ctx, soa, ov, cfg, in.warmup, &line)
 				}
-				return s.simSweepPoint(ctx, soa, ov, cfg, in.warmup, &line)
 			},
 			finish: func(err error, d time.Duration) {
 				defer wg.Done()
@@ -390,13 +403,22 @@ func buildSweepCSV(mode string, done map[int]SweepPoint) []byte {
 	}
 	sort.Ints(seqs)
 	var b strings.Builder
-	if mode == "model" {
+	switch mode {
+	case "model":
 		b.WriteString("seq,width,depth,rob,ipc,avg_penalty,cpi_base,cpi_bpred,cpi_icache,cpi_longd\n")
-	} else {
+	case "sampled":
+		b.WriteString("seq,width,depth,rob,ipc,cpi,cpi_lo,cpi_hi,cpi_rel_err,units\n")
+	default:
 		b.WriteString("seq,width,depth,rob,ipc,avg_penalty,cycles\n")
 	}
 	for _, seq := range seqs {
 		pt := done[seq]
+		if mode == "sampled" {
+			fmt.Fprintf(&b, "%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%d\n",
+				pt.Seq, pt.Width, pt.Depth, pt.ROB, pt.IPC,
+				pt.CPI, pt.CPILo, pt.CPIHi, pt.CPIRelErr, pt.SampleUnits)
+			continue
+		}
 		fmt.Fprintf(&b, "%d,%d,%d,%d,%.3f,%.2f", pt.Seq, pt.Width, pt.Depth, pt.ROB, pt.IPC, pt.AvgMispredictPenalty)
 		if mode == "model" {
 			fmt.Fprintf(&b, ",%.3f,%.3f,%.3f,%.3f", pt.CPIBase, pt.CPIBpred, pt.CPIICache, pt.CPILongData)

@@ -1,0 +1,245 @@
+package uarch
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"intervalsim/internal/overlay"
+	"intervalsim/internal/trace"
+	"intervalsim/internal/workload"
+)
+
+// lockstepConfigs builds a K-set of distinct configurations spanning the
+// axes a sweep varies: window size, frontend depth, and machine width. All
+// members share the baseline predictor and memory hierarchy, so one overlay
+// applies to the whole set.
+func lockstepConfigs(k int) []Config {
+	depths := []int{3, 5, 7, 9, 11, 4, 6, 8}
+	robs := []int{48, 64, 96, 128, 160, 192, 224, 256}
+	widths := []int{2, 4, 4, 8, 2, 4, 8, 4}
+	cfgs := make([]Config, k)
+	for i := range cfgs {
+		c := Baseline()
+		c.Name = "lockstep-" + string(rune('a'+i))
+		c.FrontendDepth = depths[i%len(depths)]
+		c.ROBSize = robs[i%len(robs)]
+		c.IQSize = c.ROBSize / 2
+		c.FetchWidth = widths[i%len(widths)]
+		c.DispatchWidth = widths[i%len(widths)]
+		c.IssueWidth = widths[i%len(widths)]
+		c.CommitWidth = widths[i%len(widths)]
+		cfgs[i] = c
+	}
+	return cfgs
+}
+
+func lockstepTrace(t *testing.T, bench string, insts int) *trace.SoA {
+	t.Helper()
+	wc, ok := workload.SuiteConfig(bench)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", bench)
+	}
+	tr, err := trace.ReadAll(workload.MustNew(wc, insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Pack(tr)
+}
+
+// TestLockstepMatchesSerial is the contract behind SimulateMany: for every
+// configuration in a K-set, the lockstep result must be byte-identical to
+// running that configuration alone — in live mode, in overlay-replay mode,
+// and in the fallback paths (sampled runs, which bypass precomputed
+// dependences and reject the overlay per config).
+func TestLockstepMatchesSerial(t *testing.T) {
+	soa := lockstepTrace(t, "crafty", 40_000)
+	base := Baseline()
+	ov, err := overlay.Compute(soa, base.Pred, base.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modes := []struct {
+		name string
+		ov   *overlay.Overlay
+		opts Options
+	}{
+		{"live", nil, Options{}},
+		{"live-recorded", nil, Options{RecordEvents: true, RecordMispredicts: true, RecordLoadLevels: true, WarmupInsts: 8_000}},
+		{"replay", ov, Options{RecordMispredicts: true}},
+		{"sampled-fallback", ov, Options{SampleStartSkip: 5_000, SampleDetailed: 4_000, SampleSkip: 6_000}},
+	}
+	for _, k := range []int{2, 4, 8} {
+		cfgs := lockstepConfigs(k)
+		for _, mode := range modes {
+			t.Run(mode.name+"/k="+string(rune('0'+k)), func(t *testing.T) {
+				serialOpts := mode.opts
+				serialOpts.Overlay = mode.ov
+				many, err := SimulateMany(context.Background(), soa, mode.ov, cfgs, mode.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(many) != k {
+					t.Fatalf("got %d results, want %d", len(many), k)
+				}
+				for i, cfg := range cfgs {
+					serial, err := Run(soa.Reader(), cfg, serialOpts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if many[i].Path != serial.Path {
+						t.Errorf("config %d Path: lockstep %q, serial %q", i, many[i].Path, serial.Path)
+					}
+					if many[i].Fallback != serial.Fallback {
+						t.Errorf("config %d Fallback: lockstep %q, serial %q", i, many[i].Fallback, serial.Fallback)
+					}
+					compareResults(t, serial, many[i])
+				}
+			})
+		}
+	}
+}
+
+// TestLockstepPerConfigFallback pins the per-config fast-path reporting of a
+// mixed K-set: one member's predictor differs from the overlay's fingerprint,
+// so only that member may fall back to live simulation — the siblings must
+// still replay, and the rejected member must say why in its own Result. A
+// batch-wide scalar would either hide the fallback or smear it over the
+// healthy configs.
+func TestLockstepPerConfigFallback(t *testing.T) {
+	soa := lockstepTrace(t, "gzip", 30_000)
+	base := Baseline()
+	ov, err := overlay.Compute(soa, base.Pred, base.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := lockstepConfigs(3)
+	cfgs[1].Pred = PredictorSpec{Kind: "gshare", Entries: 2048, HistBits: 10, BTBEntries: 512}
+
+	many, err := SimulateMany(context.Background(), soa, ov, cfgs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range many {
+		if i == 1 {
+			if res.Path != "soa" {
+				t.Errorf("mismatched config Path = %q, want soa (live fallback)", res.Path)
+			}
+			if !strings.Contains(res.Fallback, "fingerprint mismatch") {
+				t.Errorf("mismatched config Fallback = %q, want a fingerprint-mismatch reason", res.Fallback)
+			}
+			continue
+		}
+		if res.Path != "soa+overlay" {
+			t.Errorf("config %d Path = %q, want soa+overlay", i, res.Path)
+		}
+		if res.Fallback != "" {
+			t.Errorf("config %d Fallback = %q, want empty", i, res.Fallback)
+		}
+	}
+	// The fallback member still matches its own serial run.
+	serial, err := Run(soa.Reader(), cfgs[1], Options{Overlay: ov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, serial, many[1])
+}
+
+// TestLockstepWatchdogCancelsBatch proves a stuck configuration cannot
+// stall its K-set: the no-progress watchdog on the pathological member
+// aborts the whole SimulateMany call with ErrWatchdog naming that config,
+// instead of returning partial results.
+func TestLockstepWatchdogCancelsBatch(t *testing.T) {
+	soa := lockstepTrace(t, "mcf", 500_000)
+	cfgs := lockstepConfigs(3)
+	cfgs[1].Name = "stuck"
+	cfgs[1].Mem.Lat.Mem = 100_000 // starves commit far past the budget below
+
+	res, err := SimulateMany(context.Background(), soa, nil, cfgs, Options{
+		NoProgressCycles: 5_000,
+		MaxCycles:        50_000_000,
+	})
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("err = %v, want ErrWatchdog", err)
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Errorf("error %q does not name the stuck config", err)
+	}
+	if res != nil {
+		t.Errorf("got %d partial results alongside the watchdog error, want none", len(res))
+	}
+}
+
+// TestLockstepCanceledContext: cancellation propagates out of the batch.
+func TestLockstepCanceledContext(t *testing.T) {
+	soa := lockstepTrace(t, "gzip", 200_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SimulateMany(ctx, soa, nil, lockstepConfigs(2), Options{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestLockstepRejectsBadConfig: validation covers every member up front, so
+// a bad config fails the batch before any simulation runs.
+func TestLockstepRejectsBadConfig(t *testing.T) {
+	soa := lockstepTrace(t, "gzip", 1_000)
+	cfgs := lockstepConfigs(2)
+	cfgs[1].ROBSize = 0
+	if _, err := SimulateMany(context.Background(), soa, nil, cfgs, Options{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestLockstepConcurrentSharedOverlay stresses concurrent SimulateMany
+// callers sharing one trace and one memoized overlay cache — the service
+// serving pattern. Run under -race (CI does), this pins the overlay and SoA
+// as read-only at simulation time; each caller's results must still match
+// its own serial reference.
+func TestLockstepConcurrentSharedOverlay(t *testing.T) {
+	soa := lockstepTrace(t, "vpr", 30_000)
+	base := Baseline()
+
+	const callers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	results := make([][]*Result, callers)
+	sets := make([][]Config, callers)
+	for i := 0; i < callers; i++ {
+		sets[i] = lockstepConfigs(2 + i%3)
+	}
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Every caller resolves the overlay through the shared memo
+			// cache: one Compute, many concurrent readers.
+			ov, err := overlay.Shared.Get(soa, base.Pred, base.Mem)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = SimulateMany(context.Background(), soa, ov, sets[i], Options{})
+		}(i)
+	}
+	wg.Wait()
+	ov, err := overlay.Shared.Get(soa, base.Pred, base.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		for j, cfg := range sets[i] {
+			serial, err := Run(soa.Reader(), cfg, Options{Overlay: ov})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, serial, results[i][j])
+		}
+	}
+}

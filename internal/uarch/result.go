@@ -4,6 +4,7 @@ import (
 	"intervalsim/internal/bpred"
 	"intervalsim/internal/cache"
 	"intervalsim/internal/overlay"
+	"intervalsim/internal/stats"
 )
 
 // EventKind classifies the miss events that delimit intervals.
@@ -150,6 +151,53 @@ func (o Options) sampling() bool { return o.SampleDetailed > 0 && o.SampleSkip >
 // fastForwarded reports whether any functional skipping happens at all.
 func (o Options) fastForwarded() bool { return o.sampling() || o.SampleStartSkip > 0 }
 
+// sampleConfidence is the two-sided confidence level of every interval a
+// sampled run reports. Fixed rather than configurable: every consumer of a
+// sampled sweep row then knows what the bounds mean without more plumbing.
+const sampleConfidence = 0.95
+
+// Interval is a two-sided confidence interval for one sampled metric: the
+// size-weighted ratio estimator over the measurement units (numerator sum /
+// instruction sum, equal to the aggregate rate of the detailed phases) with
+// its Student-t bounds at the confidence level recorded in SampleStats.
+type Interval struct {
+	Mean  float64 `json:"mean"`
+	Lower float64 `json:"lower"`
+	Upper float64 `json:"upper"`
+	// RelErr is the half-width as a fraction of the mean (0 when the mean
+	// is 0) — the headline "CPI known to ±x%" number of SMARTS-style runs.
+	RelErr float64 `json:"rel_err"`
+}
+
+// newInterval builds the confidence interval for one per-instruction metric
+// from its per-unit numerators and the per-unit committed-instruction
+// counts.
+func newInterval(ys, insts []float64) Interval {
+	mean, half := stats.RatioCI(ys, insts, sampleConfidence)
+	iv := Interval{Mean: mean, Lower: mean - half, Upper: mean + half}
+	if mean != 0 {
+		iv.RelErr = half / mean
+	}
+	return iv
+}
+
+// Covers reports whether x lies within the interval (inclusive).
+func (iv Interval) Covers(x float64) bool { return x >= iv.Lower && x <= iv.Upper }
+
+// SampleStats carries the statistical accounting of a sampled run: how many
+// measurement units (detailed phases) were observed and, per metric, the
+// ratio-estimator confidence interval over those units. Each interval is
+// centered on the aggregate detailed-phase rate — the SMARTS point estimate
+// of the whole-run rate — with bounds from the between-unit variance.
+type SampleStats struct {
+	Units      int     `json:"units"`
+	Confidence float64 `json:"confidence"`
+
+	CPI            Interval `json:"cpi"`
+	MispredictsPKI Interval `json:"mispredicts_pki"` // mispredicts per kilo-instruction
+	LongDMissesPKI Interval `json:"long_dmisses_pki"`
+}
+
 // CacheStats aggregates the three cache levels' counters.
 type CacheStats struct {
 	L1I, L1D, L2 cache.Stats
@@ -186,6 +234,9 @@ type Result struct {
 	// Records refer to dispatch order rather than trace positions (so the
 	// trace-window decomposition in package core does not apply).
 	Sampled bool
+	// Sample carries the per-metric confidence intervals of a sampled run
+	// (nil for full runs and for SampleStartSkip-only fast-forwarded runs).
+	Sample *SampleStats
 
 	Insts  uint64
 	Cycles uint64

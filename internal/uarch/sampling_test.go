@@ -1,0 +1,215 @@
+package uarch
+
+import (
+	"fmt"
+	"testing"
+
+	"intervalsim/internal/trace"
+	"intervalsim/internal/workload"
+)
+
+// Sampling parameters of the statistical acceptance tests: 2k-instruction
+// detailed phases every 10k instructions (20% detail fraction) after a 20k
+// cold-start skip — 38 measurement units, enough for the Student-t interval
+// to localize CPI while per-unit ROB ramp-in noise stays inside it.
+const (
+	ciTestInsts     = 400_000
+	ciTestStartSkip = 20_000
+	ciTestDetailed  = 2_000
+	ciTestSkip      = 8_000
+)
+
+// samplingFamilies returns the fixed seed matrix of trace families the
+// statistical tests run over: the named suite generators plus seeded random
+// workloads. Everything is derived from constants, so the test is exactly
+// reproducible — CI runs it as a deterministic gate, not a flake source.
+func samplingFamilies(t *testing.T) map[string]workload.Config {
+	t.Helper()
+	fams := make(map[string]workload.Config)
+	for _, name := range []string{"gzip", "mcf", "crafty", "vpr"} {
+		wc, ok := workload.SuiteConfig(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %s", name)
+		}
+		fams[name] = wc
+	}
+	for _, seed := range []uint64{0x1badb002, 0x2badf00d, 0x3defaced, 0x5eedcafe, 0x7ab1e5ea, 0x90bada55} {
+		wc := randomWorkload(seed)
+		if err := wc.Validate(); err != nil {
+			// A seed outside the generator's bounds would be a permanent,
+			// loud skip — the matrix above is chosen to be fully valid.
+			t.Fatalf("seed %#x produced invalid workload: %v", seed, err)
+		}
+		fams[fmt.Sprintf("rand-%#x", seed)] = wc
+	}
+	return fams
+}
+
+// TestSampledCIStructure checks the statistical bookkeeping of one sampled
+// run: the Result carries SampleStats with a plausible unit count and
+// well-ordered intervals, and full runs carry none.
+func TestSampledCIStructure(t *testing.T) {
+	wc, _ := workload.SuiteConfig("gzip")
+	tr, err := trace.ReadAll(workload.MustNew(wc, ciTestInsts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soa := trace.Pack(tr)
+
+	full, err := Run(soa.Reader(), Baseline(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Sample != nil {
+		t.Fatalf("full run carries SampleStats: %+v", full.Sample)
+	}
+
+	sampled, err := Run(soa.Reader(), Baseline(), Options{
+		SampleStartSkip: ciTestStartSkip,
+		SampleDetailed:  ciTestDetailed,
+		SampleSkip:      ciTestSkip,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sampled.Sample
+	if st == nil {
+		t.Fatal("sampled run carries no SampleStats")
+	}
+	wantUnits := (ciTestInsts - ciTestStartSkip) / (ciTestDetailed + ciTestSkip)
+	if st.Units < wantUnits-1 || st.Units > wantUnits+1 {
+		t.Errorf("units = %d, want about %d", st.Units, wantUnits)
+	}
+	if st.Confidence != 0.95 {
+		t.Errorf("confidence = %v, want 0.95", st.Confidence)
+	}
+	for name, iv := range map[string]Interval{
+		"CPI": st.CPI, "MispredictsPKI": st.MispredictsPKI, "LongDMissesPKI": st.LongDMissesPKI,
+	} {
+		if !(iv.Lower <= iv.Mean && iv.Mean <= iv.Upper) {
+			t.Errorf("%s interval out of order: %+v", name, iv)
+		}
+		if iv.RelErr < 0 {
+			t.Errorf("%s RelErr negative: %+v", name, iv)
+		}
+	}
+	if st.CPI.Mean <= 0 {
+		t.Errorf("CPI mean = %v, want > 0", st.CPI.Mean)
+	}
+	// The interval is centered on the ratio estimator, which by construction
+	// equals the aggregate detailed-phase CPI the Result reports (up to
+	// trailing drain cycles that close after the last counted unit).
+	if cpi := sampled.CPI(); st.CPI.Mean < 0.98*cpi || st.CPI.Mean > 1.02*cpi {
+		t.Errorf("ratio-estimator CPI %.4f != aggregate sampled CPI %.4f", st.CPI.Mean, cpi)
+	}
+}
+
+// TestSampledCICoversFullRun is the statistical acceptance gate for sampled
+// simulation: across the fixed matrix of trace families, the sampled run's
+// reported CPI confidence interval must cover the full-run CPI of the same
+// trace. One miss is tolerated — a 95% interval over ten families is
+// expected to miss occasionally, and the matrix is fixed precisely so the
+// observed outcome never drifts between runs.
+func TestSampledCICoversFullRun(t *testing.T) {
+	cfg := Baseline()
+	var misses []string
+	fams := samplingFamilies(t)
+	for name, wc := range fams {
+		tr, err := trace.ReadAll(workload.MustNew(wc, ciTestInsts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		soa := trace.Pack(tr)
+
+		// The full-run reference excludes the same cold-start region the
+		// sampled run skips, so the two estimate the same steady state.
+		full, err := Run(soa.Reader(), cfg, Options{WarmupInsts: ciTestStartSkip})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampled, err := Run(soa.Reader(), cfg, Options{
+			SampleStartSkip: ciTestStartSkip,
+			SampleDetailed:  ciTestDetailed,
+			SampleSkip:      ciTestSkip,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sampled.Sample
+		if st == nil {
+			t.Fatalf("%s: sampled run carries no SampleStats", name)
+		}
+		fullCPI := full.CPI()
+		if !st.CPI.Covers(fullCPI) {
+			misses = append(misses, fmt.Sprintf("%s: full CPI %.4f outside [%.4f, %.4f] (mean %.4f, %d units)",
+				name, fullCPI, st.CPI.Lower, st.CPI.Upper, st.CPI.Mean, st.Units))
+		}
+		// Even a covering interval is useless if it is vacuously wide: the
+		// sampled estimate must localize CPI to a usable precision.
+		if st.CPI.RelErr > 0.25 {
+			t.Errorf("%s: CPI relative error %.1f%% — interval too wide to be useful", name, 100*st.CPI.RelErr)
+		}
+	}
+	if len(misses) > 1 {
+		t.Errorf("CPI interval missed the full-run CPI in %d/%d families (tolerance 1):\n%s",
+			len(misses), len(fams), joinLines(misses))
+	} else if len(misses) == 1 {
+		t.Logf("one tolerated interval miss (95%% confidence over %d families): %s", len(fams), misses[0])
+	}
+}
+
+// TestSampledSoAMatchesGeneric pins the packed-trace functional
+// fast-forward (skipFunctionalSoA, which reads only the columns each
+// instruction class needs) against the generic streaming one: a sampled run
+// must produce identical cycle counts, event counters, and confidence
+// intervals whichever reader feeds it. Any divergence means the narrow SoA
+// reads changed the warming access sequence.
+func TestSampledSoAMatchesGeneric(t *testing.T) {
+	opts := Options{
+		SampleStartSkip: ciTestStartSkip,
+		SampleDetailed:  ciTestDetailed,
+		SampleSkip:      ciTestSkip,
+	}
+	for _, name := range []string{"gzip", "mcf", "crafty"} {
+		wc, _ := workload.SuiteConfig(name)
+		tr, err := trace.ReadAll(workload.MustNew(wc, 100_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		soa := trace.Pack(tr)
+		fromSoA, err := Run(soa.Reader(), Baseline(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromGeneric, err := Run(tr.Reader(), Baseline(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fromSoA.Cycles != fromGeneric.Cycles || fromSoA.Insts != fromGeneric.Insts ||
+			fromSoA.Mispredicts != fromGeneric.Mispredicts ||
+			fromSoA.ICacheMisses != fromGeneric.ICacheMisses ||
+			fromSoA.LongDMisses != fromGeneric.LongDMisses {
+			t.Errorf("%s: soa (cycles %d insts %d misp %d i$ %d longD %d) != generic (cycles %d insts %d misp %d i$ %d longD %d)",
+				name,
+				fromSoA.Cycles, fromSoA.Insts, fromSoA.Mispredicts, fromSoA.ICacheMisses, fromSoA.LongDMisses,
+				fromGeneric.Cycles, fromGeneric.Insts, fromGeneric.Mispredicts, fromGeneric.ICacheMisses, fromGeneric.LongDMisses)
+		}
+		if fromSoA.Sample == nil || fromGeneric.Sample == nil {
+			t.Fatalf("%s: missing SampleStats (soa %v, generic %v)", name, fromSoA.Sample, fromGeneric.Sample)
+		}
+		if *fromSoA.Sample != *fromGeneric.Sample {
+			t.Errorf("%s: sampling stats diverge:\nsoa:     %+v\ngeneric: %+v", name, *fromSoA.Sample, *fromGeneric.Sample)
+		}
+	}
+}
+
+func joinLines(xs []string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += "\n"
+		}
+		out += "  " + x
+	}
+	return out
+}

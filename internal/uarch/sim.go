@@ -181,8 +181,27 @@ type simulator struct {
 	lastCommitTick uint64
 	warm           *warmSnapshot
 
+	// Run-loop parameters resolved once by initRun so step() stays branchless
+	// on Options defaults.
+	noProgress uint64
+
+	// Sampling measurement units: one entry per completed detailed phase,
+	// recorded at the detailed→skip boundary. unitBase holds the statistics
+	// snapshot at the previous boundary, so each unit is a clean delta.
+	units    []sampleUnit
+	unitBase sampleUnit
+
 	c   counters
 	res *Result
+}
+
+// sampleUnit is the statistics delta covered by one detailed sampling phase.
+// When used as unitBase it holds absolute snapshots instead of deltas.
+type sampleUnit struct {
+	insts       uint64
+	cycles      uint64
+	mispredicts uint64
+	longDMisses uint64
 }
 
 func newSimulator(r trace.Reader, cfg Config, opts Options) (*simulator, error) {
@@ -366,46 +385,75 @@ func (s *simulator) cacheStats() CacheStats {
 const ctxPollMask = 0x3ff
 
 func (s *simulator) run(ctx context.Context) (*Result, error) {
-	noProgress := s.opts.NoProgressCycles
-	if noProgress == 0 {
-		noProgress = 1_000_000
-	}
+	s.initRun()
 	for {
-		more, err := s.moreInsts()
+		done, err := s.step(ctx)
 		if err != nil {
 			return nil, err
 		}
-		if !more && s.fqLen == 0 && s.head == s.tail {
+		if done {
 			break
 		}
-		s.cycle++
-		s.commit()
-		s.issue()
-		s.dispatch()
-		if err := s.fetch(); err != nil {
-			return nil, err
-		}
-		if s.opts.MaxCycles > 0 && s.cycle >= s.opts.MaxCycles {
-			return nil, fmt.Errorf("%w: %s: cycle budget %d exhausted (%d insts committed)",
-				ErrWatchdog, s.cfg.Name, s.opts.MaxCycles, s.committed)
-		}
-		if s.cycle-s.lastCommitTick > noProgress {
-			return nil, fmt.Errorf("%w: %s: no commit in %d cycles at cycle %d (likely a model deadlock)",
-				ErrWatchdog, s.cfg.Name, noProgress, s.cycle)
-		}
-		if s.cycle&ctxPollMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("%w: %s: at cycle %d: %v", ErrCanceled, s.cfg.Name, s.cycle, err)
-			}
+	}
+	return s.finalize(), nil
+}
+
+// initRun resolves the run-loop parameters Options leaves defaulted. It must
+// be called once before the first step.
+func (s *simulator) initRun() {
+	s.noProgress = s.opts.NoProgressCycles
+	if s.noProgress == 0 {
+		s.noProgress = 1_000_000
+	}
+}
+
+// step advances the simulation by exactly one cycle (commit → issue →
+// dispatch → fetch, with the watchdog and cancellation checks of a full run)
+// and reports whether the run is complete. It is the unit the lockstep
+// driver interleaves: because a simulator's transition function reads only
+// its own state, any interleaving of step calls across simulators produces
+// the same per-simulator results as running each to completion serially.
+func (s *simulator) step(ctx context.Context) (bool, error) {
+	more, err := s.moreInsts()
+	if err != nil {
+		return false, err
+	}
+	if !more && s.fqLen == 0 && s.head == s.tail {
+		return true, nil
+	}
+	s.cycle++
+	s.commit()
+	s.issue()
+	s.dispatch()
+	if err := s.fetch(); err != nil {
+		return false, err
+	}
+	if s.opts.MaxCycles > 0 && s.cycle >= s.opts.MaxCycles {
+		return false, fmt.Errorf("%w: %s: cycle budget %d exhausted (%d insts committed)",
+			ErrWatchdog, s.cfg.Name, s.opts.MaxCycles, s.committed)
+	}
+	if s.cycle-s.lastCommitTick > s.noProgress {
+		return false, fmt.Errorf("%w: %s: no commit in %d cycles at cycle %d (likely a model deadlock)",
+			ErrWatchdog, s.cfg.Name, s.noProgress, s.cycle)
+	}
+	if s.cycle&ctxPollMask == 0 {
+		if err := ctx.Err(); err != nil {
+			return false, fmt.Errorf("%w: %s: at cycle %d: %v", ErrCanceled, s.cfg.Name, s.cycle, err)
 		}
 	}
+	return false, nil
+}
+
+// finalize assembles the Result after the last step reported completion.
+func (s *simulator) finalize() *Result {
 	s.res.Insts = s.committed
 	s.res.Cycles = s.cycle
 	s.flushCounters()
 	s.res.Bpred = s.bpredStats()
 	s.res.Caches = s.cacheStats()
 	s.subtractWarmup()
-	return s.res, nil
+	s.finishSampling()
+	return s.res
 }
 
 // flushCounters moves the batched statistics into the Result.
@@ -814,6 +862,7 @@ func (s *simulator) fetch() error {
 			if s.phaseLeft == 0 {
 				s.detailedPhase = false
 				s.phaseLeft = s.opts.SampleSkip
+				s.markUnitBoundary()
 			}
 		}
 		entry := fqEntry{
@@ -990,6 +1039,9 @@ func (s *simulator) fetchWrongPath() {
 // nothing is dispatched, so the skipped instructions never appear in
 // committed counts, events, or records.
 func (s *simulator) skipFunctional(n uint64) error {
+	if s.soa != nil {
+		return s.skipFunctionalSoA(n)
+	}
 	left := n
 	for left > 0 {
 		in, ok, err := s.peek()
@@ -1014,6 +1066,94 @@ func (s *simulator) skipFunctional(n uint64) error {
 		left--
 	}
 	return nil
+}
+
+// skipFunctionalSoA is skipFunctional over the packed trace: the identical
+// predictor and cache access sequence, reading only the columns each
+// instruction class needs instead of assembling a full isa.Inst per record.
+// Fast-forwarding is bounded by memory traffic, so the narrower reads are
+// what make sampled sweeps several times cheaper than detailed ones.
+func (s *simulator) skipFunctionalSoA(n uint64) error {
+	limit := uint64(s.soa.Len())
+	if s.opts.MaxInsts > 0 && s.opts.MaxInsts < limit {
+		limit = s.opts.MaxInsts
+	}
+	s.havePeek = false
+	i := s.fetchIdx
+	var in isa.Inst
+	for ; n > 0 && i < limit; n-- {
+		pc := s.soa.PC[i]
+		if line := pc & s.lineMask; !s.haveFetchLine || line != s.curFetchLine {
+			s.curFetchLine = line
+			s.haveFetchLine = true
+			s.mem.Fetch(pc)
+		}
+		cls := isa.Class(s.soa.Meta[i] & trace.MetaClassMask)
+		switch {
+		case cls.IsMem():
+			s.mem.Data(s.soa.Addr[i])
+		case cls.IsControl():
+			s.soa.InstAt(int(i), &in)
+			s.pred.Access(&in)
+		}
+		i++
+	}
+	s.fetchIdx = i
+	return nil
+}
+
+// markUnitBoundary closes one sampling measurement unit: the statistics
+// delta since the previous boundary. It runs at every detailed→skip
+// transition and once more at the end of the run (the trailing, possibly
+// partial, detailed phase). A boundary before anything committed — possible
+// with very short detailed phases — folds into the next unit instead of
+// producing an undefined CPI observation.
+func (s *simulator) markUnitBoundary() {
+	u := sampleUnit{
+		insts:       s.committed - s.unitBase.insts,
+		cycles:      s.cycle - s.unitBase.cycles,
+		mispredicts: s.c.mispredicts - s.unitBase.mispredicts,
+		longDMisses: s.c.longDMisses - s.unitBase.longDMisses,
+	}
+	if u.insts == 0 {
+		return
+	}
+	s.units = append(s.units, u)
+	s.unitBase = sampleUnit{
+		insts:       s.committed,
+		cycles:      s.cycle,
+		mispredicts: s.c.mispredicts,
+		longDMisses: s.c.longDMisses,
+	}
+}
+
+// finishSampling attaches the per-metric confidence intervals of a sampled
+// run to its Result. Units are per-detailed-phase statistic deltas, so the
+// SMARTS-style estimator treats them as independent systematic samples of
+// the whole trace.
+func (s *simulator) finishSampling() {
+	if !s.opts.sampling() {
+		return
+	}
+	s.markUnitBoundary() // close the trailing partial unit
+	n := len(s.units)
+	insts := make([]float64, n)
+	cycles := make([]float64, n)
+	misp := make([]float64, n)
+	longd := make([]float64, n)
+	for i, u := range s.units {
+		insts[i] = float64(u.insts)
+		cycles[i] = float64(u.cycles)
+		misp[i] = float64(u.mispredicts) * 1000
+		longd[i] = float64(u.longDMisses) * 1000
+	}
+	s.res.Sample = &SampleStats{
+		Units:          n,
+		Confidence:     sampleConfidence,
+		CPI:            newInterval(cycles, insts),
+		MispredictsPKI: newInterval(misp, insts),
+		LongDMissesPKI: newInterval(longd, insts),
+	}
 }
 
 func (s *simulator) event(kind EventKind, idx uint64, lvl cache.Level) {
