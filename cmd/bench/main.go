@@ -36,6 +36,7 @@ import (
 
 	"intervalsim/internal/cluster"
 	"intervalsim/internal/core"
+	"intervalsim/internal/experiments"
 	"intervalsim/internal/overlay"
 	"intervalsim/internal/service"
 	"intervalsim/internal/trace"
@@ -100,34 +101,56 @@ type sweepBench struct {
 	SampledMeanErr  float64 `json:"sampled_cpi_mean_abs_err"`
 }
 
-// clusterFleet is one fleet size of the cluster scale-out benchmark.
+// clusterFleet is one fleet size of the cluster scale-out benchmark. Each
+// fleet partitions the host's real cores across its daemons and is timed
+// twice from cold — with peer cache fills off, then on — so the recorded
+// delta is what fleet-native sharing is worth, and the fill counters say
+// whether the fleet actually computed each artifact once.
 type clusterFleet struct {
-	Daemons    int     `json:"daemons"`
-	Procs      int     `json:"gomaxprocs"` // GOMAXPROCS pinned during this fleet's timing
-	Seconds    float64 `json:"seconds"`
-	Speedup    float64 `json:"speedup"`        // vs the 1-daemon fleet
-	Efficiency float64 `json:"efficiency"`     // speedup / daemons
-	Stolen     int     `json:"stolen_batches"` // work-stealing activity during the run
+	Daemons    int    `json:"daemons"`
+	Skipped    bool   `json:"skipped,omitempty"`
+	SkipReason string `json:"skip_reason,omitempty"`
+	// CoresPerDaemon is this fleet's per-daemon core budget (cores/daemons,
+	// floored at 1) — the daemon's worker count. EffectiveCores is the
+	// GOMAXPROCS pin during the timing: budget × daemons, never more than
+	// the machine has.
+	CoresPerDaemon int     `json:"cores_per_daemon"`
+	EffectiveCores int     `json:"effective_cores"`
+	Seconds        float64 `json:"seconds"`          // cold sweep, peer fills on
+	NoShareSeconds float64 `json:"no_share_seconds"` // cold sweep, peer fills off
+	Speedup        float64 `json:"speedup"`          // vs the 1-daemon fleet (fills on)
+	Efficiency     float64 `json:"efficiency"`       // speedup / daemons
+	Stolen         int     `json:"stolen_batches"`   // work-stealing activity (fills on)
+	// Fleet-aggregated cache and peer-fill counters from the shared run.
+	// Duplicate computations are OverlaysComputed beyond one per benchmark:
+	// zero means every overlay was built exactly once fleet-wide and every
+	// other daemon that needed it filled from a peer.
+	TraceFills        uint64  `json:"peer_trace_fills"`
+	OverlayFills      uint64  `json:"peer_overlay_fills"`
+	TracesComputed    uint64  `json:"traces_computed"`
+	OverlaysComputed  uint64  `json:"overlays_computed"`
+	DuplicateOverlays uint64  `json:"duplicate_overlays"`
+	OverlayHitRate    float64 `json:"overlay_hit_rate"`
+	TraceHitRate      float64 `json:"trace_hit_rate"`
 }
 
-// clusterBench measures distributed-sweep scale-out: the same design-space
-// sweep dispatched through the cluster coordinator to 1, 2, and 4 local
-// intervalsimd daemons (one worker each). Cores records how much hardware
-// parallelism the host actually had, and CoresPerDaemon is the per-daemon
-// core budget each fleet was pinned to (GOMAXPROCS = daemons ×
-// CoresPerDaemon during its timing), so every fleet size sees the same
-// per-daemon hardware and the speedup curve measures scale-out, not the
-// 1-daemon fleet being gifted the whole machine. On a host with fewer cores
-// than the largest fleet the budget floors at one core per daemon and the
-// fleets contend honestly, so the numbers stay interpretable rather than
-// misleading.
+// clusterBench measures distributed-sweep scale-out honestly: a cold
+// two-benchmark design-space grid dispatched through the cluster coordinator
+// to fleets of 1, 2, and 4 in-process daemons. Honest means three things.
+// The host's real cores are partitioned across each fleet (cores/daemons
+// workers per daemon, GOMAXPROCS pinned to the fleet's effective total), so
+// a bigger fleet never borrows parallelism the deployment story wouldn't
+// have. Fleet sizes exceeding the physical core count are skipped and
+// recorded as skipped, not timed as oversubscribed fictions. And every
+// timing starts cold — private per-daemon trace caches, fresh overlay
+// caches — so artifact computation is inside the measurement and the
+// with/without-peer-fill delta is attributable to sharing alone.
 type clusterBench struct {
-	Benchmark      string         `json:"benchmark"`
-	Insts          int            `json:"insts"`
-	Points         int            `json:"points"`
-	Cores          int            `json:"cores"`
-	CoresPerDaemon int            `json:"cores_per_daemon"`
-	Fleets         []clusterFleet `json:"fleets"`
+	Benchmarks []string       `json:"benchmarks"`
+	Insts      int            `json:"insts"`
+	Points     int            `json:"points"` // total across benchmarks
+	Cores      int            `json:"cores"`  // physical parallelism of the host
+	Fleets     []clusterFleet `json:"fleets"`
 }
 
 // benchReport is the BENCH_simulator.json schema.
@@ -246,70 +269,96 @@ func run(quick bool, runs int, stdout io.Writer) (*benchReport, error) {
 	return rep, nil
 }
 
-// measureCluster times the same sweep dispatched through the cluster
-// coordinator to fleets of 1, 2, and 4 local daemons, each with a single
-// worker, so the fleet size is the only parallelism knob. Every daemon is
-// prewarmed (trace resolved, overlay built) before its fleet is timed, so
-// the measurement is steady-state sweep throughput, not setup cost. Each
-// fleet runs with GOMAXPROCS pinned to daemons × cores-per-daemon so the
-// per-daemon core budget is constant across fleet sizes.
+// measureCluster times a cold two-benchmark sweep dispatched through the
+// cluster coordinator to fleets of 1, 2, and 4 in-process daemons. Each
+// fleet partitions the host's cores (cores/daemons workers per daemon,
+// GOMAXPROCS pinned to the effective total) and is timed twice from cold:
+// peer fills off, then on. Fleet sizes larger than the core count are
+// recorded as skipped rather than timed oversubscribed.
 func measureCluster(quick bool, stdout io.Writer) (*clusterBench, error) {
-	name := "crafty"
+	benches := []string{"gzip", "crafty"}
 	insts, widths, depths, robs := 400_000, []int{2, 4, 8}, []int{3, 7}, []int{64, 128}
 	if quick {
 		insts, widths, depths, robs = 100_000, []int{2, 4}, []int{3}, []int{64, 128}
 	}
 	fleets := []int{1, 2, 4}
-	maxFleet := fleets[len(fleets)-1]
 	cb := &clusterBench{
-		Benchmark: name,
-		Insts:     insts,
-		Points:    len(widths) * len(depths) * len(robs),
-		Cores:     runtime.NumCPU(),
+		Benchmarks: benches,
+		Insts:      insts,
+		Points:     len(benches) * len(widths) * len(depths) * len(robs),
+		Cores:      runtime.NumCPU(),
 	}
-	cb.CoresPerDaemon = cb.Cores / maxFleet
-	if cb.CoresPerDaemon < 1 {
-		cb.CoresPerDaemon = 1
-	}
-	fmt.Fprintf(stdout, "cluster %s (%d pts, %d insts) on %d cores, %d core(s) per daemon:\n",
-		name, cb.Points, insts, cb.Cores, cb.CoresPerDaemon)
+	fmt.Fprintf(stdout, "cluster %v (%d pts, %d insts) on %d cores, cold, core-partitioned:\n",
+		benches, cb.Points, insts, cb.Cores)
 
 	for _, n := range fleets {
-		if cb.Cores < n {
-			fmt.Fprintf(stdout, "  note: %d daemons on %d cores; scale-out is core-bound\n", n, cb.Cores)
+		if n > cb.Cores {
+			fl := clusterFleet{
+				Daemons: n, Skipped: true,
+				SkipReason: fmt.Sprintf("%d daemons exceed %d physical cores", n, cb.Cores),
+			}
+			cb.Fleets = append(cb.Fleets, fl)
+			fmt.Fprintf(stdout, "  %d daemon(s): skipped (%s)\n", n, fl.SkipReason)
+			continue
 		}
-		procs := cb.CoresPerDaemon * n
-		secs, stolen, err := timeFleet(n, procs, name, insts, widths, depths, robs)
+		fl := clusterFleet{Daemons: n, CoresPerDaemon: cb.Cores / n}
+		fl.EffectiveCores = fl.CoresPerDaemon * n
+		noShare, _, err := timeFleet(n, fl.CoresPerDaemon, false, benches, insts, widths, depths, robs)
 		if err != nil {
 			return nil, err
 		}
-		fl := clusterFleet{Daemons: n, Procs: procs, Seconds: secs, Stolen: stolen}
+		fl.NoShareSeconds = noShare
+		secs, stats, err := timeFleet(n, fl.CoresPerDaemon, true, benches, insts, widths, depths, robs)
+		if err != nil {
+			return nil, err
+		}
+		fl.Seconds, fl.Stolen = secs, stats.Stolen
+		fc := stats.Caches()
+		fl.TraceFills, fl.OverlayFills = fc.TraceFills, fc.OverlayFills
+		fl.TracesComputed, fl.OverlaysComputed = fc.TracesComputed, fc.OverlaysComputed
+		if distinct := uint64(len(benches)); fc.OverlaysComputed > distinct {
+			fl.DuplicateOverlays = fc.OverlaysComputed - distinct
+		}
+		fl.OverlayHitRate, fl.TraceHitRate = fc.OverlayHitRate(), fc.TraceHitRate()
 		if len(cb.Fleets) > 0 && secs > 0 {
-			fl.Speedup = cb.Fleets[0].Seconds / secs
-			fl.Efficiency = fl.Speedup / float64(n)
+			base := cb.Fleets[0]
+			if base.Seconds > 0 {
+				fl.Speedup = base.Seconds / secs
+				fl.Efficiency = fl.Speedup / float64(n)
+			}
 		} else if secs > 0 {
 			fl.Speedup, fl.Efficiency = 1, 1
 		}
 		cb.Fleets = append(cb.Fleets, fl)
-		fmt.Fprintf(stdout, "  %d daemon(s) @ %d procs: %.2fs (%.2fx, eff %.2f)\n", n, procs, secs, fl.Speedup, fl.Efficiency)
+		fmt.Fprintf(stdout, "  %d daemon(s) @ %d cores each: no-share %.2fs, share %.2fs (%.2fx, eff %.2f); peer fills %d traces + %d overlays, computed %d/%d, dup overlays %d\n",
+			n, fl.CoresPerDaemon, fl.NoShareSeconds, fl.Seconds, fl.Speedup, fl.Efficiency,
+			fl.TraceFills, fl.OverlayFills, fl.TracesComputed, fl.OverlaysComputed, fl.DuplicateOverlays)
 	}
 	return cb, nil
 }
 
-// timeFleet boots n in-process daemons, prewarms them, and times one full
-// distributed sweep across the fleet with GOMAXPROCS pinned to procs for
-// the duration (restored afterwards). Daemons share the bench process, so
-// pinning the process-wide limit to n × cores-per-daemon is what holds each
-// daemon's effective core share constant across fleet sizes.
-func timeFleet(n, procs int, bench string, insts int, widths, depths, robs []int) (float64, int, error) {
-	prev := runtime.GOMAXPROCS(procs)
+// timeFleet boots n cold in-process daemons — each with its own private
+// trace cache and cpd workers — and times one full distributed sweep, with
+// GOMAXPROCS pinned to n × cpd for the duration (restored afterwards).
+// The clock starts before any trace or overlay exists anywhere in the
+// fleet: setup cost is inside the measurement on purpose, because the
+// with/without-sharing delta lives in that setup. share toggles peer cache
+// fills; the returned stats carry the end-of-run /metrics scrapes.
+func timeFleet(n, cpd int, share bool, benches []string, insts int, widths, depths, robs []int) (float64, *cluster.RunStats, error) {
+	prev := runtime.GOMAXPROCS(n * cpd)
 	defer runtime.GOMAXPROCS(prev)
 	ctx := context.Background()
 	endpoints := make([]string, n)
 	servers := make([]*httptest.Server, n)
 	daemons := make([]*service.Server, n)
 	for i := 0; i < n; i++ {
-		daemons[i] = service.New(service.Options{Workers: 1})
+		// A private trace cache per daemon: in-process daemons must not
+		// share artifacts through the process-wide memo, or the no-share
+		// timing would be sharing through the back door.
+		daemons[i] = service.New(service.Options{
+			Workers:    cpd,
+			TraceCache: experiments.NewTraceCache(2 * len(benches)),
+		})
 		servers[i] = httptest.NewServer(daemons[i].Handler())
 		endpoints[i] = servers[i].URL
 	}
@@ -322,35 +371,22 @@ func timeFleet(n, procs int, bench string, insts int, widths, depths, robs []int
 		}
 	}()
 
-	// Prewarm: one point through every daemon resolves the trace and builds
-	// the overlay before the clock starts.
-	for _, ep := range endpoints {
-		_, err := cluster.NewClient(ep).Batch(ctx, service.BatchRequest{
-			Benchmark: bench,
-			Insts:     insts,
-			Decompose: true,
-			Points:    []service.BatchPointSpec{{Seq: 0, Width: widths[0], Depth: depths[0], ROB: robs[0]}},
-		}, func(service.BatchPoint) {})
-		if err != nil {
-			return 0, 0, err
-		}
-	}
-
 	t0 := time.Now()
 	stats, err := cluster.Run(ctx, cluster.Options{
-		Endpoints: endpoints,
-		Benches:   []string{bench},
-		Widths:    widths,
-		Depths:    depths,
-		ROBs:      robs,
-		Insts:     insts,
-		BatchSize: 1,
-		KeepGoing: true,
+		Endpoints:       endpoints,
+		Benches:         benches,
+		Widths:          widths,
+		Depths:          depths,
+		ROBs:            robs,
+		Insts:           insts,
+		BatchSize:       1,
+		KeepGoing:       true,
+		DisablePeerFill: !share,
 	}, func(*cluster.Row) error { return nil })
 	if err != nil {
-		return 0, 0, err
+		return 0, nil, err
 	}
-	return time.Since(t0).Seconds(), stats.Stolen, nil
+	return time.Since(t0).Seconds(), stats, nil
 }
 
 // sweepGrid returns the pinned depth×ROB grid at fixed dispatch width and

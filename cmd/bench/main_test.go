@@ -81,6 +81,34 @@ func TestQuickRun(t *testing.T) {
 	if sw.ModelMeanErr < 0 || sw.ModelMeanErr > 0.25 {
 		t.Errorf("model mean CPI error out of range: %f", sw.ModelMeanErr)
 	}
+	// The cluster fleet block: honest core accounting per fleet. Skipped
+	// fleets must say why; timed fleets must record both cold timings and
+	// must have computed each benchmark's overlay at least once fleet-wide.
+	cl := rep.Cluster
+	if cl == nil {
+		t.Fatal("report has no cluster section")
+	}
+	if len(cl.Benchmarks) != 2 || cl.Cores <= 0 || len(cl.Fleets) == 0 {
+		t.Fatalf("cluster shape wrong: %+v", cl)
+	}
+	for _, fl := range cl.Fleets {
+		if fl.Skipped {
+			if fl.SkipReason == "" || fl.Daemons <= cl.Cores {
+				t.Errorf("fleet %d skipped without honest reason: %+v", fl.Daemons, fl)
+			}
+			continue
+		}
+		if fl.CoresPerDaemon < 1 || fl.EffectiveCores != fl.CoresPerDaemon*fl.Daemons || fl.EffectiveCores > cl.Cores {
+			t.Errorf("fleet %d core accounting wrong: %+v", fl.Daemons, fl)
+		}
+		if fl.Seconds <= 0 || fl.NoShareSeconds <= 0 {
+			t.Errorf("fleet %d timings not recorded: %+v", fl.Daemons, fl)
+		}
+		if fl.OverlaysComputed+fl.OverlayFills < uint64(len(cl.Benchmarks)) {
+			t.Errorf("fleet %d: %d overlays computed + %d filled, want >= %d benchmarks",
+				fl.Daemons, fl.OverlaysComputed, fl.OverlayFills, len(cl.Benchmarks))
+		}
+	}
 }
 
 func TestUsageErrors(t *testing.T) {

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +45,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	storeDir := fs.String("store", "", "durable result-store directory (empty = in-memory only)")
 	tenantQuota := fs.Int("tenant-quota", 0, "max admitted jobs per tenant (0 = unlimited)")
+	peers := fs.String("peers", "", "comma-separated peer base URLs for fleet cache fills (the cluster coordinator's X-Peers header overrides this at runtime)")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,12 +69,17 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 			*storeDir, sn.Records, sn.RecoveredRecords, sn.TruncatedBytes, sn.IndexRebuilt)
 	}
 
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
 	srv := service.New(service.Options{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 		TenantQuota:    *tenantQuota,
 		Store:          st,
+		Peers:          peerList,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

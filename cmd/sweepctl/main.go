@@ -79,8 +79,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	retries := fs.Int("retries", 1, "dispatch retries per batch per node before handing it back to the fleet")
 	keepGoing := fs.Bool("keep-going", true, "continue past failed design points (successful rows are always emitted)")
 	stealAfter := fs.Duration("steal-after", 5*time.Second, "steal a batch from a node after it has been in flight this long")
+	ringReplicas := fs.Int("ring-replicas", 0, "consistent-hash virtual nodes per endpoint (0 = default 64)")
+	peerFill := fs.Bool("peer-fill", true, "advertise the fleet to each daemon so they fill trace/overlay caches from peers")
 	format := fs.String("format", "csv", "output format: csv (cmd/sweep-compatible) or ndjson (raw values)")
-	dryRun := fs.Bool("dry-run", false, "print the shard plan without dispatching")
+	dryRun := fs.Bool("dry-run", false, "print the shard plan and ring assignment without dispatching")
 	showVersion := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -118,6 +120,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sweepctl: unknown format %q (want csv or ndjson)\n", *format)
 		return 2
 	}
+	if *ringReplicas < 0 {
+		fmt.Fprintf(stderr, "sweepctl: bad -ring-replicas %d (want a positive count, or 0 for the default)\n", *ringReplicas)
+		return 2
+	}
 	ws, err := splitInts(*widths)
 	if err == nil && len(ws) == 0 {
 		err = fmt.Errorf("empty -widths")
@@ -141,12 +147,19 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *dryRun {
-		plan, err := cluster.BuildPlan(eps, benches, ws, ds, rs, *batch)
+		// Hash the same normalized base URLs the live run hashes, so the
+		// printed ring assignment matches what a real dispatch would do.
+		bases := make([]string, len(eps))
+		for i, e := range eps {
+			bases[i] = cluster.NewClient(e).Base
+		}
+		plan, err := cluster.BuildPlan(bases, benches, ws, ds, rs, *batch, *ringReplicas)
 		if err != nil {
 			fmt.Fprintln(stderr, "sweepctl:", err)
 			return 1
 		}
 		plan.Fprint(stdout)
+		plan.FprintRing(stdout)
 		return 0
 	}
 
@@ -154,19 +167,21 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	defer stop()
 
 	opts := cluster.Options{
-		Endpoints:    eps,
-		Benches:      benches,
-		Widths:       ws,
-		Depths:       ds,
-		ROBs:         rs,
-		Mode:         *mode,
-		Insts:        *insts,
-		Warmup:       *warmup,
-		BatchSize:    *batch,
-		PointTimeout: *timeout,
-		Retries:      *retries,
-		KeepGoing:    *keepGoing,
-		StealAfter:   *stealAfter,
+		Endpoints:       eps,
+		Benches:         benches,
+		Widths:          ws,
+		Depths:          ds,
+		ROBs:            rs,
+		Mode:            *mode,
+		Insts:           *insts,
+		Warmup:          *warmup,
+		BatchSize:       *batch,
+		PointTimeout:    *timeout,
+		Retries:         *retries,
+		KeepGoing:       *keepGoing,
+		StealAfter:      *stealAfter,
+		RingReplicas:    *ringReplicas,
+		DisablePeerFill: !*peerFill,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		},

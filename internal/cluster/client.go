@@ -38,6 +38,11 @@ type Client struct {
 	// daemon advertising a long drain never wedges a dispatcher that could
 	// steal work elsewhere; 0 means 10s.
 	MaxRetryAfter time.Duration
+
+	// Peers is the coordinator's fleet view minus this daemon, stamped on
+	// every batch dispatch as the X-Peers header so the daemon can fill its
+	// trace/overlay caches from the rest of the fleet instead of recomputing.
+	Peers []string
 }
 
 // NewClient returns a client for endpoint, accepting bare host:port
@@ -156,6 +161,9 @@ func (c *Client) post(ctx context.Context, url string, body []byte) (*http.Respo
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if len(c.Peers) > 0 {
+		req.Header.Set("X-Peers", strings.Join(c.Peers, ","))
+	}
 	return c.httpClient().Do(req)
 }
 

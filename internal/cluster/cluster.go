@@ -59,6 +59,14 @@ type Options struct {
 	// StealAfter is how long a batch may be in flight before an idle node
 	// steals it; 0 means a 5s default, negative disables stealing.
 	StealAfter time.Duration
+	// RingReplicas is the consistent-hash ring's virtual-node count per
+	// endpoint (0 = default 64).
+	RingReplicas int
+	// DisablePeerFill stops the coordinator from advertising the fleet to
+	// each daemon (the X-Peers header), so daemons compute every artifact
+	// locally. Sharing is on by default: it only saves work and the merged
+	// output is identical either way.
+	DisablePeerFill bool
 
 	HTTP *http.Client                     // optional transport override
 	Logf func(format string, args ...any) // optional progress/diagnostic log
@@ -101,6 +109,63 @@ type RunStats struct {
 	Nodes   []NodeStats
 }
 
+// FleetCaches aggregates the per-daemon cache and peer-fill counters from
+// the end-of-sweep /metrics scrapes into one fleet view — the numbers that
+// say whether scale-out actually shared work: fleet-wide artifact compute
+// counts (duplicates show up as computed > distinct artifacts), peer-fill
+// hits, and combined hit rates.
+type FleetCaches struct {
+	Scraped int // nodes whose /metrics answered
+
+	OverlayHits, OverlayMisses uint64
+	TraceHits, TraceMisses     uint64
+
+	TraceFills, OverlayFills         uint64
+	TracesComputed, OverlaysComputed uint64
+	FillBytesFetched, FillBytesServed uint64
+	FillErrors                        uint64
+}
+
+// OverlayHitRate is the fleet-combined overlay-cache hit rate.
+func (f FleetCaches) OverlayHitRate() float64 {
+	if f.OverlayHits+f.OverlayMisses == 0 {
+		return 0
+	}
+	return float64(f.OverlayHits) / float64(f.OverlayHits+f.OverlayMisses)
+}
+
+// TraceHitRate is the fleet-combined trace-cache hit rate.
+func (f FleetCaches) TraceHitRate() float64 {
+	if f.TraceHits+f.TraceMisses == 0 {
+		return 0
+	}
+	return float64(f.TraceHits) / float64(f.TraceHits+f.TraceMisses)
+}
+
+// Caches sums the scraped per-node cache and peer-fill counters.
+func (rs *RunStats) Caches() FleetCaches {
+	var f FleetCaches
+	for _, n := range rs.Nodes {
+		m := n.Metrics
+		if m == nil {
+			continue
+		}
+		f.Scraped++
+		f.OverlayHits += m.OverlayCache.Hits
+		f.OverlayMisses += m.OverlayCache.Misses
+		f.TraceHits += m.TraceCache.Hits
+		f.TraceMisses += m.TraceCache.Misses
+		f.TraceFills += m.PeerFill.TraceFills
+		f.OverlayFills += m.PeerFill.OverlayFills
+		f.TracesComputed += m.PeerFill.TracesComputed
+		f.OverlaysComputed += m.PeerFill.OverlaysComputed
+		f.FillBytesFetched += m.PeerFill.BytesFetched
+		f.FillBytesServed += m.PeerFill.BytesServed
+		f.FillErrors += m.PeerFill.Errors
+	}
+	return f
+}
+
 // nodeAcc is the mutable per-endpoint bookkeeping behind NodeStats.
 type nodeAcc struct {
 	mu      sync.Mutex
@@ -125,12 +190,47 @@ type run struct {
 	mode   string
 	sched  *scheduler
 	merger *Merger
+	ring   *Ring
+	keys   []string // distinct shard keys of the plan, in batch order
 	cancel context.CancelCauseFunc
 	logf   func(string, ...any)
 	nodes  map[string]*nodeAcc
 
 	mu       sync.Mutex
 	firstErr error
+	dead     map[string]bool // nodes down at probe or abandoned mid-sweep
+}
+
+// markDead records a node as unusable and rebalances every unfinished
+// batch's affinity onto the surviving fleet with the same bounded-load ring
+// assignment the plan was built with: the dead node's shard keys move to
+// their ring successors, keys of live nodes stay put unless the load bound
+// forces a shuffle, so live nodes keep their hot caches.
+// planKeys returns the plan's distinct shard keys in batch order — the key
+// universe the bounded-load rebalance re-assigns on node death.
+func planKeys(p Plan) []string {
+	seen := make(map[string]bool)
+	var keys []string
+	for _, b := range p.Batches {
+		if !seen[b.Key] {
+			seen[b.Key] = true
+			keys = append(keys, b.Key)
+		}
+	}
+	return keys
+}
+
+func (r *run) markDead(endpoint string) {
+	r.mu.Lock()
+	r.dead[endpoint] = true
+	dead := make(map[string]bool, len(r.dead))
+	for k, v := range r.dead {
+		dead[k] = v
+	}
+	r.mu.Unlock()
+	alive := func(n string) bool { return !dead[n] }
+	assign := r.ring.AssignBounded(r.keys, alive)
+	r.sched.reassign(func(key string) string { return assign[key] })
 }
 
 // Run executes a sweep across the fleet, delivering merged rows to emit in
@@ -158,19 +258,33 @@ func Run(ctx context.Context, opts Options, emit func(*Row) error) (*RunStats, e
 	if opts.Insts <= 0 {
 		return nil, fmt.Errorf("cluster: non-positive insts %d", opts.Insts)
 	}
-	plan, err := BuildPlan(opts.Endpoints, opts.Benches, opts.Widths, opts.Depths, opts.ROBs, opts.BatchSize)
-	if err != nil {
-		return nil, err
-	}
 	stealAfter := opts.StealAfter
 	if stealAfter == 0 {
 		stealAfter = 5 * time.Second
 	}
 
 	clients := make([]*Client, len(opts.Endpoints))
+	bases := make([]string, len(opts.Endpoints))
 	for i, ep := range opts.Endpoints {
 		clients[i] = NewClient(ep)
 		clients[i].HTTP = opts.HTTP
+		bases[i] = clients[i].Base
+	}
+	// The plan's ring is built over the clients' normalized base URLs, so
+	// ring ownership, scheduler affinity, and runner identity all use the
+	// same node names.
+	plan, err := BuildPlan(bases, opts.Benches, opts.Widths, opts.Depths, opts.ROBs, opts.BatchSize, opts.RingReplicas)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.DisablePeerFill && len(clients) > 1 {
+		for i, c := range clients {
+			for j, p := range clients {
+				if i != j {
+					c.Peers = append(c.Peers, p.Base)
+				}
+			}
+		}
 	}
 	up := probeFleet(ctx, clients, 2*time.Second)
 	healthy := 0
@@ -191,12 +305,22 @@ func Run(ctx context.Context, opts Options, emit func(*Row) error) (*RunStats, e
 		mode:   mode,
 		sched:  newScheduler(plan, stealAfter),
 		merger: NewMerger(plan.Points, emit),
+		ring:   plan.Ring,
+		keys:   planKeys(plan),
 		cancel: cancel,
 		logf:   logf,
 		nodes:  make(map[string]*nodeAcc, len(clients)),
+		dead:   make(map[string]bool),
 	}
 	for i, c := range clients {
 		r.nodes[c.Base] = &nodeAcc{healthy: up[i], lat: stats.NewSample(1024)}
+	}
+	// Nodes that failed the initial probe never run; move their shard keys to
+	// ring successors now so affinity reflects the live fleet from the start.
+	for i, c := range clients {
+		if !up[i] {
+			r.markDead(c.Base)
+		}
 	}
 
 	// Steal-age crossings don't signal the scheduler's cond on their own;
@@ -283,6 +407,10 @@ func (r *run) runEndpoint(ctx context.Context, c *Client) {
 				acc.mu.Lock()
 				acc.dead = true
 				acc.mu.Unlock()
+				// Rebalance: hand the dead node's shard keys to their ring
+				// successors so the fleet absorbs its work by affinity, not
+				// only by steal.
+				r.markDead(c.Base)
 				return
 			}
 			continue
@@ -433,5 +561,10 @@ func (rs *RunStats) FprintSummary(w io.Writer) {
 	if hits+misses > 0 {
 		fmt.Fprintf(w, "cluster: fleet caches: %.0f%% hit (%d hits, %d misses)\n",
 			100*float64(hits)/float64(hits+misses), hits, misses)
+	}
+	if f := rs.Caches(); f.TraceFills+f.OverlayFills+f.FillErrors > 0 {
+		fmt.Fprintf(w, "cluster: peer fills: %d traces, %d overlays fetched (%.1f MB); computed fleet-wide: %d traces, %d overlays; %d fill errors\n",
+			f.TraceFills, f.OverlayFills, float64(f.FillBytesFetched)/1e6,
+			f.TracesComputed, f.OverlaysComputed, f.FillErrors)
 	}
 }

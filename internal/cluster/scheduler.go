@@ -16,22 +16,28 @@ import (
 type Batch struct {
 	ID    int
 	Bench string
-	// Affinity is the endpoint this batch prefers. All of a benchmark's
-	// batches share an affinity group, so each daemon decodes and packs the
-	// benchmark's trace (and builds its miss-event overlay) once and then
-	// serves the rest of that benchmark's shards from its caches. Affinity
-	// is a preference, not an assignment: an idle node takes any pending
-	// batch, and a stalled batch is stolen outright.
+	// Key is the batch's consistent-hash shard key: the benchmark plus its
+	// config group. Affinity is derived from it (Ring.Owner), and re-derived
+	// against the surviving ring when a node dies.
+	Key string
+	// Affinity is the endpoint this batch prefers — the ring owner of Key.
+	// A shard key groups a benchmark's batches, so each daemon decodes and
+	// packs the benchmark's trace (and builds its miss-event overlay) once
+	// and then serves the rest of that benchmark's shards from its caches.
+	// Affinity is a preference, not an assignment: an idle node takes any
+	// pending batch, and a stalled batch is stolen outright.
 	Affinity string
 	Specs    []service.BatchPointSpec
 }
 
 // Plan is the sharding of a sweep across a fleet: every design point of
-// every benchmark, exactly once, in batches keyed by workload.
+// every benchmark, exactly once, in batches keyed by workload, with
+// affinities assigned by the consistent-hash ring over the endpoints.
 type Plan struct {
 	Batches   []Batch
 	Benches   []string
 	Endpoints []string
+	Ring      *Ring
 	Points    int // total design points across all batches
 }
 
@@ -41,17 +47,25 @@ type Plan struct {
 // so the merged output of a distributed run is comparable (for a single
 // benchmark: byte-identical) to a single-process sweep.
 //
-// Affinity assignment keys shards by workload. With at least as many
-// benchmarks as endpoints, benchmark i prefers endpoint i mod E. With fewer,
-// each benchmark gets a near-equal contiguous group of endpoints and its
-// batches round-robin within the group — every node stays busy while still
-// seeing only one benchmark's trace.
+// Affinity comes from the consistent-hash ring over the endpoints: each
+// batch carries a shard key — its benchmark plus a config group — and
+// prefers the bounded-load ring assignment of that key (Ring.AssignBounded:
+// clockwise ownership, but no node takes more than its fair ceiling of
+// keys, so a small key set still spreads over the fleet). With at least as
+// many benchmarks as endpoints, each benchmark is one key (one owner packs
+// its trace). With fewer benchmarks, each benchmark's batches round-robin
+// over ceil(E/B) group keys so every node can stay busy while still seeing
+// few distinct traces. Ownership is a preference: the work-stealing
+// scheduler and (on node death) ring-successor reassignment move shards
+// freely, and peer cache fills keep a moved shard from recomputing its
+// artifacts.
 //
-// batchSize 0 picks a default that gives each endpoint several batches
-// (total/(4·E), floored at 1): small enough that work stealing has units to
-// move when a node slows down, large enough to amortize per-shard dispatch
-// and trace-resolution costs.
-func BuildPlan(endpoints, benches []string, widths, depths, robs []int, batchSize int) (Plan, error) {
+// ringReplicas is the virtual-node count per endpoint (<= 0 selects the
+// default). batchSize 0 picks a default that gives each endpoint several
+// batches (total/(4·E), floored at 1): small enough that work stealing has
+// units to move when a node slows down, large enough to amortize per-shard
+// dispatch and trace-resolution costs.
+func BuildPlan(endpoints, benches []string, widths, depths, robs []int, batchSize, ringReplicas int) (Plan, error) {
 	if len(endpoints) == 0 {
 		return Plan{}, fmt.Errorf("cluster: no endpoints")
 	}
@@ -70,40 +84,32 @@ func BuildPlan(endpoints, benches []string, widths, depths, robs []int, batchSiz
 		}
 	}
 
-	// Affinity groups: which endpoints serve which benchmark.
-	groups := make([][]string, len(benches))
-	if len(benches) >= len(endpoints) {
-		for i := range benches {
-			groups[i] = endpoints[i%len(endpoints) : i%len(endpoints)+1]
-		}
-	} else {
-		base, extra := len(endpoints)/len(benches), len(endpoints)%len(benches)
-		at := 0
-		for i := range benches {
-			n := base
-			if i < extra {
-				n++
-			}
-			groups[i] = endpoints[at : at+n]
-			at += n
-		}
+	ring := NewRing(endpoints, ringReplicas)
+	// Config groups per benchmark: one when benchmarks cover the fleet,
+	// ceil(E/B) when there are spare endpoints, so the key count is at least
+	// the endpoint count and work can spread.
+	ngroups := 1
+	if len(benches) < len(endpoints) {
+		ngroups = (len(endpoints) + len(benches) - 1) / len(benches)
 	}
 
-	plan := Plan{Benches: benches, Endpoints: endpoints, Points: total}
+	plan := Plan{Benches: benches, Endpoints: endpoints, Ring: ring, Points: total}
 	seq := 0
-	for bi, bench := range benches {
-		group := groups[bi]
+	var keys []string
+	for _, bench := range benches {
 		var specs []service.BatchPointSpec
 		slot := 0
 		flush := func() {
 			if len(specs) == 0 {
 				return
 			}
+			key := fmt.Sprintf("%s#g%d", bench, slot%ngroups)
+			keys = append(keys, key)
 			plan.Batches = append(plan.Batches, Batch{
-				ID:       len(plan.Batches),
-				Bench:    bench,
-				Affinity: group[slot%len(group)],
-				Specs:    specs,
+				ID:    len(plan.Batches),
+				Bench: bench,
+				Key:   key,
+				Specs: specs,
 			})
 			slot++
 			specs = nil
@@ -120,6 +126,10 @@ func BuildPlan(endpoints, benches []string, widths, depths, robs []int, batchSiz
 			}
 		}
 		flush()
+	}
+	assign := ring.AssignBounded(keys, nil)
+	for i := range plan.Batches {
+		plan.Batches[i].Affinity = assign[plan.Batches[i].Key]
 	}
 	return plan, nil
 }
@@ -161,10 +171,25 @@ type scheduler struct {
 	completed  int
 	stolen     int
 	stopped    bool
+
+	// Per-shard-key cold-herd accounting: how many of a key's batches have
+	// completed (the key is "warm" once any did — its owner has the trace
+	// and overlay resident and serves peer fills), and how many are in
+	// flight right now. A runner falling back to non-affinity work skips a
+	// cold key that another node is already pioneering, so a cold fleet
+	// never duplicates an expensive artifact computation out of impatience;
+	// the steal path (demonstrably slow or dead pioneer) still overrides.
+	keyDone     map[string]int
+	keyInflight map[string]int
 }
 
 func newScheduler(plan Plan, stealAfter time.Duration) *scheduler {
-	s := &scheduler{stealAfter: stealAfter, now: time.Now}
+	s := &scheduler{
+		stealAfter:  stealAfter,
+		now:         time.Now,
+		keyDone:     make(map[string]int),
+		keyInflight: make(map[string]int),
+	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := range plan.Batches {
 		st := &batchState{Batch: plan.Batches[i]}
@@ -195,8 +220,13 @@ func (s *scheduler) next(endpoint string) *batchState {
 	}
 }
 
-// takePending pops the first affinity match, falling back to the head of the
-// queue. Caller holds mu.
+// takePending pops the first affinity match, falling back to the first
+// pending batch whose shard key is safe to take: warm (some batch of it
+// already completed, so its artifacts are fill-servable) or entirely idle
+// (no batch in flight — this runner becomes the key's pioneer). A cold key
+// another node is actively pioneering is skipped; racing it would duplicate
+// the trace and overlay computation peer fills exist to avoid. Caller
+// holds mu.
 func (s *scheduler) takePending(endpoint string) *batchState {
 	pick := -1
 	for i, st := range s.pending {
@@ -205,8 +235,13 @@ func (s *scheduler) takePending(endpoint string) *batchState {
 			break
 		}
 	}
-	if pick < 0 && len(s.pending) > 0 {
-		pick = 0
+	if pick < 0 {
+		for i, st := range s.pending {
+			if s.keyDone[st.Key] > 0 || s.keyInflight[st.Key] == 0 {
+				pick = i
+				break
+			}
+		}
 	}
 	if pick < 0 {
 		return nil
@@ -214,6 +249,7 @@ func (s *scheduler) takePending(endpoint string) *batchState {
 	st := s.pending[pick]
 	s.pending = append(s.pending[:pick], s.pending[pick+1:]...)
 	st.inflight = true
+	s.keyInflight[st.Key]++
 	st.runners++
 	st.started = s.now()
 	st.attempts++
@@ -256,7 +292,11 @@ func (s *scheduler) complete(st *batchState) {
 	st.runners--
 	if !st.done {
 		st.done = true
-		st.inflight = false
+		if st.inflight {
+			st.inflight = false
+			s.keyInflight[st.Key]--
+		}
+		s.keyDone[st.Key]++
 		s.completed++
 	}
 	s.cond.Broadcast()
@@ -270,8 +310,29 @@ func (s *scheduler) fail(st *batchState) {
 	defer s.mu.Unlock()
 	st.runners--
 	if !st.done && st.runners == 0 {
-		st.inflight = false
+		if st.inflight {
+			st.inflight = false
+			s.keyInflight[st.Key]--
+		}
 		s.pending = append(s.pending, st)
+	}
+	s.cond.Broadcast()
+}
+
+// reassign re-derives every unfinished batch's affinity from its shard key —
+// the node-death rebalance. owner is typically Ring.OwnerAmong over the
+// surviving nodes, so only the dead node's keys move (ring minimal churn);
+// in-flight batches are updated too, covering a later fail-and-requeue.
+func (s *scheduler) reassign(owner func(key string) string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.all {
+		if st.done {
+			continue
+		}
+		if next := owner(st.Key); next != "" {
+			st.Affinity = next
+		}
 	}
 	s.cond.Broadcast()
 }

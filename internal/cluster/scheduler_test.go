@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
+
+	"intervalsim/internal/service"
 )
 
 func planSeqs(p Plan) []int {
@@ -19,7 +22,7 @@ func planSeqs(p Plan) []int {
 // TestBuildPlanCanonicalOrder: sequence numbers enumerate benchmark-major,
 // then width, depth, rob — cmd/sweep's grid order.
 func TestBuildPlanCanonicalOrder(t *testing.T) {
-	p, err := BuildPlan([]string{"a"}, []string{"gzip", "gcc"}, []int{2, 4}, []int{3}, []int{64, 128}, 3)
+	p, err := BuildPlan([]string{"a"}, []string{"gzip", "gcc"}, []int{2, 4}, []int{3}, []int{64, 128}, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,35 +54,68 @@ func TestBuildPlanCanonicalOrder(t *testing.T) {
 	}
 }
 
-// TestBuildPlanAffinity: with benchmarks ≥ endpoints each benchmark pins to
-// one node; with fewer benchmarks each gets a group and round-robins in it.
+// TestBuildPlanAffinity: with benchmarks ≥ endpoints each benchmark is one
+// shard key whose batches all share one owner; with fewer benchmarks each
+// benchmark splits into config groups so keys cover the fleet. Affinities
+// come from the bounded-load ring assignment, so no endpoint holds more than
+// its fair ceiling of keys and every endpoint gets work.
 func TestBuildPlanAffinity(t *testing.T) {
-	// 3 benches over 2 endpoints: i mod E.
-	p, err := BuildPlan([]string{"a", "b"}, []string{"x", "y", "z"}, []int{2}, []int{3}, []int{64, 128}, 1)
+	// 3 benches over 2 endpoints: one key per benchmark, cap ceil(3/2)=2.
+	p, err := BuildPlan([]string{"a", "b"}, []string{"x", "y", "z"}, []int{2}, []int{3}, []int{64, 128}, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	eps := map[string]bool{"a": true, "b": true}
+	byBench := map[string]string{}
 	for _, b := range p.Batches {
-		want := map[string]string{"x": "a", "y": "b", "z": "a"}[b.Bench]
-		if b.Affinity != want {
-			t.Fatalf("bench %s batch affinity = %s, want %s", b.Bench, b.Affinity, want)
+		if b.Key != b.Bench+"#g0" {
+			t.Fatalf("bench %s batch key = %q, want %q", b.Bench, b.Key, b.Bench+"#g0")
+		}
+		if !eps[b.Affinity] {
+			t.Fatalf("bench %s affinity = %q, not an endpoint", b.Bench, b.Affinity)
+		}
+		if prev, ok := byBench[b.Bench]; ok && prev != b.Affinity {
+			t.Fatalf("bench %s batches split across %s and %s; one key must own them all",
+				b.Bench, prev, b.Affinity)
+		}
+		byBench[b.Bench] = b.Affinity
+	}
+	load := map[string]int{}
+	for _, owner := range byBench {
+		load[owner]++
+	}
+	for ep := range eps {
+		if load[ep] < 1 || load[ep] > 2 {
+			t.Fatalf("endpoint %s owns %d of 3 keys; bounded assignment wants 1–2 (load %v)", ep, load[ep], load)
 		}
 	}
-	// 1 bench over 3 endpoints: batches round-robin the whole fleet.
-	p, err = BuildPlan([]string{"a", "b", "c"}, []string{"x"}, []int{2, 4, 8}, []int{3}, []int{64}, 1)
+	// 1 bench over 3 endpoints: ceil(E/B)=3 config groups so every node can
+	// own a key; batches cycle the group keys, and with cap ceil(3/3)=1 each
+	// endpoint owns exactly one.
+	p, err = BuildPlan([]string{"a", "b", "c"}, []string{"x"}, []int{2, 4, 8}, []int{3}, []int{64}, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := []string{p.Batches[0].Affinity, p.Batches[1].Affinity, p.Batches[2].Affinity}
-	if strings.Join(got, ",") != "a,b,c" {
-		t.Fatalf("round-robin affinities = %v", got)
+	owners := map[string]bool{}
+	for i, b := range p.Batches {
+		want := fmt.Sprintf("x#g%d", i%3)
+		if b.Key != want {
+			t.Fatalf("batch %d key = %q, want %q", i, b.Key, want)
+		}
+		owners[b.Affinity] = true
+	}
+	if len(p.Batches) != 3 {
+		t.Fatalf("batches = %d, want 3", len(p.Batches))
+	}
+	if len(owners) != 3 {
+		t.Fatalf("3 keys over 3 endpoints landed on %d owners %v; bounded assignment wants all three", len(owners), owners)
 	}
 }
 
 // TestBuildPlanAutoBatchSize: the default gives each endpoint several
 // batches so stealing has units to move.
 func TestBuildPlanAutoBatchSize(t *testing.T) {
-	p, err := BuildPlan([]string{"a", "b"}, []string{"x"}, []int{2, 4, 8}, []int{3, 7, 11}, []int{64, 128, 256}, 0)
+	p, err := BuildPlan([]string{"a", "b"}, []string{"x"}, []int{2, 4, 8}, []int{3, 7, 11}, []int{64, 128, 256}, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,10 +134,14 @@ func TestBuildPlanAutoBatchSize(t *testing.T) {
 // with a fake clock: affinity match, then any pending, then stealing an
 // in-flight batch past the steal age.
 func TestSchedulerAffinityPendingSteal(t *testing.T) {
-	p, err := BuildPlan([]string{"a", "b"}, []string{"x", "y"}, []int{2}, []int{3}, []int{64}, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
+	// Hand-built plan with explicit affinities: the test exercises the
+	// scheduler's preference order, not the ring's hash placement.
+	p := Plan{Batches: []Batch{
+		{ID: 0, Bench: "x", Key: "x#g0", Affinity: "a",
+			Specs: []service.BatchPointSpec{{Seq: 0, Width: 2, Depth: 3, ROB: 64}}},
+		{ID: 1, Bench: "y", Key: "y#g0", Affinity: "b",
+			Specs: []service.BatchPointSpec{{Seq: 1, Width: 2, Depth: 3, ROB: 64}}},
+	}}
 	s := newScheduler(p, 100*time.Millisecond)
 	now := time.Unix(1000, 0)
 	s.now = func() time.Time { return now }
@@ -148,7 +188,7 @@ func TestSchedulerAffinityPendingSteal(t *testing.T) {
 // TestSchedulerRequeueOnLastFailure: a batch whose every runner failed goes
 // back on the pending queue for the fleet.
 func TestSchedulerRequeueOnLastFailure(t *testing.T) {
-	p, err := BuildPlan([]string{"a"}, []string{"x"}, []int{2}, []int{3}, []int{64}, 1)
+	p, err := BuildPlan([]string{"a"}, []string{"x"}, []int{2}, []int{3}, []int{64}, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

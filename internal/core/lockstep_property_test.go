@@ -26,6 +26,9 @@ func randomKSet(seed uint64) []uarch.Config {
 		c.FrontendDepth = 3 + pick(sh, 9)
 		c.ROBSize = 32 + 16*pick(sh+2, 15)
 		c.IQSize = 8 + 8*pick(sh+4, 8)
+		if c.IQSize > c.ROBSize { // the validator rejects a queue wider than the window
+			c.IQSize = c.ROBSize
+		}
 		w := 1 << pick(sh+6, 3) // 1, 2 or 4 wide
 		c.FetchWidth, c.DispatchWidth, c.IssueWidth, c.CommitWidth = w, w, w, w
 		cfgs[i] = c

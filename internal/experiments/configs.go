@@ -40,13 +40,9 @@ func Point(width, depth, rob int) uarch.Config {
 // long-lived callers outside the experiment suite (the intervalsimd
 // daemon) use to amortize trace generation across requests.
 func SharedTrace(wc workload.Config, insts int) (*trace.Trace, *trace.SoA, error) {
-	st, err := suiteTraceFor(wc, insts)
-	if err != nil {
-		return nil, nil, err
-	}
-	return st.tr, st.soa, nil
+	return DefaultTraceCache.Shared(wc, insts)
 }
 
 // TraceCacheCounters returns the shared trace memo's counter snapshot, for
 // observability surfaces like intervalsimd's /metrics.
-func TraceCacheCounters() harness.MemoStats { return traceMemo.Counters() }
+func TraceCacheCounters() harness.MemoStats { return DefaultTraceCache.Counters() }

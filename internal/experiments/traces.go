@@ -26,24 +26,76 @@ type traceKey struct {
 	insts int
 }
 
-// traceMemo shares generated traces across experiments: `experiments all`
-// asks for the same (workload, insts) pair from many experiments, and
-// regenerating + repacking a multimillion-instruction trace each time was
-// the second-largest cost after simulation itself. The capacity covers the
-// ten-workload suite plus the E6/E8 variants; at the default 2M instructions
-// an entry is ~200MB, well within the memory the experiment suite budgets.
-var traceMemo = harness.NewMemo[traceKey, *suiteTrace](24)
+// TraceCache is a bounded single-flight cache of generated workload traces.
+// The process-wide DefaultTraceCache shares traces across experiments:
+// `experiments all` asks for the same (workload, insts) pair from many
+// experiments, and regenerating + repacking a multimillion-instruction trace
+// each time was the second-largest cost after simulation itself. Services
+// that need isolation — e.g. cmd/bench booting several in-process daemons
+// that must not silently share artifacts — construct private instances.
+type TraceCache struct {
+	memo *harness.Memo[traceKey, *suiteTrace]
+}
 
-// suiteTraceFor returns the shared trace for (wc, insts), generating and
-// packing it on first use.
-func suiteTraceFor(wc workload.Config, insts int) (*suiteTrace, error) {
-	return traceMemo.Get(traceKey{wc: wc, insts: insts}, func() (*suiteTrace, error) {
+// NewTraceCache returns a TraceCache bounded to capacity traces.
+func NewTraceCache(capacity int) *TraceCache {
+	return &TraceCache{memo: harness.NewMemo[traceKey, *suiteTrace](capacity)}
+}
+
+// DefaultTraceCache is the process-wide shared trace cache. The capacity
+// covers the ten-workload suite plus the E6/E8 variants; at the default 2M
+// instructions an entry is ~200MB, well within the memory the experiment
+// suite budgets.
+var DefaultTraceCache = NewTraceCache(24)
+
+// get returns the cached trace for (wc, insts), generating and packing it
+// on first use. fill, when non-nil, is consulted on a miss before local
+// generation: if it produces a packed trace (e.g. fetched from a fleet
+// peer), the record layout is reconstructed from it with Unpack instead of
+// regenerating the workload. Unpack is exact — Pack is lossless — so both
+// layouts are identical to locally generated ones.
+func (c *TraceCache) get(wc workload.Config, insts int, fill func() *trace.SoA) (*suiteTrace, error) {
+	return c.memo.Get(traceKey{wc: wc, insts: insts}, func() (*suiteTrace, error) {
+		if fill != nil {
+			if soa := fill(); soa != nil {
+				return &suiteTrace{tr: soa.Unpack(), soa: soa}, nil
+			}
+		}
 		tr, err := trace.ReadAll(workload.MustNew(wc, insts))
 		if err != nil {
 			return nil, err
 		}
 		return &suiteTrace{tr: tr, soa: trace.Pack(tr)}, nil
 	})
+}
+
+// Shared returns both layouts of the cached trace for (wc, insts).
+func (c *TraceCache) Shared(wc workload.Config, insts int) (*trace.Trace, *trace.SoA, error) {
+	st, err := c.get(wc, insts, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st.tr, st.soa, nil
+}
+
+// SharedVia is Shared with a peer-fill hook: on a cache miss, fill runs
+// first (under the key's single-flight lock, so at most once per artifact)
+// and local generation is the fallback when it returns nil.
+func (c *TraceCache) SharedVia(wc workload.Config, insts int, fill func() *trace.SoA) (*trace.Trace, *trace.SoA, error) {
+	st, err := c.get(wc, insts, fill)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st.tr, st.soa, nil
+}
+
+// Counters returns the cache's counter snapshot for observability surfaces.
+func (c *TraceCache) Counters() harness.MemoStats { return c.memo.Counters() }
+
+// suiteTraceFor returns the process-wide shared trace for (wc, insts),
+// generating and packing it on first use.
+func suiteTraceFor(wc workload.Config, insts int) (*suiteTrace, error) {
+	return DefaultTraceCache.get(wc, insts, nil)
 }
 
 // overlayFor returns the shared miss-event overlay of the workload's packed

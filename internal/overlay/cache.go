@@ -38,6 +38,16 @@ func (c *Cache) Get(soa *trace.SoA, pred bpred.Config, mem icache.HierarchyConfi
 	})
 }
 
+// GetVia is Get with a caller-supplied producer: on a miss the cache invokes
+// fill instead of calling Compute directly, which lets the service layer try
+// a peer cache fill before falling back to local computation. fill must
+// return an overlay for exactly (soa, pred, mem); concurrent callers with
+// the same key share one invocation.
+func (c *Cache) GetVia(soa *trace.SoA, pred bpred.Config, mem icache.HierarchyConfig, fill func() (*Overlay, error)) (*Overlay, error) {
+	k := key{soa: soa, specFP: SpecFingerprint(pred, mem)}
+	return c.memo.Get(k, fill)
+}
+
 // Stats returns the hit/miss counts of the cache so far.
 func (c *Cache) Stats() (hits, misses uint64) { return c.memo.Stats() }
 

@@ -1,0 +1,68 @@
+package overlay
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestOverlayWireRoundTrip: EncodeWire → DecodeWire reproduces the code
+// bytes and spec fingerprints exactly, attached to the local trace.
+func TestOverlayWireRoundTrip(t *testing.T) {
+	soa, pred, mem := testSetup(t, 5_000)
+	ov, err := Compute(soa, pred, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fp = "f00dfeed00112233-0123456789abcdef"
+	data := ov.EncodeWire(fp)
+	got, err := DecodeWire(data, fp, soa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != soa {
+		t.Fatal("decoded overlay not attached to the local trace")
+	}
+	if got.PredFP != ov.PredFP || got.MemFP != ov.MemFP {
+		t.Fatalf("spec fingerprints differ: got (%x,%x), want (%x,%x)",
+			got.PredFP, got.MemFP, ov.PredFP, ov.MemFP)
+	}
+	if !bytes.Equal(got.Code, ov.Code) {
+		t.Fatal("decoded code bytes differ")
+	}
+}
+
+// TestOverlayWireRejects: cross-trace attachment, length mismatch, and
+// corruption are all refused.
+func TestOverlayWireRejects(t *testing.T) {
+	soa, pred, mem := testSetup(t, 3_000)
+	ov, err := Compute(soa, pred, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fp = "aaaa-bbbb"
+	data := ov.EncodeWire(fp)
+
+	// A frame encoded for one trace must not attach to another.
+	if _, err := DecodeWire(data, "cccc-dddd", soa); err == nil {
+		t.Fatal("frame accepted under a different trace fingerprint")
+	}
+	// Nor to a trace of a different length, even under the right name.
+	other, _, _ := testSetup(t, 2_000)
+	if _, err := DecodeWire(data, fp, other); err == nil {
+		t.Fatal("frame accepted against a shorter trace")
+	}
+	// Any single-byte flip is rejected (magic, structure, or checksum).
+	for _, at := range []int{0, 5, 9, 12, len(data) / 2, len(data) - 2} {
+		mut := append([]byte(nil), data...)
+		mut[at] ^= 0x01
+		if _, err := DecodeWire(mut, fp, soa); err == nil {
+			t.Fatalf("flip at byte %d accepted", at)
+		}
+	}
+	// Truncations.
+	for _, cut := range []int{0, 8, 20, len(data) - 1} {
+		if _, err := DecodeWire(data[:cut], fp, soa); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}

@@ -187,11 +187,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, err, outcomeBadInput)
 		return
 	}
+	// Batch dispatches come from the cluster coordinator, which stamps its
+	// current fleet view on each one; adopt it before resolving artifacts so
+	// the fills below can already reach the peers.
+	s.learnPeers(r)
 
-	// Shared artifacts, once per batch — and across batches via the caches.
-	// Sampled runs bypass overlay replay by design (precomputed dependences
-	// do not apply to fast-forwarded runs), so that mode never computes one.
-	tr, soa, err := experiments.SharedTrace(in.wc, in.insts)
+	// Shared artifacts, once per batch — and across batches via the caches,
+	// filled from fleet peers when possible. Sampled runs bypass overlay
+	// replay by design (precomputed dependences do not apply to
+	// fast-forwarded runs), so that mode never computes one.
+	tr, soa, err := s.sharedTrace(in.wc, in.insts)
 	if err != nil {
 		s.reject(w, http.StatusInternalServerError, err, outcomeError)
 		return
@@ -199,7 +204,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	base := uarch.Baseline()
 	var ov *overlay.Overlay
 	if in.mode != "sampled" {
-		if ov, err = s.overlays.Get(soa, base.Pred, base.Mem); err != nil {
+		if ov, err = s.overlayFor(soa, base.Pred, base.Mem); err != nil {
 			s.reject(w, http.StatusInternalServerError, err, outcomeError)
 			return
 		}

@@ -166,9 +166,10 @@ type MetricsResponse struct {
 
 	Jobs map[string]uint64 `json:"jobs"`
 
-	OverlayCache CacheMetrics  `json:"overlay_cache"`
-	TraceCache   CacheMetrics  `json:"trace_cache"`
-	Store        *StoreMetrics `json:"store,omitempty"` // nil without -store
+	OverlayCache CacheMetrics    `json:"overlay_cache"`
+	TraceCache   CacheMetrics    `json:"trace_cache"`
+	PeerFill     PeerFillMetrics `json:"peer_fill"`
+	Store        *StoreMetrics   `json:"store,omitempty"` // nil without -store
 
 	Latency LatencyMetrics `json:"latency"`
 }

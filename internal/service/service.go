@@ -50,6 +50,22 @@ type Options struct {
 	// server takes ownership of resuming incomplete journals at startup but
 	// not of closing the store; the caller closes it after Shutdown.
 	Store *store.Store
+	// TraceCache overrides the trace cache; nil means the process-wide
+	// experiments.DefaultTraceCache. cmd/bench injects private instances so
+	// in-process fleet daemons cannot silently share artifacts through the
+	// process memo, which would make per-daemon cost accounting dishonest.
+	TraceCache *experiments.TraceCache
+	// Peers is the static fleet peer list (base URLs) for cache fills; the
+	// X-Peers header on batch dispatches refreshes it at runtime.
+	Peers []string
+	// MaxFillBytes bounds one peer cache-fill transfer in either direction;
+	// <= 0 derives a bound from MaxInsts (the largest admissible trace frame).
+	MaxFillBytes int64
+	// PeerFillTimeout bounds one peer fetch; <= 0 means 30s.
+	PeerFillTimeout time.Duration
+	// FillIndexCapacity bounds the served-fill index (fingerprint → artifact,
+	// per artifact kind); <= 0 means 32.
+	FillIndexCapacity int
 }
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
@@ -79,6 +95,20 @@ func (o Options) withDefaults() Options {
 	if o.MaxSweepPoints <= 0 {
 		o.MaxSweepPoints = 4096
 	}
+	if o.TraceCache == nil {
+		o.TraceCache = experiments.DefaultTraceCache
+	}
+	if o.MaxFillBytes <= 0 {
+		// The largest legitimate frame is a MaxInsts-record trace; overlays
+		// are strictly smaller (one byte per record plus a small header).
+		o.MaxFillBytes = int64(trace.WireSizeFor(o.MaxInsts)) + 1<<16
+	}
+	if o.PeerFillTimeout <= 0 {
+		o.PeerFillTimeout = defaultPeerFillTimeout
+	}
+	if o.FillIndexCapacity <= 0 {
+		o.FillIndexCapacity = 32
+	}
 	return o
 }
 
@@ -94,7 +124,16 @@ type Server struct {
 	jobs     *jobStore
 	metrics  *metrics
 	overlays *overlay.Cache
+	traces   *experiments.TraceCache
 	version  string
+
+	// Fleet cache sharing (see peerfill.go): the daemon's peer view, the
+	// fingerprint → artifact index it serves fills from, its fill counters,
+	// and the client used for peer fetches.
+	peers    peerSet
+	fills    *fillIndex
+	pf       peerFillCounters
+	fillHTTP *http.Client
 
 	// Readiness: false until startup journal replay has re-admitted every
 	// incomplete durable job. /readyz answers 503 until then, so cluster
@@ -122,8 +161,12 @@ func New(opts Options) *Server {
 		jobs:     newJobStore(opts.JobHistory),
 		metrics:  newMetrics(),
 		overlays: overlay.NewCache(opts.OverlayCapacity),
+		traces:   opts.TraceCache,
+		fills:    newFillIndex(opts.FillIndexCapacity),
+		fillHTTP: &http.Client{Timeout: opts.PeerFillTimeout},
 		version:  version.String(),
 	}
+	s.peers.learn(opts.Peers)
 	if opts.Store == nil {
 		s.ready.Store(true)
 	} else {
@@ -152,6 +195,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweepjobs", s.handleSweepJobSubmit)
 	mux.HandleFunc("GET /v1/sweepjobs/{id}", s.handleSweepJob)
 	mux.HandleFunc("GET /v1/sweepjobs/{id}/csv", s.handleSweepJobCSV)
+	mux.HandleFunc("GET /v1/cache/trace/{fp}", s.handleTraceFillGet)
+	mux.HandleFunc("POST /v1/cache/trace/{fp}", s.handleTraceFillPut)
+	mux.HandleFunc("GET /v1/cache/overlay/{fp}", s.handleOverlayFillGet)
+	mux.HandleFunc("POST /v1/cache/overlay/{fp}", s.handleOverlayFillPut)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -224,11 +271,11 @@ func statusFor(outcome string) int {
 // server's overlay cache (bit-identical to live simulation), with ctx wired
 // through to the simulator's cancellation watchdog.
 func (s *Server) runSimulate(ctx context.Context, in simInputs) (*SimulateResult, error) {
-	_, soa, err := experiments.SharedTrace(in.wc, in.insts)
+	_, soa, err := s.sharedTrace(in.wc, in.insts)
 	if err != nil {
 		return nil, err
 	}
-	ov, err := s.overlays.Get(soa, in.cfg.Pred, in.cfg.Mem)
+	ov, err := s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem)
 	if err != nil {
 		return nil, err
 	}
@@ -247,11 +294,11 @@ func (s *Server) runSimulate(ctx context.Context, in simInputs) (*SimulateResult
 // functional profile and model characteristics come straight off the shared
 // overlay, with no cycle-level simulation at all.
 func (s *Server) runModel(_ context.Context, in simInputs) (*ModelResult, error) {
-	_, soa, err := experiments.SharedTrace(in.wc, in.insts)
+	_, soa, err := s.sharedTrace(in.wc, in.insts)
 	if err != nil {
 		return nil, err
 	}
-	ov, err := s.overlays.Get(soa, in.cfg.Pred, in.cfg.Mem)
+	ov, err := s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem)
 	if err != nil {
 		return nil, err
 	}
@@ -556,7 +603,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		TrackedJobs:   s.jobs.len(),
 		Jobs:          jobs,
 		OverlayCache:  cacheMetrics(s.overlays.Counters()),
-		TraceCache:    cacheMetrics(experiments.TraceCacheCounters()),
+		TraceCache:    cacheMetrics(s.traces.Counters()),
+		PeerFill:      s.peerFillMetrics(),
 		Latency:       lat,
 	}
 	if st := s.opts.Store; st != nil {
@@ -660,7 +708,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// Shared artifacts, once per sweep — and across sweeps via the caches.
 	// Sampled sweeps never compute an overlay: replay does not apply to
 	// fast-forwarded runs.
-	_, soa, err := experiments.SharedTrace(in.wc, in.insts)
+	_, soa, err := s.sharedTrace(in.wc, in.insts)
 	if err != nil {
 		s.reject(w, http.StatusInternalServerError, err, outcomeError)
 		return
@@ -668,7 +716,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	base := uarch.Baseline()
 	var ov *overlay.Overlay
 	if in.mode != "sampled" {
-		if ov, err = s.overlays.Get(soa, base.Pred, base.Mem); err != nil {
+		if ov, err = s.overlayFor(soa, base.Pred, base.Mem); err != nil {
 			s.reject(w, http.StatusInternalServerError, err, outcomeError)
 			return
 		}

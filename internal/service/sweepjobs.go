@@ -266,7 +266,7 @@ func (s *Server) runSweepJob(id string, j *store.Log, spec sweepJobSpec, in swee
 	}
 
 	// Shared artifacts, exactly as the streaming sweep resolves them.
-	_, soa, err := experiments.SharedTrace(in.wc, in.insts)
+	_, soa, err := s.sharedTrace(in.wc, in.insts)
 	if err != nil {
 		failJob(err)
 		return
@@ -274,7 +274,7 @@ func (s *Server) runSweepJob(id string, j *store.Log, spec sweepJobSpec, in swee
 	base := uarch.Baseline()
 	var ov *overlay.Overlay
 	if in.mode != "sampled" {
-		if ov, err = s.overlays.Get(soa, base.Pred, base.Mem); err != nil {
+		if ov, err = s.overlayFor(soa, base.Pred, base.Mem); err != nil {
 			failJob(err)
 			return
 		}

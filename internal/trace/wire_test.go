@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWireRoundTrip: EncodeWire → DecodeWire is exact — the decoded SoA
+// unpacks to the identical instruction sequence.
+func TestWireRoundTrip(t *testing.T) {
+	soa := Pack(randomTrace(7, 500))
+	data := soa.EncodeWire()
+	if len(data) != soa.WireSize() {
+		t.Fatalf("frame is %d bytes, WireSize says %d", len(data), soa.WireSize())
+	}
+	if WireSizeFor(soa.Len()) != soa.WireSize() {
+		t.Fatalf("WireSizeFor(%d) = %d, WireSize = %d", soa.Len(), WireSizeFor(soa.Len()), soa.WireSize())
+	}
+	got, err := DecodeWire(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Unpack(), soa.Unpack()) {
+		t.Fatal("decoded trace differs from the original")
+	}
+}
+
+func TestWireRoundTripEmpty(t *testing.T) {
+	soa := Pack(&Trace{})
+	got, err := DecodeWire(soa.EncodeWire(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("decoded %d records, want 0", got.Len())
+	}
+}
+
+// TestWireRejectsCorruption: every single-byte flip anywhere in the frame is
+// rejected — by the magic check, the length check, or the checksum.
+func TestWireRejectsCorruption(t *testing.T) {
+	soa := Pack(randomTrace(11, 64))
+	data := soa.EncodeWire()
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, err := DecodeWire(mut, 0); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+	for _, cut := range []int{0, 8, 11, len(data) - 1} {
+		if _, err := DecodeWire(data[:cut], 0); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, err := DecodeWire(append(append([]byte(nil), data...), 0), 0); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// TestWireRecordCap: a frame larger than the caller's record budget is
+// refused before any allocation proportional to its claimed size.
+func TestWireRecordCap(t *testing.T) {
+	soa := Pack(randomTrace(3, 100))
+	data := soa.EncodeWire()
+	if _, err := DecodeWire(data, 99); err == nil {
+		t.Fatal("100-record frame accepted under a 99-record cap")
+	}
+	if _, err := DecodeWire(data, 100); err != nil {
+		t.Fatalf("frame at exactly the cap rejected: %v", err)
+	}
+}
+
+// TestWireRejectsBadDeps: a frame that passes the checksum but carries a
+// dependence index at or ahead of its consumer is still rejected — the
+// simulator's fast path indexes these arrays without bounds checks.
+func TestWireRejectsBadDeps(t *testing.T) {
+	soa := Pack(randomTrace(5, 32))
+	n := soa.Len()
+	data := soa.EncodeWire()
+	// Dep1 array starts after 3 u64 arrays, 3 i8 arrays, and Meta.
+	dep1At := 12 + n*24 + n*4
+	// Record 3 depending on itself: structurally invalid, checksum-valid
+	// once re-signed.
+	binary.LittleEndian.PutUint32(data[dep1At+3*4:], 3)
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.Checksum(data[8:len(data)-4], soaCRCTable))
+	_, err := DecodeWire(data, 0)
+	if err == nil || !strings.Contains(err.Error(), "Dep1") {
+		t.Fatalf("self-dependence accepted (err = %v)", err)
+	}
+}
