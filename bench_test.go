@@ -21,6 +21,7 @@ import (
 	"intervalsim/internal/experiments"
 	"intervalsim/internal/ilp"
 	"intervalsim/internal/overlay"
+	"intervalsim/internal/predictability"
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
 	"intervalsim/internal/workload"
@@ -350,6 +351,43 @@ func BenchmarkGShare(b *testing.B) {
 	}
 }
 
+func BenchmarkTAGE(b *testing.B) {
+	p := bpred.NewTAGE(1024, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Access(uint64(0x1000+(i%512)*4), i%3 != 0)
+	}
+}
+
+func Benchmark2BcGskew(b *testing.B) {
+	p := bpred.NewGSkew(8192, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Access(uint64(0x1000+(i%512)*4), i%3 != 0)
+	}
+}
+
+// BenchmarkPredictability times one full per-branch statistics pass — the
+// three-predictor drive, taxon classification, and summaries — over a
+// packed crafty trace.
+func BenchmarkPredictability(b *testing.B) {
+	wc, _ := workload.SuiteConfig("crafty")
+	soa, err := trace.PackReader(workload.MustNew(wc, 100_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prof, err := predictability.Collect(soa, predictability.Options{Warmup: 20_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof.Summaries()
+	}
+	b.ReportMetric(100_000*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
 func BenchmarkCacheAccess(b *testing.B) {
 	c := cache.New(cache.Config{Name: "b", Size: 64 << 10, LineSize: 64, Ways: 4, Repl: cache.LRU})
 	b.ResetTimer()
@@ -377,3 +415,7 @@ func BenchmarkA2PredictorSweep(b *testing.B)    { runExperiment(b, experiments.A
 func BenchmarkE12Predication(b *testing.B)      { runExperiment(b, experiments.E12) }
 func BenchmarkA3SampledSimulation(b *testing.B) { runExperiment(b, experiments.A3) }
 func BenchmarkA4SampledCI(b *testing.B)         { runExperiment(b, experiments.A4) }
+func BenchmarkB1PredictorShootout(b *testing.B) { runExperiment(b, experiments.B1) }
+func BenchmarkB2PredictabilityTaxa(b *testing.B) {
+	runExperiment(b, experiments.B2)
+}

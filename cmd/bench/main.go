@@ -34,8 +34,10 @@ import (
 	"runtime"
 	"time"
 
+	"intervalsim/internal/bpred"
 	"intervalsim/internal/cluster"
 	"intervalsim/internal/core"
+	"intervalsim/internal/isa"
 	"intervalsim/internal/experiments"
 	"intervalsim/internal/overlay"
 	"intervalsim/internal/service"
@@ -101,6 +103,25 @@ type sweepBench struct {
 	SampledMeanErr  float64 `json:"sampled_cpi_mean_abs_err"`
 }
 
+// predPoint is one predictor preset of the direction-prediction timing
+// matrix: the preset at its canonical sizing (BTB held out), driven over
+// the crafty conditional-branch stream. PredPerS is raw Access calls per
+// second — the per-branch cost the cycle-level frontend pays for this
+// predictor family — and MPKI/accuracy record what that cost buys on the
+// same stream, so a throughput regression and an accuracy regression are
+// both visible in one row.
+type predPoint struct {
+	Kind        string  `json:"kind"`
+	Entries     int     `json:"entries"`
+	HistBits    uint    `json:"hist_bits"`
+	StorageBits int64   `json:"storage_bits"`
+	Branches    uint64  `json:"branches"`
+	Runs        int     `json:"runs"`
+	PredPerS    float64 `json:"pred_per_s"`
+	MPKI        float64 `json:"mpki"`
+	Accuracy    float64 `json:"accuracy"`
+}
+
 // clusterFleet is one fleet size of the cluster scale-out benchmark. Each
 // fleet partitions the host's real cores across its daemons and is timed
 // twice from cold — with peer cache fills off, then on — so the recorded
@@ -155,12 +176,13 @@ type clusterBench struct {
 
 // benchReport is the BENCH_simulator.json schema.
 type benchReport struct {
-	Quick     bool          `json:"quick"`
-	GoVersion string        `json:"go_version"`
-	Config    string        `json:"config"`
-	Points    []benchPoint  `json:"points"`
-	Sweep     *sweepBench   `json:"sweep"`
-	Cluster   *clusterBench `json:"cluster"`
+	Quick      bool          `json:"quick"`
+	GoVersion  string        `json:"go_version"`
+	Config     string        `json:"config"`
+	Points     []benchPoint  `json:"points"`
+	Predictors []predPoint   `json:"predictors"`
+	Sweep      *sweepBench   `json:"sweep"`
+	Cluster    *clusterBench `json:"cluster"`
 }
 
 func realMain(args []string, stdout, stderr io.Writer) int {
@@ -249,6 +271,11 @@ func run(quick bool, runs int, stdout io.Writer) (*benchReport, error) {
 				pt.Benchmark, pt.Path, pt.InstPerS/1e6, pt.AllocsPerRun, pt.CPI)
 		}
 	}
+	preds, err := measurePredictors(quick, runs, stdout)
+	if err != nil {
+		return nil, err
+	}
+	rep.Predictors = preds
 	sw, err := measureSweep(quick)
 	if err != nil {
 		return nil, err
@@ -615,4 +642,75 @@ func measure(bench, path string, mk func() trace.Reader, cfg uarch.Config, runs 
 		IPC:          res.IPC(),
 		Cycles:       res.Cycles,
 	}, nil
+}
+
+// measurePredictors times every stateful predictor preset over the crafty
+// conditional-branch stream, extracted once from the packed trace so only
+// the predictor's Access path is inside the clock. The BTB is held out of
+// every preset (direction prediction only), the accuracy is counted on the
+// same timed pass, and the best of `runs` repetitions is kept, mirroring
+// the matrix points. Static kinds (perfect, taken, not-taken) hold no
+// state and are skipped — their cost is a compare, not a table walk.
+func measurePredictors(quick bool, runs int, stdout io.Writer) ([]predPoint, error) {
+	_, insts := matrix(quick)
+	wc, ok := workload.SuiteConfig("crafty")
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", "crafty")
+	}
+	soa, err := trace.PackReader(workload.MustNew(wc, insts))
+	if err != nil {
+		return nil, err
+	}
+	var pcs []uint64
+	var takens []bool
+	for i := 0; i < soa.Len(); i++ {
+		if soa.Class(i) != isa.Branch {
+			continue
+		}
+		pcs = append(pcs, soa.PC[i])
+		takens = append(takens, soa.Taken(i))
+	}
+	fmt.Fprintf(stdout, "%-12s %8s %12s %12s %8s %10s\n", "predictor", "entries", "storage", "Mpred/s", "MPKI", "accuracy")
+	var out []predPoint
+	for _, name := range bpred.PresetNames() {
+		spec, _ := bpred.Preset(name)
+		if spec.StorageBits() == 0 {
+			continue
+		}
+		spec.BTBEntries = 0
+		pt := predPoint{
+			Kind:        name,
+			Entries:     spec.Entries,
+			HistBits:    spec.HistBits,
+			StorageBits: spec.StorageBits(),
+			Branches:    uint64(len(pcs)),
+			Runs:        runs,
+		}
+		var miss uint64
+		for r := 0; r < runs; r++ {
+			unit, err := spec.Build()
+			if err != nil {
+				return nil, err
+			}
+			dir := unit.Dir
+			miss = 0
+			t0 := time.Now()
+			for i, pc := range pcs {
+				if !dir.Access(pc, takens[i]) {
+					miss++
+				}
+			}
+			if pps := float64(len(pcs)) / time.Since(t0).Seconds(); pps > pt.PredPerS {
+				pt.PredPerS = pps
+			}
+		}
+		pt.MPKI = float64(miss) / float64(insts) * 1000
+		if len(pcs) > 0 {
+			pt.Accuracy = 1 - float64(miss)/float64(len(pcs))
+		}
+		fmt.Fprintf(stdout, "%-12s %8d %10.1f KB %12.2f %8.2f %10.3f\n",
+			pt.Kind, pt.Entries, float64(pt.StorageBits)/8/1024, pt.PredPerS/1e6, pt.MPKI, pt.Accuracy)
+		out = append(out, pt)
+	}
+	return out, nil
 }

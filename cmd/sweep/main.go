@@ -48,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"intervalsim/internal/bpred"
 	"intervalsim/internal/cluster"
 	"intervalsim/internal/core"
 	"intervalsim/internal/experiments"
@@ -71,6 +72,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	bench := fs.String("bench", "crafty", "benchmark to sweep")
+	pred := fs.String("pred", "", "branch predictor preset for every grid point (e.g. tage, 2bc-gskew, gshare; empty = baseline tournament)")
 	mode := fs.String("mode", "sim", "engine per grid point: sim (cycle-level), lockstep (K configs per trace pass, same rows as sim), sampled (systematic sampling with confidence intervals), or model (analytic interval model)")
 	insts := fs.Int("insts", 1_000_000, "dynamic instructions per point")
 	warmup := fs.Uint64("warmup", 200_000, "warmup instructions per point (the initial functional skip in sampled mode)")
@@ -113,10 +115,18 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sweep: -sample-detailed and -sample-skip must be positive in sampled mode\n")
 		return 2
 	}
+	if *pred != "" {
+		if _, ok := bpred.Preset(*pred); !ok {
+			fmt.Fprintf(stderr, "sweep: unknown predictor preset %q (want one of %s)\n",
+				*pred, strings.Join(bpred.PresetNames(), ", "))
+			return 2
+		}
+	}
 	params := sweepParams{
 		mode:           *mode,
 		insts:          *insts,
 		warmup:         *warmup,
+		pred:           *pred,
 		lockstepK:      *lockstepK,
 		sampleDetailed: *sampleDetailed,
 		sampleSkip:     *sampleSkip,
@@ -142,6 +152,7 @@ type sweepParams struct {
 	mode           string
 	insts          int
 	warmup         uint64
+	pred           string // predictor preset name; "" = baseline tournament
 	lockstepK      int
 	sampleDetailed uint64
 	sampleSkip     uint64
@@ -169,6 +180,7 @@ func runCluster(stdout, stderr io.Writer, endpoints, bench string, p sweepParams
 		Mode:           p.mode,
 		Insts:          p.insts,
 		Warmup:         p.warmup,
+		Pred:           p.pred,
 		LockstepK:      p.lockstepK,
 		SampleDetailed: p.sampleDetailed,
 		SampleSkip:     p.sampleSkip,
@@ -275,15 +287,22 @@ func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, p sw
 		return err
 	}
 
-	// The grid varies only timing parameters — every point shares the
-	// baseline predictor and cache geometry — so one miss-event overlay
-	// serves the whole sweep. A point whose speculation configuration
-	// diverges (e.g. via testPointHook) is caught by the simulator's
-	// fingerprint check and falls back to live simulation, which the path
-	// summary below makes visible. Sampled runs bypass replay by design
-	// (precomputed dependences do not apply), so that mode never computes
-	// the overlay at all.
+	// The grid varies only timing parameters — every point shares one
+	// predictor (the -pred preset, or the baseline tournament) and cache
+	// geometry — so one miss-event overlay serves the whole sweep. A point
+	// whose speculation configuration diverges (e.g. via testPointHook) is
+	// caught by the simulator's fingerprint check and falls back to live
+	// simulation, which the path summary below makes visible. Sampled runs
+	// bypass replay by design (precomputed dependences do not apply), so
+	// that mode never computes the overlay at all.
 	base := uarch.Baseline()
+	if p.pred != "" {
+		preset, ok := bpred.Preset(p.pred)
+		if !ok {
+			return fmt.Errorf("unknown predictor preset %q", p.pred)
+		}
+		base.Pred = preset
+	}
 	var ov *overlay.Overlay
 	if p.mode != "sampled" {
 		if ov, err = overlay.Shared.Get(soa, base.Pred, base.Mem); err != nil {
@@ -294,6 +313,9 @@ func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, p sw
 	// Jobs yield whole CSV row groups: one row for per-point engines, K rows
 	// for a lockstep set.
 	points := grid()
+	for i := range points {
+		points[i].Pred = base.Pred
+	}
 	var jobs []harness.Job[[][]string]
 	var headers []string
 	var tally pathTally

@@ -158,6 +158,45 @@ func TestUsageErrors(t *testing.T) {
 	}
 }
 
+// TestPredFlag pins the predictor axis: an unknown preset is a usage error
+// that names the alternatives; -pred tournament (the baseline) is
+// byte-identical to the default; -pred tage changes the rows while every
+// point still rides the overlay-replay fast path (the overlay must follow
+// the selected predictor).
+func TestPredFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain(sweepArgs("-pred", "oracle-9000"), &out, &errb); code != 2 {
+		t.Fatalf("unknown preset exit = %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	if se := errb.String(); !strings.Contains(se, "unknown predictor preset") || !strings.Contains(se, "tage") {
+		t.Fatalf("stderr = %q, want preset listing", se)
+	}
+
+	render := func(pred string) (string, string) {
+		var out, errb bytes.Buffer
+		args := sweepArgs("-j", "4")
+		if pred != "" {
+			args = sweepArgs("-j", "4", "-pred", pred)
+		}
+		if code := realMain(args, &out, &errb); code != 0 {
+			t.Fatalf("-pred %q exit = %d (stderr: %s)", pred, code, errb.String())
+		}
+		return out.String(), errb.String()
+	}
+	def, _ := render("")
+	tour, _ := render("tournament")
+	if def != tour {
+		t.Errorf("-pred tournament differs from the default sweep:\n--- default ---\n%s\n--- tournament ---\n%s", def, tour)
+	}
+	tage, tageErr := render("tage")
+	if tage == def {
+		t.Errorf("-pred tage produced the baseline CSV (axis not wired?)")
+	}
+	if !strings.Contains(tageErr, "simulator paths: 27×soa+overlay") {
+		t.Errorf("tage sweep left the overlay fast path: %q", tageErr)
+	}
+}
+
 // TestBrokenPointFailSoft injects one deliberately broken design point into
 // the grid: the sweep must complete every other point, emit their CSV rows,
 // report the failure on stderr, and exit nonzero.

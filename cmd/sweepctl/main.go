@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"intervalsim/internal/bpred"
 	"intervalsim/internal/cluster"
 	"intervalsim/internal/version"
 	"intervalsim/internal/workload"
@@ -71,6 +72,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	mode := fs.String("mode", "sim", "engine per grid point: sim (cycle-level) or model (analytic interval model)")
 	insts := fs.Int("insts", 1_000_000, "dynamic instructions per point")
 	warmup := fs.Uint64("warmup", 200_000, "warmup instructions per point")
+	pred := fs.String("pred", "", "branch predictor preset for every grid point (e.g. tage, 2bc-gskew; empty = baseline tournament)")
 	widths := fs.String("widths", "2,4,8", "dispatch-width axis")
 	depths := fs.String("depths", "3,7,11", "frontend-depth axis")
 	robs := fs.String("robs", "64,128,256", "ROB-size axis")
@@ -124,6 +126,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sweepctl: bad -ring-replicas %d (want a positive count, or 0 for the default)\n", *ringReplicas)
 		return 2
 	}
+	if *pred != "" {
+		if _, ok := bpred.Preset(*pred); !ok {
+			fmt.Fprintf(stderr, "sweepctl: unknown predictor preset %q (want one of %s)\n",
+				*pred, strings.Join(bpred.PresetNames(), ", "))
+			return 2
+		}
+	}
 	ws, err := splitInts(*widths)
 	if err == nil && len(ws) == 0 {
 		err = fmt.Errorf("empty -widths")
@@ -175,6 +184,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Mode:            *mode,
 		Insts:           *insts,
 		Warmup:          *warmup,
+		Pred:            *pred,
 		BatchSize:       *batch,
 		PointTimeout:    *timeout,
 		Retries:         *retries,

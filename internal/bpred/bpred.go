@@ -147,10 +147,13 @@ func (g *GShare) Access(pc uint64, taken bool) bool {
 	i := g.index(pc)
 	pred := g.table[i].taken()
 	g.table[i] = g.table[i].train(taken)
-	g.history = (g.history << 1) & ((1 << g.histBits) - 1)
+	// Mask after inserting the outcome, so histBits == 0 really means no
+	// history: the old order let a taken branch leak bit 0 into the index.
+	g.history <<= 1
 	if taken {
 		g.history |= 1
 	}
+	g.history &= (1 << g.histBits) - 1
 	return pred == taken
 }
 

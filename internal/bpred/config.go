@@ -9,7 +9,7 @@ import "fmt"
 // it carries a canonical Fingerprint for keying precomputed miss-event
 // overlays (package overlay).
 type Config struct {
-	Kind       string // "perfect", "taken", "not-taken", "bimodal", "gshare", "local", "tournament", "perceptron"
+	Kind       string // "perfect", "taken", "not-taken", "bimodal", "gshare", "local", "tournament", "perceptron", "tage", "2bc-gskew"
 	Entries    int    // table entries for table-based kinds
 	HistBits   uint   // history length for gshare/local
 	BTBEntries int    // 0 disables target misses
@@ -39,6 +39,10 @@ func (c Config) Build() (*Unit, error) {
 		)
 	case "perceptron":
 		dir = NewPerceptron(c.Entries, int(c.HistBits))
+	case "tage":
+		dir = NewTAGE(c.Entries, c.HistBits)
+	case "2bc-gskew":
+		dir = NewGSkew(c.Entries, c.HistBits)
 	default:
 		return nil, fmt.Errorf("bpred: unknown predictor kind %q", c.Kind)
 	}

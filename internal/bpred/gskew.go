@@ -1,0 +1,148 @@
+package bpred
+
+import "fmt"
+
+// GSkew is the 2Bc-gskew hybrid predictor (Seznec & Michaud; the EV8 design
+// point): three prediction banks — a PC-indexed bimodal bank BIM and two
+// global-history banks G0/G1 whose indices are *skewed* by invertible
+// mixing functions so a pair of branches that collide in one bank almost
+// never collide in the others — voted by majority, plus a PC-indexed META
+// bank choosing between the bimodal prediction and the majority vote.
+// Updates are partial: on a correct prediction only the banks that
+// participated and agreed are strengthened, which preserves the
+// de-aliasing the skewing bought.
+type GSkew struct {
+	bim, g0, g1, meta []counter2
+	mask              uint64
+	idxBits           uint
+	histBits          uint
+	history           uint64
+}
+
+// NewGSkew returns a 2Bc-gskew predictor with entries 2-bit counters per
+// bank (a positive power of two; four banks total) and histBits bits of
+// global history (clamped to [1, 32]).
+func NewGSkew(entries int, histBits uint) *GSkew {
+	checkPow2(entries, "2bc-gskew entries")
+	if histBits < 1 {
+		histBits = 1
+	}
+	if histBits > 32 {
+		histBits = 32
+	}
+	idxBits := uint(0)
+	for 1<<idxBits < entries {
+		idxBits++
+	}
+	g := &GSkew{
+		bim:      make([]counter2, entries),
+		g0:       make([]counter2, entries),
+		g1:       make([]counter2, entries),
+		meta:     make([]counter2, entries),
+		mask:     uint64(entries - 1),
+		idxBits:  idxBits,
+		histBits: histBits,
+	}
+	for i := range g.bim {
+		g.bim[i] = 2
+		g.g0[i] = 2
+		g.g1[i] = 2
+		g.meta[i] = 2 // reset to "trust the gskew vote"
+	}
+	return g
+}
+
+// skewH is the invertible mixing function H from Seznec & Michaud's skewed
+// associativity work: rotate right by one with the new top bit a parity of
+// the two low bits. Invertibility is what guarantees distinct (pc, history)
+// pairs stay distinct after mixing, so skewing spreads conflicts instead of
+// creating new ones.
+func (g *GSkew) skewH(v uint64) uint64 {
+	n := g.idxBits
+	return ((v >> 1) | (((v ^ (v >> 1)) & 1) << (n - 1))) & g.mask
+}
+
+// skewHInv is H's inverse: shift left by one with the low bit recovered
+// from the parity relation (bit0 = top(y) XOR y0).
+func (g *GSkew) skewHInv(v uint64) uint64 {
+	n := g.idxBits
+	return ((v << 1) | ((v >> (n - 1)) ^ (v & 1))) & g.mask
+}
+
+// bankIndexes computes the three bank indices for (pc, history). v1 is the
+// low PC slice, v2 mixes the next PC slice with global history; G0 and G1
+// combine them through different H/H⁻¹ compositions so the banks hash
+// differently.
+func (g *GSkew) bankIndexes(pc uint64) (ib, i0, i1 uint64) {
+	word := pc >> 2
+	v1 := word & g.mask
+	v2 := ((word >> g.idxBits) ^ g.history) & g.mask
+	ib = v1
+	i0 = g.skewH(v1) ^ g.skewHInv(v2) ^ v2
+	i1 = g.skewH(v1) ^ g.skewHInv(v2) ^ v1
+	return ib, i0 & g.mask, i1 & g.mask
+}
+
+// Access implements Predictor.
+func (g *GSkew) Access(pc uint64, taken bool) bool {
+	ib, i0, i1 := g.bankIndexes(pc)
+	bp := g.bim[ib].taken()
+	p0 := g.g0[i0].taken()
+	p1 := g.g1[i1].taken()
+	votes := 0
+	if bp {
+		votes++
+	}
+	if p0 {
+		votes++
+	}
+	if p1 {
+		votes++
+	}
+	maj := votes >= 2
+	useSkew := g.meta[ib].taken()
+	pred := bp
+	if useSkew {
+		pred = maj
+	}
+	correct := pred == taken
+
+	// META trains toward whichever side was right, only when they disagree.
+	if bp != maj {
+		g.meta[ib] = g.meta[ib].train(maj == taken)
+	}
+
+	if correct {
+		// Partial update: strengthen only the banks that voted with the
+		// prediction actually used.
+		if useSkew {
+			if bp == taken {
+				g.bim[ib] = g.bim[ib].train(taken)
+			}
+			if p0 == taken {
+				g.g0[i0] = g.g0[i0].train(taken)
+			}
+			if p1 == taken {
+				g.g1[i1] = g.g1[i1].train(taken)
+			}
+		} else {
+			g.bim[ib] = g.bim[ib].train(taken)
+		}
+	} else {
+		// Full update on a mispredict: every bank relearns the outcome.
+		g.bim[ib] = g.bim[ib].train(taken)
+		g.g0[i0] = g.g0[i0].train(taken)
+		g.g1[i1] = g.g1[i1].train(taken)
+	}
+
+	g.history = (g.history << 1) & ((1 << g.histBits) - 1)
+	if taken {
+		g.history |= 1
+	}
+	return correct
+}
+
+// Name implements Predictor.
+func (g *GSkew) Name() string {
+	return fmt.Sprintf("2bc-gskew-%d-h%d", len(g.bim), g.histBits)
+}

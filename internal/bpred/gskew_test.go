@@ -1,0 +1,118 @@
+package bpred
+
+import (
+	"strings"
+	"testing"
+
+	"intervalsim/internal/rng"
+)
+
+// TestGSkewMixingInvertible verifies the skewing functions are bijections
+// and mutual inverses over the full index space — the property that makes
+// skewed indexing spread aliases instead of creating new ones.
+func TestGSkewMixingInvertible(t *testing.T) {
+	g := NewGSkew(256, 12)
+	seen := map[uint64]bool{}
+	for v := uint64(0); v < 256; v++ {
+		y := g.skewH(v)
+		if seen[y] {
+			t.Fatalf("skewH not injective at %d", v)
+		}
+		seen[y] = true
+		if got := g.skewHInv(y); got != v {
+			t.Fatalf("skewHInv(skewH(%d)) = %d", v, got)
+		}
+		if got := g.skewH(g.skewHInv(v)); got != v {
+			t.Fatalf("skewH(skewHInv(%d)) = %d", v, got)
+		}
+	}
+}
+
+// TestGSkewBanksDealias checks the motivating property: two PCs that
+// collide in one skewed bank index differently in the other, for at least
+// the vast majority of colliding pairs.
+func TestGSkewBanksDealias(t *testing.T) {
+	g := NewGSkew(64, 8)
+	bothCollide, oneCollides := 0, 0
+	for a := uint64(0); a < 512; a++ {
+		for b := a + 1; b < 512; b++ {
+			_, a0, a1 := g.bankIndexes(0x1000 + a*4)
+			_, b0, b1 := g.bankIndexes(0x1000 + b*4)
+			if a0 == b0 && a1 == b1 {
+				bothCollide++
+			} else if a0 == b0 || a1 == b1 {
+				oneCollides++
+			}
+		}
+	}
+	if oneCollides == 0 {
+		t.Fatal("no single-bank collisions at all; test space too small?")
+	}
+	if bothCollide*4 > oneCollides {
+		t.Errorf("double collisions (%d) not rare vs single (%d)", bothCollide, oneCollides)
+	}
+}
+
+func TestGSkewLearnsBias(t *testing.T) {
+	p := NewGSkew(1024, 12)
+	correct := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if p.Access(0x400100, true) {
+			correct++
+		}
+	}
+	if float64(correct)/trials < 0.98 {
+		t.Errorf("2bc-gskew on always-taken: %d/%d", correct, trials)
+	}
+}
+
+func TestGSkewLearnsPattern(t *testing.T) {
+	pattern := []bool{true, true, false}
+	p := NewGSkew(4096, 12)
+	if acc := patternAccuracy(p, pattern, 4000); acc < 0.95 {
+		t.Errorf("2bc-gskew accuracy on TTN pattern = %.3f, want > 0.95", acc)
+	}
+}
+
+func TestGSkewHistClamp(t *testing.T) {
+	if g := NewGSkew(64, 0); g.histBits != 1 {
+		t.Errorf("histBits 0 clamped to %d, want 1", g.histBits)
+	}
+	if g := NewGSkew(64, 100); g.histBits != 32 {
+		t.Errorf("histBits 100 clamped to %d, want 32", g.histBits)
+	}
+}
+
+func TestGSkewDeterministic(t *testing.T) {
+	run := func() []bool {
+		p := NewGSkew(512, 13)
+		s := rng.New(9)
+		out := make([]bool, 2000)
+		for i := range out {
+			out[i] = p.Access(uint64(0x1000+s.Intn(256)*4), s.Bool(0.6))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("2bc-gskew not deterministic")
+		}
+	}
+}
+
+func TestGSkewName(t *testing.T) {
+	if got := NewGSkew(8192, 13).Name(); !strings.Contains(got, "8192") || !strings.Contains(got, "h13") {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestGSkewPanicsOnBadEntries(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGSkew(100, 12)
+}

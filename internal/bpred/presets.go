@@ -1,0 +1,105 @@
+package bpred
+
+import "sort"
+
+// presets are the canonical sizings for each predictor kind: the same
+// configurations the A2/B1 experiments compare, so "-pred tage" on a sweep
+// CLI and a TAGE row in a shootout table mean the same machine. The
+// tournament preset is identical to the uarch baseline predictor, which
+// keeps "-pred tournament" byte-identical to a default run.
+var presets = map[string]Config{
+	"perfect":    {Kind: "perfect"},
+	"taken":      {Kind: "taken", BTBEntries: 4096},
+	"not-taken":  {Kind: "not-taken", BTBEntries: 4096},
+	"bimodal":    {Kind: "bimodal", Entries: 16384, BTBEntries: 4096},
+	"gshare":     {Kind: "gshare", Entries: 16384, HistBits: 12, BTBEntries: 4096},
+	"local":      {Kind: "local", Entries: 16384, HistBits: 10, BTBEntries: 4096},
+	"tournament": {Kind: "tournament", Entries: 16384, HistBits: 12, BTBEntries: 4096},
+	"perceptron": {Kind: "perceptron", Entries: 1024, HistBits: 24, BTBEntries: 4096},
+	"tage":       {Kind: "tage", Entries: 1024, HistBits: 64, BTBEntries: 4096},
+	"2bc-gskew":  {Kind: "2bc-gskew", Entries: 8192, HistBits: 13, BTBEntries: 4096},
+}
+
+// Preset returns the canonical configuration for a predictor kind, and
+// whether the kind is known. Service and CLI layers use this to validate a
+// predictor name at admission time, before any machine is built.
+func Preset(kind string) (Config, bool) {
+	c, ok := presets[kind]
+	return c, ok
+}
+
+// PresetNames returns every known predictor kind, sorted, for error
+// messages and usage strings.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for k := range presets {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StorageBits returns the direction-predictor state the configuration
+// implies, in bits. The BTB is deliberately excluded: every comparison in
+// the B1 shootout holds the BTB constant, and the interesting budget axis
+// is direction-prediction storage. History registers are counted; valid
+// bits and comparators are not (they follow entry counts for every kind).
+func (c Config) StorageBits() int64 {
+	e := int64(c.Entries)
+	h := int64(c.HistBits)
+	switch c.Kind {
+	case "bimodal":
+		return e * 2
+	case "gshare":
+		return e*2 + h
+	case "local":
+		// Per-branch history registers plus the shared pattern table.
+		return e*h + (int64(1)<<uint(c.HistBits))*2
+	case "tournament":
+		// gshare + bimodal components + chooser, all at Entries.
+		return 3*e*2 + h
+	case "perceptron":
+		// (hist+1) 8-bit weights per entry plus the history register.
+		return e*(h+1)*8 + h
+	case "tage":
+		// Base bimodal at 2×Entries, then per tagged table: tag + 3-bit
+		// counter + 2-bit usefulness per entry, plus the history register.
+		bits := int64(2*2) * e
+		for i := 0; i < tageTables; i++ {
+			bits += e * int64(3+2+8+i)
+		}
+		return bits + h
+	case "2bc-gskew":
+		// Four banks of 2-bit counters plus the history register.
+		return 4*e*2 + h
+	default: // perfect, taken, not-taken
+		return 0
+	}
+}
+
+// ConfigForBudget returns the largest power-of-two sizing of kind whose
+// StorageBits fits within budgetBits, scaling the preset's entry count and
+// keeping its history geometry. It reports false for unknown kinds or
+// budgets too small for even a single-entry table. Static and perfect
+// predictors always fit (they hold no state).
+func ConfigForBudget(kind string, budgetBits int64) (Config, bool) {
+	c, ok := Preset(kind)
+	if !ok {
+		return Config{}, false
+	}
+	if c.Entries == 0 {
+		return c, true
+	}
+	c.Entries = 1
+	if c.StorageBits() > budgetBits {
+		return Config{}, false
+	}
+	for {
+		next := c
+		next.Entries = c.Entries * 2
+		if next.StorageBits() > budgetBits {
+			return c, true
+		}
+		c = next
+	}
+}

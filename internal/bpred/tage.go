@@ -1,0 +1,312 @@
+package bpred
+
+import (
+	"fmt"
+	"math"
+)
+
+// TAGE geometry shared by every instance. Four tagged components cover
+// history lengths from a handful of branches up to the configured maximum in
+// geometric steps; more components buy little on traces this size and would
+// complicate the storage-budget comparison in experiment B1.
+const (
+	tageTables  = 4
+	tageMinHist = 4
+	// tageResetPeriod is how many accesses pass between gracefully aging the
+	// usefulness counters (halving them), so stale "useful" entries do not
+	// block allocation forever.
+	tageResetPeriod = 1 << 18
+)
+
+// tageEntry is one tagged-component slot: a partial tag, a 3-bit signed
+// prediction counter, and a 2-bit usefulness counter.
+type tageEntry struct {
+	tag uint16
+	ctr int8  // [-4, 3]; >= 0 predicts taken
+	u   uint8 // [0, 3]; 0 means the entry may be reallocated
+}
+
+// folded maintains a history register XOR-folded down to clen bits, updated
+// incrementally in O(1) per branch instead of re-XORing the whole history on
+// every lookup (the circular-shift-register trick from Seznec's TAGE
+// reference implementations).
+type folded struct {
+	comp     uint32
+	clen     uint // compressed width in bits
+	outpoint uint // where the expiring bit re-enters: olen % clen
+}
+
+func newFolded(olen, clen uint) folded {
+	return folded{clen: clen, outpoint: olen % clen}
+}
+
+// update shifts newBit in and cancels oldBit (the outcome falling out of the
+// history window) from the folded image.
+func (f *folded) update(newBit, oldBit uint32) {
+	f.comp = (f.comp << 1) | newBit
+	f.comp ^= oldBit << f.outpoint
+	f.comp ^= f.comp >> f.clen
+	f.comp &= (1 << f.clen) - 1
+}
+
+// TAGE is a TAgged GEometric-history-length predictor (Seznec & Michaud): a
+// bimodal base predictor backed by tagged components indexed with
+// geometrically increasing slices of global history. The longest-history
+// component whose tag matches provides the prediction; usefulness counters
+// arbitrate allocation on mispredicts; a use-alt-on-newly-allocated counter
+// decides when to trust the alternate prediction over a freshly allocated,
+// still-cold provider entry.
+type TAGE struct {
+	base     []counter2 // bimodal base, 2× the per-table entry count
+	baseMask uint64
+
+	tables  [tageTables][]tageEntry
+	mask    uint64 // per-table index mask
+	idxBits uint
+	tagBits [tageTables]uint
+	histLen [tageTables]uint
+
+	// Global history as a ring of single-bit outcomes, so folded registers
+	// can retrieve the bit expiring from each geometric window.
+	ghist []uint8
+	gmask int
+	gpos  int
+
+	foldIdx  [tageTables]folded
+	foldTag0 [tageTables]folded
+	foldTag1 [tageTables]folded
+
+	maxHist    uint
+	useAltOnNA int8   // [-8, 7]; >= 0 means trust alt over newly allocated
+	lfsr       uint32 // deterministic PRNG for allocation spreading
+	tick       int
+}
+
+// NewTAGE returns a TAGE predictor with entries slots per tagged component
+// (a positive power of two) and a maximum history length of maxHist bits
+// (clamped to [8, 512]). The base bimodal table holds 2×entries counters.
+func NewTAGE(entries int, maxHist uint) *TAGE {
+	checkPow2(entries, "tage entries")
+	if maxHist < 2*tageMinHist {
+		maxHist = 2 * tageMinHist
+	}
+	if maxHist > 512 {
+		maxHist = 512
+	}
+	idxBits := uint(0)
+	for 1<<idxBits < entries {
+		idxBits++
+	}
+	t := &TAGE{
+		base:     make([]counter2, 2*entries),
+		baseMask: uint64(2*entries - 1),
+		mask:     uint64(entries - 1),
+		idxBits:  idxBits,
+		maxHist:  maxHist,
+		lfsr:     0x2545f491, // any nonzero seed; fixed for determinism
+	}
+	for i := range t.base {
+		t.base[i] = 2 // weakly taken, matching the other table predictors
+	}
+	// Geometric history series: L(i) = minHist · (maxHist/minHist)^(i/(n-1)),
+	// forced strictly increasing and pinned to maxHist at the top.
+	ratio := float64(maxHist) / float64(tageMinHist)
+	for i := 0; i < tageTables; i++ {
+		l := uint(math.Round(tageMinHist * math.Pow(ratio, float64(i)/float64(tageTables-1))))
+		if i > 0 && l <= t.histLen[i-1] {
+			l = t.histLen[i-1] + 1
+		}
+		t.histLen[i] = l
+		t.tagBits[i] = uint(8 + i)
+		t.tables[i] = make([]tageEntry, entries)
+		t.foldIdx[i] = newFolded(l, idxBits)
+		t.foldTag0[i] = newFolded(l, t.tagBits[i])
+		t.foldTag1[i] = newFolded(l, t.tagBits[i]-1)
+	}
+	t.histLen[tageTables-1] = maxHist
+	ring := 1
+	for ring < int(maxHist)+1 {
+		ring <<= 1
+	}
+	t.ghist = make([]uint8, ring)
+	t.gmask = ring - 1
+	return t
+}
+
+func (t *TAGE) index(pc uint64, i int) uint64 {
+	return ((pc >> 2) ^ ((pc >> 2) >> (uint(i) + 1)) ^ uint64(t.foldIdx[i].comp)) & t.mask
+}
+
+func (t *TAGE) tagOf(pc uint64, i int) uint16 {
+	tag := uint16(pc>>2) ^ uint16(t.foldTag0[i].comp) ^ (uint16(t.foldTag1[i].comp) << 1)
+	return tag & uint16((1<<t.tagBits[i])-1)
+}
+
+func (t *TAGE) rand() uint32 {
+	t.lfsr ^= t.lfsr << 13
+	t.lfsr ^= t.lfsr >> 17
+	t.lfsr ^= t.lfsr << 5
+	return t.lfsr
+}
+
+// Access implements Predictor.
+func (t *TAGE) Access(pc uint64, taken bool) bool {
+	var idx [tageTables]uint64
+	var tag [tageTables]uint16
+	for i := 0; i < tageTables; i++ {
+		idx[i] = t.index(pc, i)
+		tag[i] = t.tagOf(pc, i)
+	}
+
+	// Provider = longest-history tag match; alternate = next match below it,
+	// falling back to the bimodal base.
+	provider, altTable := -1, -1
+	for i := tageTables - 1; i >= 0; i-- {
+		if t.tables[i][idx[i]].tag == tag[i] {
+			if provider < 0 {
+				provider = i
+			} else {
+				altTable = i
+				break
+			}
+		}
+	}
+
+	bi := (pc >> 2) & t.baseMask
+	basePred := t.base[bi].taken()
+	altPred := basePred
+	if altTable >= 0 {
+		altPred = t.tables[altTable][idx[altTable]].ctr >= 0
+	}
+
+	pred := basePred
+	providerPred := basePred
+	providerNew := false
+	if provider >= 0 {
+		e := &t.tables[provider][idx[provider]]
+		providerPred = e.ctr >= 0
+		// A weak counter with zero usefulness marks a freshly allocated
+		// entry; the use-alt counter tracks whether alt beats it on average.
+		providerNew = e.u == 0 && (e.ctr == 0 || e.ctr == -1)
+		if providerNew && t.useAltOnNA >= 0 {
+			pred = altPred
+		} else {
+			pred = providerPred
+		}
+	}
+	correct := pred == taken
+
+	// --- Update ---
+	if provider >= 0 {
+		e := &t.tables[provider][idx[provider]]
+		if providerPred != altPred {
+			// The provider only proved (un)useful when it disagreed with alt.
+			if providerPred == taken {
+				if e.u < 3 {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+			if providerNew {
+				if altPred == taken {
+					if t.useAltOnNA < 7 {
+						t.useAltOnNA++
+					}
+				} else if t.useAltOnNA > -8 {
+					t.useAltOnNA--
+				}
+			}
+		}
+		e.ctr = train3(e.ctr, taken)
+		// Keep the base predictor warm only while it is still the alternate,
+		// so a confident tagged entry does not drag the base around.
+		if altTable < 0 {
+			t.base[bi] = t.base[bi].train(taken)
+		}
+	} else {
+		t.base[bi] = t.base[bi].train(taken)
+	}
+
+	// On a mispredict, try to allocate an entry with a longer history than
+	// the provider; start one table up, sometimes two (LFSR spreads
+	// allocation pressure), take the first slot with u == 0, and decay the
+	// candidates' usefulness when none is free.
+	if !correct && provider < tageTables-1 {
+		start := provider + 1
+		if start < tageTables-1 && t.rand()&1 == 1 {
+			start++
+		}
+		alloc := -1
+		for i := start; i < tageTables; i++ {
+			if t.tables[i][idx[i]].u == 0 {
+				alloc = i
+				break
+			}
+		}
+		if alloc < 0 {
+			for i := start; i < tageTables; i++ {
+				if e := &t.tables[i][idx[i]]; e.u > 0 {
+					e.u--
+				}
+			}
+		} else {
+			e := &t.tables[alloc][idx[alloc]]
+			e.tag = tag[alloc]
+			e.u = 0
+			if taken {
+				e.ctr = 0
+			} else {
+				e.ctr = -1
+			}
+		}
+	}
+
+	// Graceful aging of usefulness so the tables never wedge.
+	t.tick++
+	if t.tick >= tageResetPeriod {
+		t.tick = 0
+		for i := range t.tables {
+			for j := range t.tables[i] {
+				t.tables[i][j].u >>= 1
+			}
+		}
+	}
+
+	t.updateHistory(taken)
+	return correct
+}
+
+func (t *TAGE) updateHistory(taken bool) {
+	nb := uint32(0)
+	if taken {
+		nb = 1
+	}
+	t.ghist[t.gpos&t.gmask] = uint8(nb)
+	for i := 0; i < tageTables; i++ {
+		ob := uint32(t.ghist[(t.gpos-int(t.histLen[i]))&t.gmask])
+		t.foldIdx[i].update(nb, ob)
+		t.foldTag0[i].update(nb, ob)
+		t.foldTag1[i].update(nb, ob)
+	}
+	t.gpos++
+}
+
+// Name implements Predictor.
+func (t *TAGE) Name() string {
+	return fmt.Sprintf("tage-%dx%d-h%d", tageTables, len(t.tables[0]), t.maxHist)
+}
+
+// train3 is a 3-bit signed saturating counter update, range [-4, 3].
+func train3(c int8, taken bool) int8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > -4 {
+		return c - 1
+	}
+	return -4
+}

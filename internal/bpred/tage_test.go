@@ -1,0 +1,182 @@
+package bpred
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"intervalsim/internal/rng"
+)
+
+func TestTAGELearnsBias(t *testing.T) {
+	p := NewTAGE(256, 32)
+	correct := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if p.Access(0x400100, true) {
+			correct++
+		}
+	}
+	if float64(correct)/trials < 0.98 {
+		t.Errorf("tage on always-taken: %d/%d", correct, trials)
+	}
+}
+
+func TestTAGELearnsPattern(t *testing.T) {
+	// T T N repeating resolves with short history.
+	pattern := []bool{true, true, false}
+	p := NewTAGE(512, 32)
+	if acc := patternAccuracy(p, pattern, 4000); acc < 0.95 {
+		t.Errorf("tage accuracy on TTN pattern = %.3f, want > 0.95", acc)
+	}
+}
+
+func TestTAGELearnsLongLoop(t *testing.T) {
+	// A 50-iteration loop (49 taken, 1 not-taken). A 12-bit gshare sees an
+	// all-taken history for most of the body and cannot pinpoint the exit
+	// (ceiling 49/50); TAGE's longest component spans the whole period and
+	// learns the exit exactly.
+	run := func(p Predictor) float64 {
+		correct, counted := 0, 0
+		const trials = 10000
+		for i := 0; i < trials; i++ {
+			taken := i%50 != 49
+			ok := p.Access(0x400200, taken)
+			if i > trials/2 {
+				counted++
+				if ok {
+					correct++
+				}
+			}
+		}
+		return float64(correct) / float64(counted)
+	}
+	tage := run(NewTAGE(1024, 64))
+	gshare := run(NewGShare(16384, 12))
+	if tage < 0.995 {
+		t.Errorf("tage accuracy on 50-iteration loop = %.4f, want ~1", tage)
+	}
+	if gshare > 0.985 {
+		t.Errorf("gshare accuracy = %.4f; expected the exit to be out of reach", gshare)
+	}
+}
+
+func TestTAGEGeometry(t *testing.T) {
+	p := NewTAGE(256, 64)
+	for i := 1; i < tageTables; i++ {
+		if p.histLen[i] <= p.histLen[i-1] {
+			t.Fatalf("history lengths not strictly increasing: %v", p.histLen)
+		}
+	}
+	if p.histLen[0] != tageMinHist {
+		t.Errorf("shortest history = %d, want %d", p.histLen[0], tageMinHist)
+	}
+	if p.histLen[tageTables-1] != 64 {
+		t.Errorf("longest history = %d, want 64", p.histLen[tageTables-1])
+	}
+	// Clamping at both ends.
+	if lo := NewTAGE(64, 1); lo.maxHist != 2*tageMinHist {
+		t.Errorf("tiny maxHist clamped to %d", lo.maxHist)
+	}
+	if hi := NewTAGE(64, 100000); hi.maxHist != 512 {
+		t.Errorf("huge maxHist clamped to %d", hi.maxHist)
+	}
+}
+
+func TestTAGEDeterministic(t *testing.T) {
+	run := func() []bool {
+		p := NewTAGE(256, 48)
+		s := rng.New(7)
+		out := make([]bool, 2000)
+		for i := range out {
+			out[i] = p.Access(uint64(0x1000+s.Intn(256)*4), s.Bool(0.6))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tage not deterministic")
+		}
+	}
+}
+
+func TestTAGEName(t *testing.T) {
+	if got := NewTAGE(1024, 64).Name(); !strings.Contains(got, "1024") || !strings.Contains(got, "h64") {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestTAGEPanicsOnBadEntries(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTAGE(100, 32)
+}
+
+// TestFoldedWindowProperty checks the incremental folded-history registers
+// only depend on the last olen outcomes: two registers fed different
+// prefixes but the same olen-bit suffix must converge to the same image.
+// This is the invariant the O(1) update (insert new bit, cancel expiring
+// bit) must preserve.
+func TestFoldedWindowProperty(t *testing.T) {
+	f := func(seed uint64, olen8, clen8 uint8) bool {
+		olen := uint(olen8%60) + 2
+		clen := uint(clen8%14) + 2
+		feed := func(prefix []uint32, suffix []uint32) uint32 {
+			fr := newFolded(olen, clen)
+			all := append(append([]uint32{}, prefix...), suffix...)
+			// Reconstruct the expiring bit exactly as TAGE does, from a
+			// ring of past outcomes.
+			for i, nb := range all {
+				ob := uint32(0)
+				if i >= int(olen) {
+					ob = all[i-int(olen)]
+				}
+				fr.update(nb, ob)
+			}
+			return fr.comp
+		}
+		s := rng.New(seed)
+		suffix := make([]uint32, olen)
+		for i := range suffix {
+			if s.Bool(0.5) {
+				suffix[i] = 1
+			}
+		}
+		p1 := make([]uint32, 37)
+		p2 := make([]uint32, 91)
+		for i := range p1 {
+			if s.Bool(0.3) {
+				p1[i] = 1
+			}
+		}
+		for i := range p2 {
+			if s.Bool(0.8) {
+				p2[i] = 1
+			}
+		}
+		return feed(p1, suffix) == feed(p2, suffix)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrain3Saturates(t *testing.T) {
+	c := int8(0)
+	for i := 0; i < 10; i++ {
+		c = train3(c, true)
+	}
+	if c != 3 {
+		t.Errorf("saturated up to %d", c)
+	}
+	for i := 0; i < 20; i++ {
+		c = train3(c, false)
+	}
+	if c != -4 {
+		t.Errorf("saturated down to %d", c)
+	}
+}

@@ -36,6 +36,7 @@ type Options struct {
 	Mode   string // "sim" (default), "lockstep", "sampled", or "model"
 	Insts  int    // dynamic instructions per point
 	Warmup uint64 // warmup instructions per point
+	Pred   string // predictor preset for every point ("" = baseline tournament)
 
 	// LockstepK is the number of configurations each daemon advances per
 	// lockstep set in lockstep mode (0 means the daemon default of 8).
@@ -434,6 +435,7 @@ func (r *run) dispatch(ctx context.Context, c *Client, st *batchState) error {
 		Benchmark: st.Bench,
 		Insts:     r.opts.Insts,
 		Warmup:    r.opts.Warmup,
+		Pred:      r.opts.Pred,
 		Mode:      r.mode,
 		Decompose: r.mode == "sim" || r.mode == "lockstep",
 		TimeoutMS: int(r.opts.PointTimeout / time.Millisecond),

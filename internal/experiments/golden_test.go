@@ -89,6 +89,29 @@ func TestGoldenA4Table(t *testing.T) {
 	compareGolden(t, filepath.Join("testdata", "golden_a4.txt"), buf.String())
 }
 
+// TestGoldenB1Table pins the equal-budget predictor shootout: the sized
+// configurations, the replayed MPKI/penalty/IPC of every kind, and the
+// budget curve are all deterministic — drift in TAGE, 2Bc-gskew, the
+// storage accounting, or the budget fitter changes the bytes.
+func TestGoldenB1Table(t *testing.T) {
+	var buf bytes.Buffer
+	if err := B1(&buf, goldenParams()); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "golden_b1.txt"), buf.String())
+}
+
+// TestGoldenB2Table pins the taxa breakdown and the H2P table on the
+// history-heavy workload, including the per-taxon penalty attribution from
+// the cycle-level run.
+func TestGoldenB2Table(t *testing.T) {
+	var buf bytes.Buffer
+	if err := B2(&buf, goldenParams()); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "golden_b2.txt"), buf.String())
+}
+
 func compareGolden(t *testing.T, path, got string) {
 	t.Helper()
 	if *updateGolden {

@@ -1,0 +1,76 @@
+package predictability
+
+import (
+	"fmt"
+
+	"intervalsim/internal/bpred"
+	"intervalsim/internal/isa"
+	"intervalsim/internal/trace"
+)
+
+// BudgetPoint is one point on an accuracy-vs-storage curve: the largest
+// sizing of a predictor kind that fits the bit budget, and its measured
+// direction accuracy on a trace.
+type BudgetPoint struct {
+	BudgetBits  int64
+	Config      bpred.Config
+	StorageBits int64   // actual bits used by the chosen sizing
+	Mispredicts uint64  // direction mispredicts over the counted window
+	MPKI        float64 // per counted (post-warmup) instruction
+	Accuracy    float64 // correct direction predictions / branch executions
+}
+
+// BudgetCurve measures how a predictor kind's direction accuracy scales
+// with storage: for each budget it sizes the kind maximally within the
+// budget (ConfigForBudget) and replays the trace's conditional branches
+// through it. Only direction prediction is measured — the BTB is held out
+// of the budget, matching the B1 shootout's framing. Budgets too small for
+// even a single-entry table are an error, as is an unknown kind.
+func BudgetCurve(soa *trace.SoA, kind string, budgets []int64, warmup int) ([]BudgetPoint, error) {
+	n := soa.Len()
+	if warmup > n {
+		warmup = n
+	}
+	counted := n - warmup
+	out := make([]BudgetPoint, 0, len(budgets))
+	for _, budget := range budgets {
+		cfg, ok := bpred.ConfigForBudget(kind, budget)
+		if !ok {
+			return nil, fmt.Errorf("predictability: no %q sizing fits %d bits", kind, budget)
+		}
+		cfg.BTBEntries = 0
+		unit, err := cfg.Build()
+		if err != nil {
+			return nil, fmt.Errorf("predictability: %w", err)
+		}
+		dir := unit.Dir
+		var miss, execs uint64
+		for i := 0; i < n; i++ {
+			if soa.Class(i) != isa.Branch {
+				continue
+			}
+			ok := dir.Access(soa.PC[i], soa.Taken(i))
+			if i < warmup {
+				continue
+			}
+			execs++
+			if !ok {
+				miss++
+			}
+		}
+		pt := BudgetPoint{
+			BudgetBits:  budget,
+			Config:      cfg,
+			StorageBits: cfg.StorageBits(),
+			Mispredicts: miss,
+		}
+		if counted > 0 {
+			pt.MPKI = float64(miss) / float64(counted) * 1000
+		}
+		if execs > 0 {
+			pt.Accuracy = 1 - float64(miss)/float64(execs)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

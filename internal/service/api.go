@@ -19,8 +19,10 @@ package service
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
+	"intervalsim/internal/bpred"
 	"intervalsim/internal/experiments"
 	"intervalsim/internal/uarch"
 	"intervalsim/internal/workload"
@@ -35,12 +37,28 @@ var errBadRequest = errors.New("service: bad request")
 // to the baseline design point (width/depth/rob, the axes every sweep in
 // the repository uses, built by experiments.Point so a point means the same
 // processor here and in cmd/sweep), or a complete uarch.Config for full
-// control. Zero knobs inherit the baseline values.
+// control. Zero knobs inherit the baseline values. Pred swaps the branch
+// predictor for a named preset (bpred.Preset: "tage", "2bc-gskew",
+// "gshare", ...) on top of the knob axes; a full Config instead carries its
+// predictor inline, so the two are mutually exclusive.
 type MachineSpec struct {
 	Width  int           `json:"width,omitempty"`
 	Depth  int           `json:"depth,omitempty"`
 	ROB    int           `json:"rob,omitempty"`
+	Pred   string        `json:"pred,omitempty"`
 	Config *uarch.Config `json:"config,omitempty"`
+}
+
+// resolvePred validates a predictor preset name at admission time, before
+// any machine is built: an unknown name is a client error (HTTP 400), never
+// a worker-side failure.
+func resolvePred(name string) (uarch.PredictorSpec, error) {
+	preset, ok := bpred.Preset(name)
+	if !ok {
+		return uarch.PredictorSpec{}, fmt.Errorf("%w: unknown predictor kind %q (want one of %s)",
+			errBadRequest, name, strings.Join(bpred.PresetNames(), ", "))
+	}
+	return preset, nil
 }
 
 // resolve builds and validates the concrete configuration.
@@ -48,6 +66,9 @@ func (m MachineSpec) resolve() (uarch.Config, error) {
 	if m.Config != nil {
 		if m.Width != 0 || m.Depth != 0 || m.ROB != 0 {
 			return uarch.Config{}, fmt.Errorf("%w: give either knob overrides or a full config, not both", errBadRequest)
+		}
+		if m.Pred != "" {
+			return uarch.Config{}, fmt.Errorf("%w: give either pred or a full config (which carries its own predictor), not both", errBadRequest)
 		}
 		cfg := *m.Config
 		if cfg.Name == "" {
@@ -70,6 +91,13 @@ func (m MachineSpec) resolve() (uarch.Config, error) {
 		r = base.ROBSize
 	}
 	cfg := experiments.Point(w, d, r)
+	if m.Pred != "" {
+		preset, err := resolvePred(m.Pred)
+		if err != nil {
+			return uarch.Config{}, err
+		}
+		cfg.Pred = preset
+	}
 	if err := cfg.Validate(); err != nil {
 		return uarch.Config{}, fmt.Errorf("%w: %v", errBadRequest, err)
 	}
@@ -230,6 +258,7 @@ type SweepRequest struct {
 	Widths    []int            `json:"widths,omitempty"`
 	Depths    []int            `json:"depths,omitempty"`
 	ROBs      []int            `json:"robs,omitempty"`
+	Pred      string           `json:"pred,omitempty"` // predictor preset for every point (default: baseline tournament)
 	Mode      string           `json:"mode,omitempty"` // "sim" (default), "sampled", or "model"
 	// SampleDetailed/SampleSkip are the systematic-sampling phase lengths
 	// (sampled mode only; both must be positive). Warmup becomes the initial

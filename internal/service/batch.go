@@ -37,6 +37,7 @@ type BatchRequest struct {
 	Workload  *workload.Config `json:"workload,omitempty"`
 	Insts     int              `json:"insts,omitempty"`
 	Warmup    uint64           `json:"warmup,omitempty"`
+	Pred      string           `json:"pred,omitempty"` // predictor preset for every point (default: baseline tournament)
 	Mode      string           `json:"mode,omitempty"` // "sim" (default), "lockstep", "sampled", or "model"
 	// Decompose adds the interval penalty decomposition (frontend, drain,
 	// FU, short-data, long-data) to each sim- or lockstep-mode point — the
@@ -129,6 +130,7 @@ func (s *Server) resolveBatch(req *BatchRequest) (batchInputs, error) {
 		Workload:  req.Workload,
 		Insts:     req.Insts,
 		Warmup:    req.Warmup,
+		Machine:   MachineSpec{Pred: req.Pred},
 		TimeoutMS: req.TimeoutMS,
 	})
 	if err != nil {
@@ -201,10 +203,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusInternalServerError, err, outcomeError)
 		return
 	}
-	base := uarch.Baseline()
 	var ov *overlay.Overlay
 	if in.mode != "sampled" {
-		if ov, err = s.overlayFor(soa, base.Pred, base.Mem); err != nil {
+		if ov, err = s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem); err != nil {
 			s.reject(w, http.StatusInternalServerError, err, outcomeError)
 			return
 		}
@@ -217,7 +218,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				maxROB = sp.ROB
 			}
 		}
-		set, err = core.NewModelSet(soa, ov, base, maxROB, in.warmup, in.insts)
+		set, err = core.NewModelSet(soa, ov, in.cfg, maxROB, in.warmup, in.insts)
 		if err != nil {
 			s.reject(w, http.StatusInternalServerError, err, outcomeError)
 			return
@@ -247,6 +248,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for _, sp := range in.specs {
 			sp := sp
 			cfg := experiments.Point(sp.Width, sp.Depth, sp.ROB)
+			cfg.Pred = in.cfg.Pred
 			line := BatchPoint{Seq: sp.Seq, Width: sp.Width, Depth: sp.Depth, ROB: sp.ROB}
 			t := &task{
 				name:    fmt.Sprintf("batch-%s-%s", in.wc.Name, cfg.Name),
@@ -364,6 +366,7 @@ func (s *Server) submitLockstepSets(r *http.Request, tr *trace.Trace, soa *trace
 		pts := make([]BatchPoint, len(set))
 		for i, sp := range set {
 			cfgs[i] = experiments.Point(sp.Width, sp.Depth, sp.ROB)
+			cfgs[i].Pred = in.cfg.Pred
 			pts[i] = BatchPoint{Seq: sp.Seq, Width: sp.Width, Depth: sp.Depth, ROB: sp.ROB}
 		}
 		emitAll := func(err error, outcome string) {

@@ -78,12 +78,15 @@ type sweepKeyDoc struct {
 	// keyVersion bump: stored results stay addressable.
 	SampleDetailed uint64 `json:"sample_detailed,omitempty"`
 	SampleSkip     uint64 `json:"sample_skip,omitempty"`
-	SpecFP         uint64 `json:"spec_fp"`
+	// Predictor preset name, empty for the baseline tournament. omitempty
+	// for the same reason: a default-predictor sweep keeps its historical
+	// key bytes, and SpecFP below already pins the resolved predictor.
+	Pred   string `json:"pred,omitempty"`
+	SpecFP uint64 `json:"spec_fp"`
 }
 
 // sweepKey builds the canonical identity bytes for a resolved sweep.
 func sweepKey(in sweepInputs) []byte {
-	base := uarch.Baseline()
 	raw, err := json.Marshal(sweepKeyDoc{
 		V:              keyVersion,
 		Kind:           "sweep",
@@ -96,7 +99,8 @@ func sweepKey(in sweepInputs) []byte {
 		Mode:           in.mode,
 		SampleDetailed: in.sampleDetailed,
 		SampleSkip:     in.sampleSkip,
-		SpecFP:         overlay.SpecFingerprint(base.Pred, base.Mem),
+		Pred:           in.pred,
+		SpecFP:         overlay.SpecFingerprint(in.cfg.Pred, in.cfg.Mem),
 	})
 	if err != nil {
 		panic(fmt.Sprintf("service: canonical key marshal: %v", err))

@@ -630,6 +630,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 type sweepInputs struct {
 	simInputs
 	widths, depths, robs []int
+	pred                 string // predictor preset name ("" = baseline)
 	mode                 string
 	sampleDetailed       uint64
 	sampleSkip           uint64
@@ -641,12 +642,13 @@ func (s *Server) resolveSweep(req *SweepRequest) (sweepInputs, error) {
 		Workload:  req.Workload,
 		Insts:     req.Insts,
 		Warmup:    req.Warmup,
+		Machine:   MachineSpec{Pred: req.Pred},
 		TimeoutMS: req.TimeoutMS,
 	})
 	if err != nil {
 		return sweepInputs{}, err
 	}
-	in := sweepInputs{simInputs: base, widths: req.Widths, depths: req.Depths, robs: req.ROBs}
+	in := sweepInputs{simInputs: base, widths: req.Widths, depths: req.Depths, robs: req.ROBs, pred: req.Pred}
 	if len(in.widths) == 0 {
 		in.widths = []int{2, 4, 8}
 	}
@@ -713,10 +715,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusInternalServerError, err, outcomeError)
 		return
 	}
-	base := uarch.Baseline()
+	// Speculation artifacts follow the request's resolved predictor (the
+	// baseline unless the sweep names a preset), so every predictor kind
+	// gets its own memoized overlay and model.
 	var ov *overlay.Overlay
 	if in.mode != "sampled" {
-		if ov, err = s.overlayFor(soa, base.Pred, base.Mem); err != nil {
+		if ov, err = s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem); err != nil {
 			s.reject(w, http.StatusInternalServerError, err, outcomeError)
 			return
 		}
@@ -729,7 +733,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				maxROB = rob
 			}
 		}
-		set, err = core.NewModelSet(soa, ov, base, maxROB, in.warmup, in.insts)
+		set, err = core.NewModelSet(soa, ov, in.cfg, maxROB, in.warmup, in.insts)
 		if err != nil {
 			s.reject(w, http.StatusInternalServerError, err, outcomeError)
 			return
@@ -772,6 +776,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		for _, pt := range points {
 			pt := pt
 			cfg := experiments.Point(pt.width, pt.depth, pt.rob)
+			cfg.Pred = in.cfg.Pred
 			line := SweepPoint{Seq: pt.seq, Width: pt.width, Depth: pt.depth, ROB: pt.rob}
 			t := &task{
 				name:     fmt.Sprintf("sweep-%s-%s", in.wc.Name, cfg.Name),

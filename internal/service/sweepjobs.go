@@ -14,7 +14,6 @@ import (
 	"intervalsim/internal/experiments"
 	"intervalsim/internal/overlay"
 	"intervalsim/internal/store"
-	"intervalsim/internal/uarch"
 	"intervalsim/internal/workload"
 )
 
@@ -40,6 +39,7 @@ type sweepJobSpec struct {
 	Widths         []int            `json:"widths"`
 	Depths         []int            `json:"depths"`
 	ROBs           []int            `json:"robs"`
+	Pred           string           `json:"pred,omitempty"`
 	Mode           string           `json:"mode"`
 	SampleDetailed uint64           `json:"sample_detailed,omitempty"`
 	SampleSkip     uint64           `json:"sample_skip,omitempty"`
@@ -58,6 +58,7 @@ func (sp sweepJobSpec) request() *SweepRequest {
 		Widths:         sp.Widths,
 		Depths:         sp.Depths,
 		ROBs:           sp.ROBs,
+		Pred:           sp.Pred,
 		Mode:           sp.Mode,
 		SampleDetailed: sp.SampleDetailed,
 		SampleSkip:     sp.SampleSkip,
@@ -133,6 +134,7 @@ func (s *Server) handleSweepJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Widths:         in.widths,
 		Depths:         in.depths,
 		ROBs:           in.robs,
+		Pred:           in.pred,
 		Mode:           in.mode,
 		SampleDetailed: in.sampleDetailed,
 		SampleSkip:     in.sampleSkip,
@@ -271,10 +273,9 @@ func (s *Server) runSweepJob(id string, j *store.Log, spec sweepJobSpec, in swee
 		failJob(err)
 		return
 	}
-	base := uarch.Baseline()
 	var ov *overlay.Overlay
 	if in.mode != "sampled" {
-		if ov, err = s.overlayFor(soa, base.Pred, base.Mem); err != nil {
+		if ov, err = s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem); err != nil {
 			failJob(err)
 			return
 		}
@@ -287,7 +288,7 @@ func (s *Server) runSweepJob(id string, j *store.Log, spec sweepJobSpec, in swee
 				maxROB = rob
 			}
 		}
-		set, err = core.NewModelSet(soa, ov, base, maxROB, in.warmup, in.insts)
+		set, err = core.NewModelSet(soa, ov, in.cfg, maxROB, in.warmup, in.insts)
 		if err != nil {
 			failJob(err)
 			return
@@ -321,6 +322,7 @@ func (s *Server) runSweepJob(id string, j *store.Log, spec sweepJobSpec, in swee
 	for _, pt := range todo {
 		pt := pt
 		cfg := experiments.Point(pt.width, pt.depth, pt.rob)
+		cfg.Pred = in.cfg.Pred
 		line := SweepPoint{Seq: pt.seq, Width: pt.width, Depth: pt.depth, ROB: pt.rob}
 		t := &task{
 			name:     fmt.Sprintf("sweepjob-%s-%d", id, pt.seq),
