@@ -24,6 +24,7 @@ import (
 	"intervalsim/internal/predictability"
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
+	"intervalsim/internal/vpred"
 	"intervalsim/internal/workload"
 )
 
@@ -418,4 +419,46 @@ func BenchmarkA4SampledCI(b *testing.B)         { runExperiment(b, experiments.A
 func BenchmarkB1PredictorShootout(b *testing.B) { runExperiment(b, experiments.B1) }
 func BenchmarkB2PredictabilityTaxa(b *testing.B) {
 	runExperiment(b, experiments.B2)
+}
+func BenchmarkC1ValuePrediction(b *testing.B) { runExperiment(b, experiments.C1) }
+func BenchmarkC2FetchThrottle(b *testing.B)   { runExperiment(b, experiments.C2) }
+
+// BenchmarkVPred times the raw value-prediction unit on a cyclic PC stream:
+// the per-access cost every eligible instruction pays in a value-speculating
+// overlay pre-pass or live run.
+func BenchmarkVPred(b *testing.B) {
+	cfg, _ := vpred.Preset("stride")
+	cfg.Stream = vpred.DefaultStream()
+	r, err := vpred.NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Access(uint64(0x1000 + (i%512)*4))
+	}
+}
+
+// BenchmarkFetchRate measures the cycle-level simulator with value
+// prediction and fetch throttling both enabled — the full value-speculation
+// slow path against plain BenchmarkSimulator.
+func BenchmarkFetchRate(b *testing.B) {
+	wc, _ := workload.SuiteConfig("crafty")
+	soa, err := trace.PackReader(workload.MustNew(wc, 200_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := uarch.Baseline()
+	vp, _ := vpred.Preset("stride")
+	vp.Stream = wc.ValueStream()
+	cfg.VPred = &vp
+	cfg.FetchRate = 0.5
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uarch.Run(soa.Reader(), cfg, uarch.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(soa.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
 }

@@ -44,6 +44,7 @@ import (
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
 	"intervalsim/internal/version"
+	"intervalsim/internal/vpred"
 	"intervalsim/internal/workload"
 )
 
@@ -122,6 +123,23 @@ type predPoint struct {
 	Accuracy    float64 `json:"accuracy"`
 }
 
+// vpredPoint is one value-predictor preset of the value-speculation timing
+// matrix: the preset at its canonical sizing driven over crafty's eligible
+// (load and register-writing ALU) instruction stream with the workload's own
+// value stream. PredPerS is raw Access calls per second — the per-eligible-
+// instruction cost a value-speculating overlay pre-pass or live run pays —
+// and the hit/misspec rates record what that cost buys on the same stream.
+type vpredPoint struct {
+	Kind        string  `json:"kind"`
+	Entries     int     `json:"entries"`
+	StorageBits int64   `json:"storage_bits"`
+	Eligible    uint64  `json:"eligible"`
+	Runs        int     `json:"runs"`
+	PredPerS    float64 `json:"pred_per_s"`
+	HitRate     float64 `json:"hit_rate"`
+	MisspecRate float64 `json:"misspec_rate"`
+}
+
 // clusterFleet is one fleet size of the cluster scale-out benchmark. Each
 // fleet partitions the host's real cores across its daemons and is timed
 // twice from cold — with peer cache fills off, then on — so the recorded
@@ -181,6 +199,7 @@ type benchReport struct {
 	Config     string        `json:"config"`
 	Points     []benchPoint  `json:"points"`
 	Predictors []predPoint   `json:"predictors"`
+	VPred      []vpredPoint  `json:"value_predictors"`
 	Sweep      *sweepBench   `json:"sweep"`
 	Cluster    *clusterBench `json:"cluster"`
 }
@@ -276,6 +295,11 @@ func run(quick bool, runs int, stdout io.Writer) (*benchReport, error) {
 		return nil, err
 	}
 	rep.Predictors = preds
+	vps, err := measureValuePredictors(quick, runs, stdout)
+	if err != nil {
+		return nil, err
+	}
+	rep.VPred = vps
 	sw, err := measureSweep(quick)
 	if err != nil {
 		return nil, err
@@ -710,6 +734,72 @@ func measurePredictors(quick bool, runs int, stdout io.Writer) ([]predPoint, err
 		}
 		fmt.Fprintf(stdout, "%-12s %8d %10.1f KB %12.2f %8.2f %10.3f\n",
 			pt.Kind, pt.Entries, float64(pt.StorageBits)/8/1024, pt.PredPerS/1e6, pt.MPKI, pt.Accuracy)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// measureValuePredictors times every value-predictor preset over crafty's
+// eligible instruction stream (loads and register-writing ALU ops — the
+// instructions overlay.VPredEligible admits), extracted once from the packed
+// trace so only the Runner's Access path is inside the clock. The stream is
+// the workload's own value stream, the hit/misspec rates are counted on the
+// same timed pass, and the best of `runs` repetitions is kept, mirroring
+// measurePredictors.
+func measureValuePredictors(quick bool, runs int, stdout io.Writer) ([]vpredPoint, error) {
+	_, insts := matrix(quick)
+	wc, ok := workload.SuiteConfig("crafty")
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", "crafty")
+	}
+	soa, err := trace.PackReader(workload.MustNew(wc, insts))
+	if err != nil {
+		return nil, err
+	}
+	var pcs []uint64
+	for i := 0; i < soa.Len(); i++ {
+		if overlay.VPredEligible(soa.Class(i), soa.Dst[i]) {
+			pcs = append(pcs, soa.PC[i])
+		}
+	}
+	fmt.Fprintf(stdout, "%-12s %8s %12s %12s %10s %10s\n", "vpredictor", "entries", "storage", "Mpred/s", "hit rate", "misspec")
+	var out []vpredPoint
+	for _, name := range vpred.PresetNames() {
+		cfg, _ := vpred.Preset(name)
+		cfg.Stream = wc.ValueStream()
+		pt := vpredPoint{
+			Kind:        name,
+			Entries:     cfg.Entries,
+			StorageBits: cfg.StorageBits(),
+			Eligible:    uint64(len(pcs)),
+			Runs:        runs,
+		}
+		var hits, misspecs uint64
+		for r := 0; r < runs; r++ {
+			runner, err := vpred.NewRunner(cfg)
+			if err != nil {
+				return nil, err
+			}
+			hits, misspecs = 0, 0
+			t0 := time.Now()
+			for _, pc := range pcs {
+				switch runner.Access(pc) {
+				case vpred.Hit:
+					hits++
+				case vpred.Miss:
+					misspecs++
+				}
+			}
+			if pps := float64(len(pcs)) / time.Since(t0).Seconds(); pps > pt.PredPerS {
+				pt.PredPerS = pps
+			}
+		}
+		if len(pcs) > 0 {
+			pt.HitRate = float64(hits) / float64(len(pcs))
+			pt.MisspecRate = float64(misspecs) / float64(len(pcs))
+		}
+		fmt.Fprintf(stdout, "%-12s %8d %10.1f KB %12.2f %10.3f %10.3f\n",
+			pt.Kind, pt.Entries, float64(pt.StorageBits)/8/1024, pt.PredPerS/1e6, pt.HitRate, pt.MisspecRate)
 		out = append(out, pt)
 	}
 	return out, nil

@@ -90,7 +90,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 // table last, so an unattended run always reports how far it got.
 func runAll(stdout, stderr io.Writer, p experiments.Params, opts experiments.RunOptions) int {
 	outcomes, err := experiments.RunAll(context.Background(), stdout, p, opts)
-	if terr := experiments.PassFailTable(stdout, outcomes); terr != nil {
+	if terr := experiments.PassFailTable(stdout, outcomes, p.Deterministic); terr != nil {
 		fmt.Fprintln(stderr, "experiments:", terr)
 		return 1
 	}

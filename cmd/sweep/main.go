@@ -58,6 +58,7 @@ import (
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
 	"intervalsim/internal/version"
+	"intervalsim/internal/vpred"
 	"intervalsim/internal/workload"
 )
 
@@ -73,6 +74,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	bench := fs.String("bench", "crafty", "benchmark to sweep")
 	pred := fs.String("pred", "", "branch predictor preset for every grid point (e.g. tage, 2bc-gskew, gshare; empty = baseline tournament)")
+	vpredName := fs.String("vpred", "", "value predictor preset for every grid point (e.g. last-value, stride, fcm; empty = no value speculation)")
+	fetchRate := fs.Float64("fetchrate", 0, "fetch rate after low-confidence branches, in (0, 1] (0 = full rate, no throttling)")
 	mode := fs.String("mode", "sim", "engine per grid point: sim (cycle-level), lockstep (K configs per trace pass, same rows as sim), sampled (systematic sampling with confidence intervals), or model (analytic interval model)")
 	insts := fs.Int("insts", 1_000_000, "dynamic instructions per point")
 	warmup := fs.Uint64("warmup", 200_000, "warmup instructions per point (the initial functional skip in sampled mode)")
@@ -122,11 +125,24 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	if *vpredName != "" {
+		if _, ok := vpred.Preset(*vpredName); !ok {
+			fmt.Fprintf(stderr, "sweep: unknown value predictor preset %q (want one of %s)\n",
+				*vpredName, strings.Join(vpred.PresetNames(), ", "))
+			return 2
+		}
+	}
+	if *fetchRate < 0 || *fetchRate > 1 {
+		fmt.Fprintf(stderr, "sweep: -fetchrate %v outside (0, 1]\n", *fetchRate)
+		return 2
+	}
 	params := sweepParams{
 		mode:           *mode,
 		insts:          *insts,
 		warmup:         *warmup,
 		pred:           *pred,
+		vpred:          *vpredName,
+		fetchRate:      *fetchRate,
 		lockstepK:      *lockstepK,
 		sampleDetailed: *sampleDetailed,
 		sampleSkip:     *sampleSkip,
@@ -152,7 +168,9 @@ type sweepParams struct {
 	mode           string
 	insts          int
 	warmup         uint64
-	pred           string // predictor preset name; "" = baseline tournament
+	pred           string  // predictor preset name; "" = baseline tournament
+	vpred          string  // value predictor preset name; "" = no value speculation
+	fetchRate      float64 // post-low-confidence-branch fetch rate; 0 = full
 	lockstepK      int
 	sampleDetailed uint64
 	sampleSkip     uint64
@@ -181,6 +199,8 @@ func runCluster(stdout, stderr io.Writer, endpoints, bench string, p sweepParams
 		Insts:          p.insts,
 		Warmup:         p.warmup,
 		Pred:           p.pred,
+		VPred:          p.vpred,
+		FetchRate:      p.fetchRate,
 		LockstepK:      p.lockstepK,
 		SampleDetailed: p.sampleDetailed,
 		SampleSkip:     p.sampleSkip,
@@ -303,9 +323,20 @@ func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, p sw
 		}
 		base.Pred = preset
 	}
+	if p.vpred != "" {
+		preset, ok := vpred.Preset(p.vpred)
+		if !ok {
+			return fmt.Errorf("unknown value predictor preset %q", p.vpred)
+		}
+		// The preset carries predictor geometry only; the value stream is the
+		// workload's, so the same preset means the same run everywhere.
+		preset.Stream = wc.ValueStream()
+		base.VPred = &preset
+	}
+	base.FetchRate = p.fetchRate
 	var ov *overlay.Overlay
 	if p.mode != "sampled" {
-		if ov, err = overlay.Shared.Get(soa, base.Pred, base.Mem); err != nil {
+		if ov, err = overlay.Shared.GetSpec(soa, base.Pred, base.Mem, base.VPred); err != nil {
 			return err
 		}
 	}
@@ -315,6 +346,8 @@ func run(ctx context.Context, stdout, stderr io.Writer, wc workload.Config, p sw
 	points := grid()
 	for i := range points {
 		points[i].Pred = base.Pred
+		points[i].VPred = base.VPred
+		points[i].FetchRate = base.FetchRate
 	}
 	var jobs []harness.Job[[][]string]
 	var headers []string

@@ -35,6 +35,7 @@ import (
 	"intervalsim/internal/bpred"
 	"intervalsim/internal/cluster"
 	"intervalsim/internal/version"
+	"intervalsim/internal/vpred"
 	"intervalsim/internal/workload"
 )
 
@@ -73,6 +74,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	insts := fs.Int("insts", 1_000_000, "dynamic instructions per point")
 	warmup := fs.Uint64("warmup", 200_000, "warmup instructions per point")
 	pred := fs.String("pred", "", "branch predictor preset for every grid point (e.g. tage, 2bc-gskew; empty = baseline tournament)")
+	vpredName := fs.String("vpred", "", "value predictor preset for every grid point (e.g. last-value, stride, fcm; empty = no value speculation)")
+	fetchRate := fs.Float64("fetchrate", 0, "fetch rate after low-confidence branches, in (0, 1] (0 = full rate)")
 	widths := fs.String("widths", "2,4,8", "dispatch-width axis")
 	depths := fs.String("depths", "3,7,11", "frontend-depth axis")
 	robs := fs.String("robs", "64,128,256", "ROB-size axis")
@@ -133,6 +136,17 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	if *vpredName != "" {
+		if _, ok := vpred.Preset(*vpredName); !ok {
+			fmt.Fprintf(stderr, "sweepctl: unknown value predictor preset %q (want one of %s)\n",
+				*vpredName, strings.Join(vpred.PresetNames(), ", "))
+			return 2
+		}
+	}
+	if *fetchRate < 0 || *fetchRate > 1 {
+		fmt.Fprintf(stderr, "sweepctl: -fetchrate %v outside (0, 1]\n", *fetchRate)
+		return 2
+	}
 	ws, err := splitInts(*widths)
 	if err == nil && len(ws) == 0 {
 		err = fmt.Errorf("empty -widths")
@@ -185,6 +199,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Insts:           *insts,
 		Warmup:          *warmup,
 		Pred:            *pred,
+		VPred:           *vpredName,
+		FetchRate:       *fetchRate,
 		BatchSize:       *batch,
 		PointTimeout:    *timeout,
 		Retries:         *retries,

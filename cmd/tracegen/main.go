@@ -28,8 +28,31 @@ func main() {
 	out := flag.String("out", ".", "output directory")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	configFile := flag.String("config", "", "JSON workload configuration file")
+	valueSeed := flag.Uint64("value-seed", 0, "value-stream seed override (0 = workload default)")
+	valueConst := flag.Int("value-const", -1, "percent of result values that repeat a constant (-1 = workload default)")
+	valueStride := flag.Int("value-stride", -1, "percent of result values that follow a stride (-1 = workload default)")
+	valuePattern := flag.Int("value-pattern", -1, "percent of result values that cycle a short pattern (-1 = workload default)")
 	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+
+	// applyValueStream overlays any explicit value-stream flags onto a
+	// workload configuration before generation, so traces carry the
+	// requested predictability mix.
+	applyValueStream := func(cfg workload.Config) workload.Config {
+		if *valueSeed != 0 {
+			cfg.ValueSeed = *valueSeed
+		}
+		if *valueConst >= 0 {
+			cfg.ValueConstPct = *valueConst
+		}
+		if *valueStride >= 0 {
+			cfg.ValueStridePct = *valueStride
+		}
+		if *valuePattern >= 0 {
+			cfg.ValuePatternPct = *valuePattern
+		}
+		return cfg
+	}
 
 	if *showVersion {
 		fmt.Println("tracegen", version.String())
@@ -56,7 +79,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}
-		if err := writeTrace(cfg, *n, *out); err != nil {
+		if err := writeTrace(applyValueStream(cfg), *n, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}
@@ -75,7 +98,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tracegen: unknown benchmark %q (use -list)\n", name)
 			os.Exit(2)
 		}
-		if err := writeTrace(cfg, *n, *out); err != nil {
+		if err := writeTrace(applyValueStream(cfg), *n, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}

@@ -38,6 +38,12 @@ type Options struct {
 	Warmup uint64 // warmup instructions per point
 	Pred   string // predictor preset for every point ("" = baseline tournament)
 
+	// VPred is the value-predictor preset for every point ("" = no value
+	// speculation); FetchRate throttles frontend fetch after low-confidence
+	// branches (0 = full rate). Both are validated at daemon admission.
+	VPred     string
+	FetchRate float64
+
 	// LockstepK is the number of configurations each daemon advances per
 	// lockstep set in lockstep mode (0 means the daemon default of 8).
 	LockstepK int
@@ -436,6 +442,8 @@ func (r *run) dispatch(ctx context.Context, c *Client, st *batchState) error {
 		Insts:     r.opts.Insts,
 		Warmup:    r.opts.Warmup,
 		Pred:      r.opts.Pred,
+		VPred:     r.opts.VPred,
+		FetchRate: r.opts.FetchRate,
 		Mode:      r.mode,
 		Decompose: r.mode == "sim" || r.mode == "lockstep",
 		TimeoutMS: int(r.opts.PointTimeout / time.Millisecond),

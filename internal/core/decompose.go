@@ -75,7 +75,7 @@ func (d *Decomposer) Decompose(rec uarch.MispredictRecord) (Breakdown, bool) {
 	full := ilp.CriticalPathTo(window, d.latency(base, true, true))
 
 	b := Breakdown{
-		Frontend:      float64(d.cfg.FrontendDepth),
+		Frontend:      frontendRefill(d.cfg),
 		BaseILP:       unit,
 		FULatency:     fu - unit,
 		ShortDMiss:    short - fu,

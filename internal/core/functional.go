@@ -5,8 +5,10 @@ import (
 
 	"intervalsim/internal/cache"
 	"intervalsim/internal/isa"
+	"intervalsim/internal/overlay"
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
+	"intervalsim/internal/vpred"
 )
 
 // Profile is the outcome of fast functional simulation: the miss-event
@@ -30,6 +32,9 @@ type Profile struct {
 	ShortDMisses uint64
 	LongDMisses  uint64
 	LongSerial   uint64 // long misses address-dependent on a prior in-window long miss
+
+	ValuePredHits uint64 // confident-correct value predictions (dependence broken)
+	ValueMisspecs uint64 // confident-wrong value predictions (pipeline flush)
 }
 
 // ShortMissRatio returns the fraction of loads served by the L2.
@@ -55,6 +60,12 @@ func FunctionalProfile(r trace.Reader, cfg uarch.Config, warmup, maxInsts uint64
 		return nil, err
 	}
 	mem := cache.NewHierarchy(cfg.Mem)
+	var vrun *vpred.Runner
+	if cfg.VPred != nil {
+		if vrun, err = vpred.NewRunner(*cfg.VPred); err != nil {
+			return nil, err
+		}
+	}
 	lineMask := ^uint64(mem.LineSizeI() - 1)
 	p := &Profile{Warmup: warmup}
 	var curLine uint64
@@ -93,6 +104,25 @@ func FunctionalProfile(r trace.Reader, cfg uarch.Config, warmup, maxInsts uint64
 				p.Events = append(p.Events, uarch.MissEvent{
 					Kind: uarch.EvICacheMiss, Index: idx, Level: lvl,
 				})
+			}
+		}
+
+		// Value prediction runs at fetch, before the instruction's own data
+		// access — the same program-order point as the cycle-level simulator
+		// and the overlay pre-pass, so all three agree on predictor state.
+		if vrun != nil && overlay.VPredEligible(in.Class, in.Dst) {
+			switch vrun.Access(in.PC) {
+			case vpred.Hit:
+				if counting {
+					p.ValuePredHits++
+				}
+			case vpred.Miss:
+				if counting {
+					p.ValueMisspecs++
+					p.Events = append(p.Events, uarch.MissEvent{
+						Kind: uarch.EvValueMisspec, Index: idx,
+					})
+				}
 			}
 		}
 

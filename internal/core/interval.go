@@ -47,8 +47,8 @@ func (iv Interval) Len() uint64 { return iv.End - iv.Start }
 // using the recorded miss events. Events are sorted by instruction index;
 // multiple events on one instruction (e.g. an I-cache miss while fetching a
 // branch that then mispredicts) collapse into one boundary, keeping the
-// highest-priority kind (mispredict > I-cache > long D-miss). The returned
-// intervals exactly tile [0, totalInsts).
+// highest-priority kind (mispredict > value-misspec > I-cache > long
+// D-miss). The returned intervals exactly tile [0, totalInsts).
 func Segment(events []uarch.MissEvent, totalInsts uint64) ([]Interval, error) {
 	evs := append([]uarch.MissEvent(nil), events...)
 	sort.Slice(evs, func(i, j int) bool {
@@ -78,6 +78,11 @@ func Segment(events []uarch.MissEvent, totalInsts uint64) ([]Interval, error) {
 func eventPriority(k uarch.EventKind) int {
 	switch k {
 	case uarch.EvBranchMispredict:
+		return 4
+	case uarch.EvValueMisspec:
+		// A value misspeculation is a pipeline flush like a mispredict; it
+		// outranks the cache events that can share its instruction (a
+		// misspeculated load can itself long-miss).
 		return 3
 	case uarch.EvICacheMiss:
 		return 2

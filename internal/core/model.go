@@ -108,6 +108,19 @@ func MachineLatency(cfg uarch.Config, shortRatio float64) ilp.LatencyFunc {
 // window and its earliest issue.
 const dispatchToIssue = 1
 
+// frontendRefill is the modeled cost of refilling the frontend after a
+// pipeline flush. With a variable-rate frontend (FetchRate in (0,1)) the
+// first post-flush fetch groups trail a low-confidence branch and move at
+// only FetchRate of full width, stretching the refill by the expected extra
+// cycles per group, 1/rate − 1 (Ramachandran & Johnson).
+func frontendRefill(cfg uarch.Config) float64 {
+	d := float64(cfg.FrontendDepth)
+	if r := cfg.FetchRate; r > 0 && r < 1 {
+		d += 1/r - 1
+	}
+	return d
+}
+
 // MispredictPenalty predicts the penalty of a misprediction occurring
 // sinceLast instructions after the previous miss event: the window drain
 // (bounded by how much of the window could refill since the last event —
@@ -127,7 +140,7 @@ func (m *Model) MispredictPenalty(sinceLast uint64) float64 {
 			drain = m.KRes.EvalInterp(int(occ))
 		}
 	}
-	return drain + dispatchToIssue + float64(m.Cfg.FrontendDepth)
+	return drain + dispatchToIssue + frontendRefill(m.Cfg)
 }
 
 // CPIBreakdown is the model's cycle stack, in total cycles. The paper's
@@ -138,10 +151,13 @@ type CPIBreakdown struct {
 	Bpred    float64 // Σ misprediction penalties
 	ICache   float64 // Σ I-cache miss delays
 	LongData float64 // Σ serialized long D-miss delays (MLP-aware)
+	VMisspec float64 // Σ value-misspeculation flush penalties
 }
 
 // Total returns the predicted cycle count.
-func (b CPIBreakdown) Total() float64 { return b.Base + b.Bpred + b.ICache + b.LongData }
+func (b CPIBreakdown) Total() float64 {
+	return b.Base + b.Bpred + b.ICache + b.LongData + b.VMisspec
+}
 
 // CPI returns the predicted cycles per instruction.
 func (b CPIBreakdown) CPI() float64 {
@@ -206,6 +222,11 @@ func (m *Model) PredictCPI(p *Profile) (CPIBreakdown, error) {
 		switch iv.Kind {
 		case uarch.EvBranchMispredict:
 			b.Bpred += m.MispredictPenalty(iv.Len() - 1)
+		case uarch.EvValueMisspec:
+			// A confident-wrong value prediction flushes at dispatch and
+			// resumes fetch when the misspeculated instruction executes —
+			// the same drain-plus-refill shape as a branch mispredict.
+			b.VMisspec += m.MispredictPenalty(iv.Len() - 1)
 		case uarch.EvICacheMiss:
 			if iv.Level == cache.LongMiss {
 				b.ICache += float64(lat.Mem)

@@ -61,7 +61,8 @@ func NewModelSet(soa *trace.SoA, ov *overlay.Overlay, base uarch.Config, maxROB 
 	if ov.Trace != soa {
 		return nil, fmt.Errorf("%w: overlay was computed for a different trace", ErrBadInput)
 	}
-	if ov.PredFP != base.Pred.Fingerprint() || ov.MemFP != base.Mem.Fingerprint() {
+	if ov.PredFP != base.Pred.Fingerprint() || ov.MemFP != base.Mem.Fingerprint() ||
+		ov.VPredFP != vpredConfigFP(base.VPred) {
 		return nil, fmt.Errorf("%w: overlay fingerprints do not match the base configuration", ErrBadInput)
 	}
 	return &ModelSet{
@@ -91,7 +92,8 @@ func (s *ModelSet) For(cfg uarch.Config) (*Model, *Profile, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
-	if cfg.Pred.Fingerprint() != s.ov.PredFP || cfg.Mem.Fingerprint() != s.ov.MemFP {
+	if cfg.Pred.Fingerprint() != s.ov.PredFP || cfg.Mem.Fingerprint() != s.ov.MemFP ||
+		vpredConfigFP(cfg.VPred) != s.ov.VPredFP {
 		return nil, nil, fmt.Errorf("%w: configuration's speculation state differs from the overlay's", ErrBadInput)
 	}
 	if cfg.Mem.Lat != s.base.Mem.Lat || fuLatencies(cfg.FU) != fuLatencies(s.base.FU) {

@@ -8,7 +8,17 @@ import (
 	"intervalsim/internal/overlay"
 	"intervalsim/internal/trace"
 	"intervalsim/internal/uarch"
+	"intervalsim/internal/vpred"
 )
+
+// vpredConfigFP names a machine's value-predictor configuration the way
+// overlays do: 0 for the classic vpred-less machine.
+func vpredConfigFP(vp *vpred.Config) uint64 {
+	if vp == nil {
+		return 0
+	}
+	return vp.Fingerprint()
+}
 
 // OverlayProfile builds the same Profile as FunctionalProfile from a
 // precomputed miss-event overlay instead of live predictor and cache
@@ -34,6 +44,9 @@ func OverlayProfile(soa *trace.SoA, ov *overlay.Overlay, cfg uarch.Config, warmu
 	}
 	if ov.PredFP != cfg.Pred.Fingerprint() || ov.MemFP != cfg.Mem.Fingerprint() {
 		return nil, fmt.Errorf("core: overlay fingerprints do not match the configuration")
+	}
+	if ov.VPredFP != vpredConfigFP(cfg.VPred) {
+		return nil, fmt.Errorf("core: overlay value-predictor fingerprint does not match the configuration")
 	}
 	n := uint64(soa.Len())
 	if maxInsts > 0 && maxInsts < n {
@@ -64,6 +77,26 @@ func OverlayProfile(soa *trace.SoA, ov *overlay.Overlay, cfg uarch.Config, warmu
 				p.Events = append(p.Events, uarch.MissEvent{
 					Kind: uarch.EvICacheMiss, Index: idx, Level: lvl,
 				})
+			}
+		}
+
+		// Value-speculation bits, appended in the same order as
+		// FunctionalProfile (after the I-cache event, before the data/control
+		// event). The pre-pass only sets these bits on eligible instructions,
+		// so no eligibility re-check is needed.
+		if ov.VPredFP != 0 {
+			switch {
+			case code&overlay.VPredHit != 0:
+				if counting {
+					p.ValuePredHits++
+				}
+			case code&overlay.VPredMiss != 0:
+				if counting {
+					p.ValueMisspecs++
+					p.Events = append(p.Events, uarch.MissEvent{
+						Kind: uarch.EvValueMisspec, Index: idx,
+					})
+				}
 			}
 		}
 

@@ -77,13 +77,13 @@ func TestEveryExperimentRuns(t *testing.T) {
 
 func TestRegistryCoversAll(t *testing.T) {
 	reg := Registry()
-	for _, id := range []string{"t1", "t2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3", "a4", "b1", "b2"} {
+	for _, id := range []string{"t1", "t2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3", "a4", "b1", "b2", "c1", "c2"} {
 		if _, ok := reg[id]; !ok {
 			t.Errorf("registry missing %s", id)
 		}
 	}
-	if len(reg) != 20 {
-		t.Errorf("registry has %d entries, want 20", len(reg))
+	if len(reg) != 22 {
+		t.Errorf("registry has %d entries, want 22", len(reg))
 	}
 }
 

@@ -80,7 +80,10 @@ func runSet(ctx context.Context, w io.Writer, p Params, opts RunOptions, order [
 }
 
 // PassFailTable renders the final pass/fail table of a RunAll regeneration.
-func PassFailTable(w io.Writer, outcomes []Outcome) error {
+// deterministic replaces the elapsed-time column with a placeholder so the
+// table — and with it the whole "all" artifact — is byte-reproducible (the
+// CLI's -deterministic flag).
+func PassFailTable(w io.Writer, outcomes []Outcome, deterministic bool) error {
 	t := report.New("experiment summary", "experiment", "status", "time", "detail")
 	for _, o := range outcomes {
 		status, detail := "PASS", ""
@@ -88,7 +91,11 @@ func PassFailTable(w io.Writer, outcomes []Outcome) error {
 			status = "FAIL"
 			detail = o.Err.Error()
 		}
-		t.AddRow(o.ID, status, o.Duration.Round(time.Millisecond).String(), detail)
+		elapsed := o.Duration.Round(time.Millisecond).String()
+		if deterministic {
+			elapsed = "-"
+		}
+		t.AddRow(o.ID, status, elapsed, detail)
 	}
 	return t.Fprint(w)
 }

@@ -73,7 +73,7 @@ func TestPassFailTable(t *testing.T) {
 	var discard strings.Builder
 	outcomes, _ := runSet(context.Background(), &discard, Params{}, RunOptions{Jobs: 2, KeepGoing: true}, order, reg)
 	var sb strings.Builder
-	if err := PassFailTable(&sb, outcomes); err != nil {
+	if err := PassFailTable(&sb, outcomes, false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -81,6 +81,16 @@ func TestPassFailTable(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("pass/fail table missing %q:\n%s", want, out)
 		}
+	}
+
+	// Deterministic rendering replaces elapsed times with a placeholder so
+	// two runs of the same outcomes are byte-identical.
+	var det strings.Builder
+	if err := PassFailTable(&det, outcomes, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(det.String(), "ms") || strings.Contains(det.String(), "µs") {
+		t.Errorf("deterministic pass/fail table still prints elapsed times:\n%s", det.String())
 	}
 }
 

@@ -224,7 +224,7 @@ func E10(w io.Writer, p Params) error {
 // and everything before it must be byte-deterministic (see parallel_test).
 func Order() []string {
 	return []string{"t1", "t2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
-		"e9", "e10", "e11", "a1", "a2", "e12", "a4", "b1", "b2", "a3"}
+		"e9", "e10", "e11", "a1", "a2", "e12", "a4", "b1", "b2", "c1", "c2", "a3"}
 }
 
 // All runs every experiment in order, separated by blank lines. It aborts at
@@ -263,5 +263,7 @@ func Registry() map[string]func(io.Writer, Params) error {
 		"a4":  A4,
 		"b1":  B1,
 		"b2":  B2,
+		"c1":  C1,
+		"c2":  C2,
 	}
 }

@@ -99,9 +99,10 @@ func suiteTraceFor(wc workload.Config, insts int) (*suiteTrace, error) {
 }
 
 // overlayFor returns the shared miss-event overlay of the workload's packed
-// trace under cfg's speculation configuration (predictor + cache geometry).
+// trace under cfg's speculation configuration (predictor + cache geometry +
+// optional value predictor).
 func overlayFor(st *suiteTrace, cfg uarch.Config) (*overlay.Overlay, error) {
-	return overlay.Shared.Get(st.soa, cfg.Pred, cfg.Mem)
+	return overlay.Shared.GetSpec(st.soa, cfg.Pred, cfg.Mem, cfg.VPred)
 }
 
 // profileFor builds the functional miss-event profile of (wc, insts) under

@@ -5,6 +5,7 @@ import (
 	icache "intervalsim/internal/cache"
 	"intervalsim/internal/harness"
 	"intervalsim/internal/trace"
+	"intervalsim/internal/vpred"
 )
 
 // key identifies one overlay: the exact packed trace (by identity — a SoA
@@ -45,6 +46,23 @@ func (c *Cache) Get(soa *trace.SoA, pred bpred.Config, mem icache.HierarchyConfi
 // the same key share one invocation.
 func (c *Cache) GetVia(soa *trace.SoA, pred bpred.Config, mem icache.HierarchyConfig, fill func() (*Overlay, error)) (*Overlay, error) {
 	k := key{soa: soa, specFP: SpecFingerprint(pred, mem)}
+	return c.memo.Get(k, fill)
+}
+
+// GetSpec is Get extended with an optional value-predictor configuration.
+// A nil vp is exactly Get — same key, same pre-pass — so vpred-less callers
+// share entries with code that has never heard of value prediction.
+func (c *Cache) GetSpec(soa *trace.SoA, pred bpred.Config, mem icache.HierarchyConfig, vp *vpred.Config) (*Overlay, error) {
+	k := key{soa: soa, specFP: SpecFingerprintV(pred, mem, vp)}
+	return c.memo.Get(k, func() (*Overlay, error) {
+		return ComputeSpec(soa, pred, mem, vp)
+	})
+}
+
+// GetSpecVia is GetVia keyed on the full speculation configuration
+// including the optional value predictor.
+func (c *Cache) GetSpecVia(soa *trace.SoA, pred bpred.Config, mem icache.HierarchyConfig, vp *vpred.Config, fill func() (*Overlay, error)) (*Overlay, error) {
+	k := key{soa: soa, specFP: SpecFingerprintV(pred, mem, vp)}
 	return c.memo.Get(k, fill)
 }
 

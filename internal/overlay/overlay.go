@@ -32,6 +32,13 @@
 //	          1 L1I hit, 2 short miss, 3 long miss
 //	bit 4     direction misprediction (conditional branches)
 //	bit 5     BTB misprediction (taken branches and jumps)
+//	bit 6     value prediction hit (confident correct: dependence broken)
+//	bit 7     value misspeculation (confident wrong: pipeline flush)
+//
+// Bits 6 and 7 are mutually exclusive and only ever set when the overlay
+// was computed with a value-predictor configuration (VPredFP != 0); value
+// prediction is driven in strict program order at fetch, so its outcomes
+// are timing-invariant for the same reason the branch predictor's are.
 package overlay
 
 import (
@@ -41,17 +48,20 @@ import (
 	"intervalsim/internal/cache"
 	"intervalsim/internal/isa"
 	"intervalsim/internal/trace"
+	"intervalsim/internal/vpred"
 )
 
 // Code-byte layout. The D and I classes store cache.Level+1 so that zero
 // means "no access".
 const (
-	DMask    uint8 = 0b11
-	IShift         = 2
-	IMask    uint8 = 0b11 << IShift
-	DirMiss  uint8 = 1 << 4
-	BTBMiss  uint8 = 1 << 5
-	AnyMiss        = DirMiss | BTBMiss
+	DMask     uint8 = 0b11
+	IShift          = 2
+	IMask     uint8 = 0b11 << IShift
+	DirMiss   uint8 = 1 << 4
+	BTBMiss   uint8 = 1 << 5
+	AnyMiss         = DirMiss | BTBMiss
+	VPredHit  uint8 = 1 << 6
+	VPredMiss uint8 = 1 << 7
 )
 
 // Overlay is the precomputed per-instruction miss-event stream of one trace
@@ -69,6 +79,11 @@ type Overlay struct {
 	// fall back to live simulation.
 	PredFP uint64
 	MemFP  uint64
+	// VPredFP is the canonical fingerprint of the value-predictor
+	// configuration (vpred.Config.Fingerprint), or 0 when the overlay was
+	// computed without value prediction — the pre-value-speculation state,
+	// so legacy overlays remain valid for vpred-less consumers.
+	VPredFP uint64
 	// Code holds one packed outcome byte per trace record (see the package
 	// comment for the bit layout).
 	Code []uint8
@@ -103,6 +118,23 @@ func (o *Overlay) IClass(i int) (cache.Level, bool) {
 // mispredicted (direction or target).
 func (o *Overlay) Mispredicted(i int) bool { return o.Code[i]&AnyMiss != 0 }
 
+// ValuePredHit reports whether record i's result was confidently and
+// correctly value-predicted (its register dependence is broken).
+func (o *Overlay) ValuePredHit(i int) bool { return o.Code[i]&VPredHit != 0 }
+
+// ValueMisspec reports whether record i was confidently value-mispredicted
+// (a misspeculation flush at dispatch).
+func (o *Overlay) ValueMisspec(i int) bool { return o.Code[i]&VPredMiss != 0 }
+
+// VPredEligible reports whether an instruction of the given class and
+// destination register is value-predicted: loads and register-writing
+// integer ALU results, the two streams the potential studies speculate on.
+// The overlay pre-pass and the live simulator must agree on this predicate
+// exactly, so it lives here and both call it.
+func VPredEligible(class isa.Class, dst int8) bool {
+	return class == isa.Load || (class == isa.IntALU && dst != isa.NoReg)
+}
+
 // Compute runs the speculation pre-pass: one program-order walk of the
 // packed trace through a freshly built prediction unit and cache hierarchy,
 // recording every outcome. The access interleaving matches both the
@@ -115,6 +147,14 @@ func (o *Overlay) Mispredicted(i int) bool { return o.Code[i]&AnyMiss != 0 }
 // predictor, cache geometry) key and then amortized over every timing
 // point that shares it.
 func Compute(soa *trace.SoA, pred bpred.Config, mem cache.HierarchyConfig) (*Overlay, error) {
+	return ComputeSpec(soa, pred, mem, nil)
+}
+
+// ComputeSpec is Compute with an optional value-predictor configuration:
+// when vp is non-nil, a vpred.Runner walks the same program-order pass and
+// bits 6/7 record each eligible instruction's speculation outcome. A nil vp
+// is the legacy pre-pass, byte-identical to what Compute always produced.
+func ComputeSpec(soa *trace.SoA, pred bpred.Config, mem cache.HierarchyConfig, vp *vpred.Config) (*Overlay, error) {
 	unit, err := pred.Build()
 	if err != nil {
 		return nil, err
@@ -122,15 +162,24 @@ func Compute(soa *trace.SoA, pred bpred.Config, mem cache.HierarchyConfig) (*Ove
 	if err := mem.Validate(); err != nil {
 		return nil, err
 	}
+	var vrun *vpred.Runner
+	var vpredFP uint64
+	if vp != nil {
+		if vrun, err = vpred.NewRunner(*vp); err != nil {
+			return nil, err
+		}
+		vpredFP = vp.Fingerprint()
+	}
 	h := cache.NewHierarchy(mem)
 	lineMask := ^uint64(h.LineSizeI() - 1)
 
 	n := soa.Len()
 	ov := &Overlay{
-		Trace:  soa,
-		PredFP: pred.Fingerprint(),
-		MemFP:  mem.Fingerprint(),
-		Code:   make([]uint8, n),
+		Trace:   soa,
+		PredFP:  pred.Fingerprint(),
+		MemFP:   mem.Fingerprint(),
+		VPredFP: vpredFP,
+		Code:    make([]uint8, n),
 	}
 	var curLine uint64
 	haveLine := false
@@ -145,6 +194,14 @@ func Compute(soa *trace.SoA, pred bpred.Config, mem cache.HierarchyConfig) (*Ove
 		}
 		meta := soa.Meta[i]
 		class := isa.Class(meta & trace.MetaClassMask)
+		if vrun != nil && VPredEligible(class, soa.Dst[i]) {
+			switch vrun.Access(pc) {
+			case vpred.Hit:
+				code |= VPredHit
+			case vpred.Miss:
+				code |= VPredMiss
+			}
+		}
 		switch {
 		case class == isa.Load || class == isa.Store:
 			lvl, _ := h.Data(soa.Addr[i])

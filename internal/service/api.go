@@ -25,6 +25,7 @@ import (
 	"intervalsim/internal/bpred"
 	"intervalsim/internal/experiments"
 	"intervalsim/internal/uarch"
+	"intervalsim/internal/vpred"
 	"intervalsim/internal/workload"
 )
 
@@ -42,11 +43,19 @@ var errBadRequest = errors.New("service: bad request")
 // "gshare", ...) on top of the knob axes; a full Config instead carries its
 // predictor inline, so the two are mutually exclusive.
 type MachineSpec struct {
-	Width  int           `json:"width,omitempty"`
-	Depth  int           `json:"depth,omitempty"`
-	ROB    int           `json:"rob,omitempty"`
-	Pred   string        `json:"pred,omitempty"`
-	Config *uarch.Config `json:"config,omitempty"`
+	Width int    `json:"width,omitempty"`
+	Depth int    `json:"depth,omitempty"`
+	ROB   int    `json:"rob,omitempty"`
+	Pred  string `json:"pred,omitempty"`
+	// VPred enables value prediction with a named preset (vpred.Preset:
+	// "last-value", "stride", "fcm"); the predictor's value stream is
+	// resolved from the workload at admission. FetchRate in (0,1) enables
+	// variable-rate fetch throttling on low branch confidence; 0 and 1 both
+	// mean the classic full-rate frontend. Like Pred, both are knob-path
+	// options and mutually exclusive with a full Config.
+	VPred     string        `json:"vpred,omitempty"`
+	FetchRate float64       `json:"fetchrate,omitempty"`
+	Config    *uarch.Config `json:"config,omitempty"`
 }
 
 // resolvePred validates a predictor preset name at admission time, before
@@ -61,6 +70,19 @@ func resolvePred(name string) (uarch.PredictorSpec, error) {
 	return preset, nil
 }
 
+// resolveVPred validates a value-predictor preset name at admission time,
+// mirroring resolvePred: an unknown name is a client error (HTTP 400), never
+// a worker-side failure. The returned config carries a zero Stream; the
+// caller fills it from the resolved workload.
+func resolveVPred(name string) (vpred.Config, error) {
+	preset, ok := vpred.Preset(name)
+	if !ok {
+		return vpred.Config{}, fmt.Errorf("%w: unknown value predictor kind %q (want one of %s)",
+			errBadRequest, name, strings.Join(vpred.PresetNames(), ", "))
+	}
+	return preset, nil
+}
+
 // resolve builds and validates the concrete configuration.
 func (m MachineSpec) resolve() (uarch.Config, error) {
 	if m.Config != nil {
@@ -69,6 +91,9 @@ func (m MachineSpec) resolve() (uarch.Config, error) {
 		}
 		if m.Pred != "" {
 			return uarch.Config{}, fmt.Errorf("%w: give either pred or a full config (which carries its own predictor), not both", errBadRequest)
+		}
+		if m.VPred != "" || m.FetchRate != 0 {
+			return uarch.Config{}, fmt.Errorf("%w: give either vpred/fetchrate or a full config (which carries both fields), not both", errBadRequest)
 		}
 		cfg := *m.Config
 		if cfg.Name == "" {
@@ -97,6 +122,19 @@ func (m MachineSpec) resolve() (uarch.Config, error) {
 			return uarch.Config{}, err
 		}
 		cfg.Pred = preset
+	}
+	if m.VPred != "" {
+		preset, err := resolveVPred(m.VPred)
+		if err != nil {
+			return uarch.Config{}, err
+		}
+		cfg.VPred = &preset
+	}
+	if m.FetchRate != 0 {
+		if m.FetchRate < 0 || m.FetchRate > 1 {
+			return uarch.Config{}, fmt.Errorf("%w: fetchrate %v outside (0, 1]", errBadRequest, m.FetchRate)
+		}
+		cfg.FetchRate = m.FetchRate
 	}
 	if err := cfg.Validate(); err != nil {
 		return uarch.Config{}, fmt.Errorf("%w: %v", errBadRequest, err)
@@ -165,6 +203,14 @@ func (s *Server) resolveSimulate(req *SimulateRequest) (simInputs, error) {
 	cfg, err := req.Machine.resolve()
 	if err != nil {
 		return in, err
+	}
+	// A value predictor's stream is a property of the workload; presets (and
+	// full configs that leave Stream zero) pick it up from the resolved
+	// workload here, exactly as cmd/sweep and the experiments do.
+	if cfg.VPred != nil && cfg.VPred.Stream == (vpred.StreamConfig{}) {
+		vp := *cfg.VPred
+		vp.Stream = in.wc.ValueStream()
+		cfg.VPred = &vp
 	}
 	in.cfg = cfg
 
@@ -243,6 +289,9 @@ type ModelResult struct {
 	CPIBpred    float64 `json:"cpi_bpred"`
 	CPIICache   float64 `json:"cpi_icache"`
 	CPILongData float64 `json:"cpi_longd"`
+	// CPIVMisspec is the value-misspeculation flush term, present only when
+	// the machine value-predicts (omitempty keeps classic responses stable).
+	CPIVMisspec float64 `json:"cpi_vmisspec,omitempty"`
 
 	AvgMispredictPenalty float64 `json:"avg_mispredict_penalty"`
 }
@@ -259,7 +308,12 @@ type SweepRequest struct {
 	Depths    []int            `json:"depths,omitempty"`
 	ROBs      []int            `json:"robs,omitempty"`
 	Pred      string           `json:"pred,omitempty"` // predictor preset for every point (default: baseline tournament)
-	Mode      string           `json:"mode,omitempty"` // "sim" (default), "sampled", or "model"
+	// VPred/FetchRate apply value prediction and variable-rate fetch to every
+	// point, as in MachineSpec. Unknown presets and out-of-range rates are
+	// rejected at admission.
+	VPred     string  `json:"vpred,omitempty"`
+	FetchRate float64 `json:"fetchrate,omitempty"`
+	Mode      string  `json:"mode,omitempty"` // "sim" (default), "sampled", or "model"
 	// SampleDetailed/SampleSkip are the systematic-sampling phase lengths
 	// (sampled mode only; both must be positive). Warmup becomes the initial
 	// functional skip of a sampled sweep.
@@ -284,6 +338,7 @@ type SweepPoint struct {
 	CPIBpred             float64 `json:"cpi_bpred,omitempty"`
 	CPIICache            float64 `json:"cpi_icache,omitempty"`
 	CPILongData          float64 `json:"cpi_longd,omitempty"`
+	CPIVMisspec          float64 `json:"cpi_vmisspec,omitempty"`
 
 	// Sampled-mode confidence interval: the ratio-estimator CPI over the
 	// measurement units with its Student-t bounds (see uarch.SampleStats).

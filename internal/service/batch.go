@@ -38,7 +38,11 @@ type BatchRequest struct {
 	Insts     int              `json:"insts,omitempty"`
 	Warmup    uint64           `json:"warmup,omitempty"`
 	Pred      string           `json:"pred,omitempty"` // predictor preset for every point (default: baseline tournament)
-	Mode      string           `json:"mode,omitempty"` // "sim" (default), "lockstep", "sampled", or "model"
+	// VPred/FetchRate apply value prediction and variable-rate fetch to every
+	// point, as in MachineSpec; rejected at admission when invalid.
+	VPred     string  `json:"vpred,omitempty"`
+	FetchRate float64 `json:"fetchrate,omitempty"`
+	Mode      string  `json:"mode,omitempty"` // "sim" (default), "lockstep", "sampled", or "model"
 	// Decompose adds the interval penalty decomposition (frontend, drain,
 	// FU, short-data, long-data) to each sim- or lockstep-mode point — the
 	// columns cmd/sweep's CSV carries. It costs one mispredict-penalty
@@ -84,6 +88,7 @@ type BatchPoint struct {
 	CPIBpred    float64 `json:"cpi_bpred,omitempty"`
 	CPIICache   float64 `json:"cpi_icache,omitempty"`
 	CPILongData float64 `json:"cpi_longd,omitempty"`
+	CPIVMisspec float64 `json:"cpi_vmisspec,omitempty"`
 
 	// Sampled-mode confidence interval: the ratio-estimator CPI over the
 	// measurement units with its Student-t bounds (see uarch.SampleStats).
@@ -130,7 +135,7 @@ func (s *Server) resolveBatch(req *BatchRequest) (batchInputs, error) {
 		Workload:  req.Workload,
 		Insts:     req.Insts,
 		Warmup:    req.Warmup,
-		Machine:   MachineSpec{Pred: req.Pred},
+		Machine:   MachineSpec{Pred: req.Pred, VPred: req.VPred, FetchRate: req.FetchRate},
 		TimeoutMS: req.TimeoutMS,
 	})
 	if err != nil {
@@ -205,7 +210,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var ov *overlay.Overlay
 	if in.mode != "sampled" {
-		if ov, err = s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem); err != nil {
+		if ov, err = s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem, in.cfg.VPred); err != nil {
 			s.reject(w, http.StatusInternalServerError, err, outcomeError)
 			return
 		}
@@ -249,6 +254,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			sp := sp
 			cfg := experiments.Point(sp.Width, sp.Depth, sp.ROB)
 			cfg.Pred = in.cfg.Pred
+			cfg.VPred = in.cfg.VPred
+			cfg.FetchRate = in.cfg.FetchRate
 			line := BatchPoint{Seq: sp.Seq, Width: sp.Width, Depth: sp.Depth, ROB: sp.ROB}
 			t := &task{
 				name:    fmt.Sprintf("batch-%s-%s", in.wc.Name, cfg.Name),
@@ -367,6 +374,8 @@ func (s *Server) submitLockstepSets(r *http.Request, tr *trace.Trace, soa *trace
 		for i, sp := range set {
 			cfgs[i] = experiments.Point(sp.Width, sp.Depth, sp.ROB)
 			cfgs[i].Pred = in.cfg.Pred
+			cfgs[i].VPred = in.cfg.VPred
+			cfgs[i].FetchRate = in.cfg.FetchRate
 			pts[i] = BatchPoint{Seq: sp.Seq, Width: sp.Width, Depth: sp.Depth, ROB: sp.ROB}
 		}
 		emitAll := func(err error, outcome string) {
@@ -472,6 +481,7 @@ func (s *Server) modelBatchPoint(cfg uarch.Config, set *core.ModelSet, line *Bat
 	line.CPIBpred = pred.Bpred / insts
 	line.CPIICache = pred.ICache / insts
 	line.CPILongData = pred.LongData / insts
+	line.CPIVMisspec = pred.VMisspec / insts
 	if cpi := pred.CPI(); cpi > 0 {
 		line.IPC = 1 / cpi
 	}

@@ -49,7 +49,10 @@ func simKey(in simInputs) []byte {
 		Insts:    in.insts,
 		Warmup:   in.warmup,
 		Config:   in.cfg,
-		SpecFP:   overlay.SpecFingerprint(in.cfg.Pred, in.cfg.Mem),
+		// SpecFingerprintV with a nil vpred config returns the legacy
+		// SpecFingerprint value, so default-machine keys keep their exact
+		// historical bytes (TestSimKeyBytesStable).
+		SpecFP: overlay.SpecFingerprintV(in.cfg.Pred, in.cfg.Mem, in.cfg.VPred),
 	})
 	if err != nil {
 		// Marshaling fixed structs of scalars cannot fail; if it ever does,
@@ -81,8 +84,13 @@ type sweepKeyDoc struct {
 	// Predictor preset name, empty for the baseline tournament. omitempty
 	// for the same reason: a default-predictor sweep keeps its historical
 	// key bytes, and SpecFP below already pins the resolved predictor.
-	Pred   string `json:"pred,omitempty"`
-	SpecFP uint64 `json:"spec_fp"`
+	Pred string `json:"pred,omitempty"`
+	// Value-speculation axes, zero for the classic machine. omitempty again:
+	// a sweep that does not value-predict or throttle fetch keeps its
+	// historical key bytes (and SpecFP pins the resolved value predictor).
+	VPred     string  `json:"vpred,omitempty"`
+	FetchRate float64 `json:"fetchrate,omitempty"`
+	SpecFP    uint64  `json:"spec_fp"`
 }
 
 // sweepKey builds the canonical identity bytes for a resolved sweep.
@@ -100,7 +108,9 @@ func sweepKey(in sweepInputs) []byte {
 		SampleDetailed: in.sampleDetailed,
 		SampleSkip:     in.sampleSkip,
 		Pred:           in.pred,
-		SpecFP:         overlay.SpecFingerprint(in.cfg.Pred, in.cfg.Mem),
+		VPred:          in.vpred,
+		FetchRate:      in.cfg.FetchRate,
+		SpecFP:         overlay.SpecFingerprintV(in.cfg.Pred, in.cfg.Mem, in.cfg.VPred),
 	})
 	if err != nil {
 		panic(fmt.Sprintf("service: canonical key marshal: %v", err))

@@ -17,6 +17,7 @@ import (
 	icache "intervalsim/internal/cache"
 	"intervalsim/internal/overlay"
 	"intervalsim/internal/trace"
+	"intervalsim/internal/vpred"
 	"intervalsim/internal/workload"
 )
 
@@ -294,10 +295,19 @@ func (s *Server) fetchPeerTrace(fp string) *trace.SoA {
 	return nil
 }
 
+// vpredFP names a value-predictor configuration the way overlays do: 0 for
+// the classic vpred-less machine.
+func vpredFP(vp *vpred.Config) uint64 {
+	if vp == nil {
+		return 0
+	}
+	return vp.Fingerprint()
+}
+
 // fetchPeerOverlay tries each known peer for the overlay named fp, and
-// verifies the frame was computed over exactly (traceFP, specFP) before
-// attaching it to the local soa.
-func (s *Server) fetchPeerOverlay(fp, traceFP string, soa *trace.SoA, pred bpred.Config, mem icache.HierarchyConfig) *overlay.Overlay {
+// verifies the frame was computed over exactly (traceFP, specFP) — including
+// the value-predictor fingerprint — before attaching it to the local soa.
+func (s *Server) fetchPeerOverlay(fp, traceFP string, soa *trace.SoA, pred bpred.Config, mem icache.HierarchyConfig, vp *vpred.Config) *overlay.Overlay {
 	peers := s.peers.snapshot()
 	if len(peers) == 0 {
 		return nil
@@ -308,7 +318,8 @@ func (s *Server) fetchPeerOverlay(fp, traceFP string, soa *trace.SoA, pred bpred
 			continue
 		}
 		ov, err := overlay.DecodeWire(body, traceFP, soa)
-		if err != nil || ov.PredFP != pred.Fingerprint() || ov.MemFP != mem.Fingerprint() {
+		if err != nil || ov.PredFP != pred.Fingerprint() || ov.MemFP != mem.Fingerprint() ||
+			ov.VPredFP != vpredFP(vp) {
 			s.pf.errors.Add(1)
 			continue
 		}
@@ -347,27 +358,30 @@ func (s *Server) sharedTrace(wc workload.Config, insts int) (*trace.Trace, *trac
 	return tr, soa, nil
 }
 
-// overlayFor resolves the overlay of (soa, pred, mem) through the server's
-// overlay cache with the peer-fill path. soa must have come from sharedTrace
-// (which indexes its fingerprint); otherwise the lookup degrades gracefully
-// to the plain compute-locally path.
-func (s *Server) overlayFor(soa *trace.SoA, pred bpred.Config, mem icache.HierarchyConfig) (*overlay.Overlay, error) {
+// overlayFor resolves the overlay of (soa, pred, mem, vp) through the
+// server's overlay cache with the peer-fill path. soa must have come from
+// sharedTrace (which indexes its fingerprint); otherwise the lookup degrades
+// gracefully to the plain compute-locally path. A nil vp resolves the
+// classic overlay under its historical fingerprint; a value-predicting
+// machine gets its own fleet-wide artifact (v2 wire frames carry VPredFP, so
+// peers exchange these too).
+func (s *Server) overlayFor(soa *trace.SoA, pred bpred.Config, mem icache.HierarchyConfig, vp *vpred.Config) (*overlay.Overlay, error) {
 	traceFP, known := s.fills.traceFPOf(soa)
 	if !known {
-		return s.overlays.Get(soa, pred, mem)
+		return s.overlays.GetSpec(soa, pred, mem, vp)
 	}
-	fp := overlayFP(traceFP, overlay.SpecFingerprint(pred, mem))
-	ov, err := s.overlays.GetVia(soa, pred, mem, func() (*overlay.Overlay, error) {
+	fp := overlayFP(traceFP, overlay.SpecFingerprintV(pred, mem, vp))
+	ov, err := s.overlays.GetSpecVia(soa, pred, mem, vp, func() (*overlay.Overlay, error) {
 		if ov := s.fills.getOverlay(fp); ov != nil && ov.Trace == soa {
 			s.pf.overlayFills.Add(1)
 			return ov, nil
 		}
-		if ov := s.fetchPeerOverlay(fp, traceFP, soa, pred, mem); ov != nil {
+		if ov := s.fetchPeerOverlay(fp, traceFP, soa, pred, mem, vp); ov != nil {
 			s.pf.overlayFills.Add(1)
 			return ov, nil
 		}
 		s.pf.overlaysComputed.Add(1)
-		return overlay.Compute(soa, pred, mem)
+		return overlay.ComputeSpec(soa, pred, mem, vp)
 	})
 	if err != nil {
 		return nil, err

@@ -38,7 +38,7 @@ func TestPeerFillEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ovA, err := a.overlayFor(soaA, base.Pred, base.Mem)
+	ovA, err := a.overlayFor(soaA, base.Pred, base.Mem, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestPeerFillEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ovB, err := b.overlayFor(soaB, base.Pred, base.Mem)
+	ovB, err := b.overlayFor(soaB, base.Pred, base.Mem, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestPeerFillFallsBackPastDeadPeer(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := uarch.Baseline()
-	if _, err := s.overlayFor(soa, base.Pred, base.Mem); err != nil {
+	if _, err := s.overlayFor(soa, base.Pred, base.Mem, nil); err != nil {
 		t.Fatal(err)
 	}
 	m := s.peerFillMetrics()
@@ -118,7 +118,7 @@ func TestPeerFillConcurrentStress(t *testing.T) {
 	base := uarch.Baseline()
 	if _, soa, err := a.sharedTrace(wc, insts); err != nil {
 		t.Fatal(err)
-	} else if _, err := a.overlayFor(soa, base.Pred, base.Mem); err != nil {
+	} else if _, err := a.overlayFor(soa, base.Pred, base.Mem, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -135,7 +135,7 @@ func TestPeerFillConcurrentStress(t *testing.T) {
 				errs[i] = err
 				return
 			}
-			overlays[i], errs[i] = b.overlayFor(soa, base.Pred, base.Mem)
+			overlays[i], errs[i] = b.overlayFor(soa, base.Pred, base.Mem, nil)
 		}(i)
 	}
 	wg.Wait()
@@ -169,7 +169,7 @@ func TestPeerFillHandlers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ov, err := a.overlayFor(soa, base.Pred, base.Mem)
+	ov, err := a.overlayFor(soa, base.Pred, base.Mem, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

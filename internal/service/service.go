@@ -275,7 +275,7 @@ func (s *Server) runSimulate(ctx context.Context, in simInputs) (*SimulateResult
 	if err != nil {
 		return nil, err
 	}
-	ov, err := s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem)
+	ov, err := s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem, in.cfg.VPred)
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +298,7 @@ func (s *Server) runModel(_ context.Context, in simInputs) (*ModelResult, error)
 	if err != nil {
 		return nil, err
 	}
-	ov, err := s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem)
+	ov, err := s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem, in.cfg.VPred)
 	if err != nil {
 		return nil, err
 	}
@@ -328,6 +328,7 @@ func (s *Server) runModel(_ context.Context, in simInputs) (*ModelResult, error)
 		CPIBpred:             pred.Bpred / insts,
 		CPIICache:            pred.ICache / insts,
 		CPILongData:          pred.LongData / insts,
+		CPIVMisspec:          pred.VMisspec / insts,
 		AvgMispredictPenalty: pen,
 	}
 	if out.CPI > 0 {
@@ -631,6 +632,7 @@ type sweepInputs struct {
 	simInputs
 	widths, depths, robs []int
 	pred                 string // predictor preset name ("" = baseline)
+	vpred                string // value-predictor preset name ("" = none)
 	mode                 string
 	sampleDetailed       uint64
 	sampleSkip           uint64
@@ -642,13 +644,16 @@ func (s *Server) resolveSweep(req *SweepRequest) (sweepInputs, error) {
 		Workload:  req.Workload,
 		Insts:     req.Insts,
 		Warmup:    req.Warmup,
-		Machine:   MachineSpec{Pred: req.Pred},
+		Machine:   MachineSpec{Pred: req.Pred, VPred: req.VPred, FetchRate: req.FetchRate},
 		TimeoutMS: req.TimeoutMS,
 	})
 	if err != nil {
 		return sweepInputs{}, err
 	}
-	in := sweepInputs{simInputs: base, widths: req.Widths, depths: req.Depths, robs: req.ROBs, pred: req.Pred}
+	in := sweepInputs{
+		simInputs: base, widths: req.Widths, depths: req.Depths, robs: req.ROBs,
+		pred: req.Pred, vpred: req.VPred,
+	}
 	if len(in.widths) == 0 {
 		in.widths = []int{2, 4, 8}
 	}
@@ -720,7 +725,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// gets its own memoized overlay and model.
 	var ov *overlay.Overlay
 	if in.mode != "sampled" {
-		if ov, err = s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem); err != nil {
+		if ov, err = s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem, in.cfg.VPred); err != nil {
 			s.reject(w, http.StatusInternalServerError, err, outcomeError)
 			return
 		}
@@ -777,6 +782,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			pt := pt
 			cfg := experiments.Point(pt.width, pt.depth, pt.rob)
 			cfg.Pred = in.cfg.Pred
+			cfg.VPred = in.cfg.VPred
+			cfg.FetchRate = in.cfg.FetchRate
 			line := SweepPoint{Seq: pt.seq, Width: pt.width, Depth: pt.depth, ROB: pt.rob}
 			t := &task{
 				name:     fmt.Sprintf("sweep-%s-%s", in.wc.Name, cfg.Name),
@@ -912,6 +919,7 @@ func (s *Server) modelSweepPoint(cfg uarch.Config, set *core.ModelSet, line *Swe
 	line.CPIBpred = pred.Bpred / insts
 	line.CPIICache = pred.ICache / insts
 	line.CPILongData = pred.LongData / insts
+	line.CPIVMisspec = pred.VMisspec / insts
 	line.AvgMispredictPenalty = pen
 	if cpi := pred.CPI(); cpi > 0 {
 		line.IPC = 1 / cpi

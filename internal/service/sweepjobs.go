@@ -40,6 +40,8 @@ type sweepJobSpec struct {
 	Depths         []int            `json:"depths"`
 	ROBs           []int            `json:"robs"`
 	Pred           string           `json:"pred,omitempty"`
+	VPred          string           `json:"vpred,omitempty"`
+	FetchRate      float64          `json:"fetchrate,omitempty"`
 	Mode           string           `json:"mode"`
 	SampleDetailed uint64           `json:"sample_detailed,omitempty"`
 	SampleSkip     uint64           `json:"sample_skip,omitempty"`
@@ -59,6 +61,8 @@ func (sp sweepJobSpec) request() *SweepRequest {
 		Depths:         sp.Depths,
 		ROBs:           sp.ROBs,
 		Pred:           sp.Pred,
+		VPred:          sp.VPred,
+		FetchRate:      sp.FetchRate,
 		Mode:           sp.Mode,
 		SampleDetailed: sp.SampleDetailed,
 		SampleSkip:     sp.SampleSkip,
@@ -135,6 +139,8 @@ func (s *Server) handleSweepJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Depths:         in.depths,
 		ROBs:           in.robs,
 		Pred:           in.pred,
+		VPred:          in.vpred,
+		FetchRate:      in.cfg.FetchRate,
 		Mode:           in.mode,
 		SampleDetailed: in.sampleDetailed,
 		SampleSkip:     in.sampleSkip,
@@ -275,7 +281,7 @@ func (s *Server) runSweepJob(id string, j *store.Log, spec sweepJobSpec, in swee
 	}
 	var ov *overlay.Overlay
 	if in.mode != "sampled" {
-		if ov, err = s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem); err != nil {
+		if ov, err = s.overlayFor(soa, in.cfg.Pred, in.cfg.Mem, in.cfg.VPred); err != nil {
 			failJob(err)
 			return
 		}
@@ -323,6 +329,8 @@ func (s *Server) runSweepJob(id string, j *store.Log, spec sweepJobSpec, in swee
 		pt := pt
 		cfg := experiments.Point(pt.width, pt.depth, pt.rob)
 		cfg.Pred = in.cfg.Pred
+		cfg.VPred = in.cfg.VPred
+		cfg.FetchRate = in.cfg.FetchRate
 		line := SweepPoint{Seq: pt.seq, Width: pt.width, Depth: pt.depth, ROB: pt.rob}
 		t := &task{
 			name:     fmt.Sprintf("sweepjob-%s-%d", id, pt.seq),

@@ -23,6 +23,7 @@ import (
 	"intervalsim/internal/bpred"
 	"intervalsim/internal/cache"
 	"intervalsim/internal/isa"
+	"intervalsim/internal/vpred"
 )
 
 // FUPool configures one class of functional units.
@@ -90,6 +91,22 @@ type Config struct {
 	FU   FUs
 	Pred PredictorSpec
 	Mem  cache.HierarchyConfig
+
+	// VPred, when non-nil, enables value prediction: eligible results
+	// (loads and register-writing integer ALU ops) are predicted at fetch,
+	// confident-correct predictions break the dependence on the producer,
+	// and confident-wrong ones flush the pipeline at dispatch — a new
+	// miss-event class. Nil (the default) is the classic machine; omitempty
+	// keeps canonical JSON of default configs — and thus store keys —
+	// byte-stable.
+	VPred *vpred.Config `json:"VPred,omitempty"`
+
+	// FetchRate, when in (0,1), enables Ramachandran & Johnson-style
+	// variable instruction fetch: while a low-confidence branch is in
+	// flight the frontend fetches at only FetchRate of FetchWidth, trading
+	// misspeculated-fetch work against refill latency. 0 (the default) and
+	// 1 both mean full-rate fetch, byte-identical to the classic machine.
+	FetchRate float64 `json:"FetchRate,omitempty"`
 }
 
 // Validate reports the first configuration problem, if any. Every error
@@ -129,6 +146,14 @@ func (c Config) Validate() error {
 	}
 	if err := c.Mem.Validate(); err != nil {
 		return fmt.Errorf("%w: %s: %v", ErrBadConfig, c.Name, err)
+	}
+	if c.VPred != nil {
+		if err := c.VPred.Validate(); err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrBadConfig, c.Name, err)
+		}
+	}
+	if c.FetchRate < 0 || c.FetchRate > 1 {
+		return fmt.Errorf("%w: %s: FetchRate %v out of [0,1]", ErrBadConfig, c.Name, c.FetchRate)
 	}
 	return nil
 }

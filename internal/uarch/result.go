@@ -17,6 +17,12 @@ const (
 	EvBranchMispredict EventKind = iota
 	EvICacheMiss
 	EvLongDMiss
+	// EvValueMisspec is a confident-but-wrong value prediction: the
+	// misspeculated instruction and everything younger is flushed at
+	// dispatch and refetched, a branch-mispredict-shaped interval boundary
+	// introduced by the value-speculation subsystem. Appended after the
+	// original kinds so their numeric values stay stable.
+	EvValueMisspec
 )
 
 // String names the event kind.
@@ -28,6 +34,8 @@ func (k EventKind) String() string {
 		return "icache-miss"
 	case EvLongDMiss:
 		return "long-dmiss"
+	case EvValueMisspec:
+		return "value-misspec"
 	default:
 		return "unknown-event"
 	}
@@ -248,6 +256,8 @@ type Result struct {
 	LongDMisses      uint64 // loads served from memory
 	ShortDMisses     uint64 // loads served from L2 (contributor v)
 	LoadsExecuted    uint64
+	ValuePredHits    uint64 // confident-correct value predictions (dependence broken)
+	ValueMisspecs    uint64 // confident-wrong value predictions (pipeline flush)
 
 	Bpred  bpred.Stats
 	Caches CacheStats

@@ -10,6 +10,7 @@ import (
 	"intervalsim/internal/isa"
 	"intervalsim/internal/overlay"
 	"intervalsim/internal/trace"
+	"intervalsim/internal/vpred"
 )
 
 // Run simulates the instruction stream from r on the processor described by
@@ -60,6 +61,9 @@ type robEntry struct {
 	class  isa.Class
 	issued bool
 	redirct bool // this is the pending mispredicted control instruction
+	vpredOK bool // result correctly value-predicted: dependents need not wait
+	vflush  bool // confident-wrong value prediction: flush when this issues
+	lowConf bool // low-confidence branch throttling fetch until it issues
 }
 
 // fqEntry is one instruction in the frontend pipe between fetch and
@@ -73,6 +77,9 @@ type fqEntry struct {
 	dst       int8
 	class     isa.Class
 	mispredct bool
+	vpredHit  bool // confident-correct value prediction
+	vpredMiss bool // confident-wrong value prediction (flush at resolve)
+	lowConf   bool // low-confidence branch (variable fetch rate)
 }
 
 // counters batches the per-event statistics out of the inner loop: they live
@@ -85,6 +92,8 @@ type counters struct {
 	longDMisses      uint64
 	shortDMisses     uint64
 	loadsExecuted    uint64
+	valuePredHits    uint64
+	valueMisspecs    uint64
 	stalls           StallCycles
 }
 
@@ -162,6 +171,19 @@ type simulator struct {
 	haveFetchLine bool
 	fetchResumeAt uint64 // fetch blocked until this cycle (I-miss or redirect)
 	awaitResolve  bool   // fetch blocked until the pending mispredict issues
+
+	// Value prediction (Config.VPred): the live runner drives the stream and
+	// tables at fetch in program order; nil in replay mode, where outcomes
+	// come from the overlay's bits 6/7 instead.
+	vrun *vpred.Runner
+
+	// Variable fetch rate (Config.FetchRate in (0,1)): a JRS-style
+	// confidence estimator classifies each conditional branch at fetch, and
+	// while any low-confidence branch is in flight the frontend fetches at
+	// throttledWidth instead of FetchWidth. Both nil/zero when disabled.
+	conf           *confEstimator
+	throttledWidth int
+	lowConfOut     int // low-confidence branches fetched but not yet issued
 
 	lastMissIdx   uint64 // trace index of the most recent miss event
 	pendingResume int    // index into res.Records awaiting ResumeCycle; -1 none
@@ -255,6 +277,8 @@ func newSimulator(r trace.Reader, cfg Config, opts Options) (*simulator, error) 
 			s.noteFallback("overlay ignored: computed for a different trace")
 		case ov.PredFP != cfg.Pred.Fingerprint() || ov.MemFP != cfg.Mem.Fingerprint():
 			s.noteFallback("overlay ignored: predictor/cache-geometry fingerprint mismatch")
+		case ov.VPredFP != vpredFingerprint(cfg.VPred):
+			s.noteFallback("overlay ignored: value-predictor fingerprint mismatch")
 		default:
 			s.ov = ov
 			s.replayLimit = uint64(s.soa.Len())
@@ -270,6 +294,23 @@ func newSimulator(r trace.Reader, cfg Config, opts Options) (*simulator, error) 
 		s.res.Path = "soa"
 	default:
 		s.res.Path = "generic"
+	}
+	if cfg.VPred != nil && s.ov == nil {
+		// Live value prediction; in replay mode the outcomes come from the
+		// overlay bits and the runner is never built.
+		vr, err := vpred.NewRunner(*cfg.VPred)
+		if err != nil {
+			return nil, err
+		}
+		s.vrun = vr
+	}
+	if fr := cfg.FetchRate; fr > 0 && fr < 1 {
+		s.conf = newConfEstimator()
+		w := int(fr*float64(cfg.FetchWidth) + 0.5)
+		if w < 1 {
+			w = 1
+		}
+		s.throttledWidth = w
 	}
 	if !s.preDeps {
 		for i := range s.regProducer {
@@ -464,6 +505,8 @@ func (s *simulator) flushCounters() {
 	s.res.LongDMisses = s.c.longDMisses
 	s.res.ShortDMisses = s.c.shortDMisses
 	s.res.LoadsExecuted = s.c.loadsExecuted
+	s.res.ValuePredHits = s.c.valuePredHits
+	s.res.ValueMisspecs = s.c.valueMisspecs
 	s.res.Stalls = s.c.stalls
 }
 
@@ -481,6 +524,8 @@ func (s *simulator) subtractWarmup() {
 	r.LongDMisses -= w.longDMisses
 	r.ShortDMisses -= w.shortDMisses
 	r.LoadsExecuted -= w.loads
+	r.ValuePredHits -= w.valuePredHits
+	r.ValueMisspecs -= w.valueMisspecs
 	r.Bpred.Branches -= w.bpred.Branches
 	r.Bpred.Jumps -= w.bpred.Jumps
 	r.Bpred.DirMispredict -= w.bpred.DirMispredict
@@ -510,6 +555,8 @@ type warmSnapshot struct {
 	longDMisses   uint64
 	shortDMisses  uint64
 	loads         uint64
+	valuePredHits uint64
+	valueMisspecs uint64
 	bpred         bpred.Stats
 	caches        CacheStats
 	stalls        StallCycles
@@ -519,18 +566,20 @@ type warmSnapshot struct {
 
 func (s *simulator) takeWarmSnapshot() {
 	s.warm = &warmSnapshot{
-		insts:        s.committed,
-		cycles:       s.cycle,
-		mispredicts:  s.c.mispredicts,
-		icacheMisses: s.c.icacheMisses,
-		longDMisses:  s.c.longDMisses,
-		shortDMisses: s.c.shortDMisses,
-		loads:        s.c.loadsExecuted,
-		bpred:        s.bpredStats(),
-		caches:       s.cacheStats(),
-		stalls:       s.c.stalls,
-		events:       len(s.res.Events),
-		records:      len(s.res.Records),
+		insts:         s.committed,
+		cycles:        s.cycle,
+		mispredicts:   s.c.mispredicts,
+		icacheMisses:  s.c.icacheMisses,
+		longDMisses:   s.c.longDMisses,
+		shortDMisses:  s.c.shortDMisses,
+		loads:         s.c.loadsExecuted,
+		valuePredHits: s.c.valuePredHits,
+		valueMisspecs: s.c.valueMisspecs,
+		bpred:         s.bpredStats(),
+		caches:        s.cacheStats(),
+		stalls:        s.c.stalls,
+		events:        len(s.res.Events),
+		records:       len(s.res.Records),
 	}
 }
 
@@ -577,6 +626,11 @@ func (s *simulator) depReady(dep int64) bool {
 		slot -= s.robSize
 	}
 	e := &s.rob[slot]
+	if e.vpredOK {
+		// Correctly value-predicted producer: its result was available at
+		// dispatch, so consumers never wait on it.
+		return true
+	}
 	return e.issued && e.doneAt <= s.cycle
 }
 
@@ -652,16 +706,22 @@ func (s *simulator) issue() {
 		} else {
 			s.fus[pool][unit] = e.doneAt
 		}
-		if e.redirct {
-			// The mispredicted control instruction resolves: fetch restarts
-			// down the correct path when it completes.
+		if e.redirct || e.vflush {
+			// The mispredicted control instruction — or the value-
+			// misspeculated producer — resolves: fetch restarts down the
+			// correct path when it completes. Value flushes never touch the
+			// pending MispredictRecord; that bookkeeping belongs to the last
+			// branch alone.
 			s.awaitResolve = false
 			s.fetchResumeAt = e.doneAt
-			if s.pendingResume >= 0 && s.opts.RecordMispredicts {
+			if e.redirct && s.pendingResume >= 0 && s.opts.RecordMispredicts {
 				rec := &s.res.Records[s.pendingResume]
 				rec.IssueCycle = s.cycle
 				rec.ResolveCycle = e.doneAt
 			}
+		}
+		if e.lowConf {
+			s.lowConfOut--
 		}
 		issued++
 		// Unlink the issued entry; prev stays put.
@@ -759,6 +819,23 @@ func (s *simulator) dispatch() {
 			}
 			s.lastMissIdx = seq
 		}
+		if f.vpredHit {
+			e.vpredOK = true
+			s.c.valuePredHits++
+		}
+		if f.vpredMiss {
+			// Confident-wrong value prediction: the flush is charged when the
+			// misspeculated producer resolves (issue sets fetchResumeAt), the
+			// same shape as a branch redirect but with no MispredictRecord —
+			// that stream stays branches-only for the decomposition.
+			e.vflush = true
+			s.c.valueMisspecs++
+			s.event(EvValueMisspec, seq, cache.L1Hit)
+			s.lastMissIdx = seq
+		}
+		if f.lowConf {
+			e.lowConf = true
+		}
 
 		if s.fqHead++; s.fqHead == int32(len(s.fq)) {
 			s.fqHead = 0
@@ -832,7 +909,7 @@ func (s *simulator) fetch() error {
 	}
 	fqCap := int32(len(s.fq))
 	n := 0
-	for n < s.cfg.FetchWidth && s.fqLen < fqCap {
+	for n < s.fetchWidth() && s.fqLen < fqCap {
 		in, ok, err := s.peek()
 		if err != nil {
 			return err
@@ -875,7 +952,12 @@ func (s *simulator) fetch() error {
 			class:   inst.Class,
 		}
 		if inst.Class.IsControl() {
-			if s.pred.Access(&inst) {
+			mis := s.pred.Access(&inst)
+			if s.conf != nil && inst.Class == isa.Branch && s.conf.access(inst.PC, mis) {
+				entry.lowConf = true
+				s.lowConfOut++
+			}
+			if mis {
 				entry.mispredct = true
 				s.fqPush(entry)
 				// Wrong path ahead: no useful fetch until resolution.
@@ -902,10 +984,33 @@ func (s *simulator) fetch() error {
 			}
 			continue
 		}
+		if s.vrun != nil && overlay.VPredEligible(inst.Class, inst.Dst) {
+			switch s.vrun.Access(inst.PC) {
+			case vpred.Hit:
+				entry.vpredHit = true
+			case vpred.Miss:
+				entry.vpredMiss = true
+				s.fqPush(entry)
+				// Everything younger is down the misspeculated path: no
+				// useful fetch until the producer resolves and flushes.
+				s.awaitResolve = true
+				return nil
+			}
+		}
 		s.fqPush(entry)
 		n++
 	}
 	return nil
+}
+
+// fetchWidth returns this cycle's fetch bandwidth: the configured width,
+// throttled while any low-confidence branch is outstanding under a variable
+// fetch-rate configuration (Ramachandran & Johnson).
+func (s *simulator) fetchWidth() int {
+	if s.throttledWidth > 0 && s.lowConfOut > 0 {
+		return s.throttledWidth
+	}
+	return s.cfg.FetchWidth
 }
 
 // fetchReplay is the fetch stage of replay mode: the same control flow as
@@ -922,7 +1027,7 @@ func (s *simulator) fetchReplay() error {
 	soa := s.soa
 	fqCap := int32(len(s.fq))
 	n := 0
-	for n < s.cfg.FetchWidth && s.fqLen < fqCap {
+	for n < s.fetchWidth() && s.fqLen < fqCap {
 		idx := s.fetchIdx
 		if idx >= s.replayLimit {
 			return nil
@@ -971,7 +1076,12 @@ func (s *simulator) fetchReplay() error {
 			} else {
 				s.rb.Jumps++
 			}
-			if code&overlay.AnyMiss != 0 {
+			mis := code&overlay.AnyMiss != 0
+			if s.conf != nil && class == isa.Branch && s.conf.access(pc, mis) {
+				entry.lowConf = true
+				s.lowConfOut++
+			}
+			if mis {
 				if code&overlay.DirMiss != 0 {
 					s.rb.DirMispredict++
 				} else {
@@ -990,6 +1100,19 @@ func (s *simulator) fetchReplay() error {
 				return nil
 			}
 			continue
+		}
+		if s.ov.VPredFP != 0 {
+			// Bits 6/7 are only ever set on eligible records, so the replay
+			// needs no eligibility re-check.
+			switch code := s.ov.Code[idx]; {
+			case code&overlay.VPredHit != 0:
+				entry.vpredHit = true
+			case code&overlay.VPredMiss != 0:
+				entry.vpredMiss = true
+				s.fqPush(entry)
+				s.awaitResolve = true
+				return nil
+			}
 		}
 		s.fqPush(entry)
 		n++
@@ -1060,7 +1183,13 @@ func (s *simulator) skipFunctional(n uint64) error {
 		case in.Class.IsMem():
 			s.mem.Data(in.Addr)
 		case in.Class.IsControl():
-			s.pred.Access(in)
+			mis := s.pred.Access(in)
+			if s.conf != nil && in.Class == isa.Branch {
+				s.conf.access(in.PC, mis)
+			}
+		}
+		if s.vrun != nil && overlay.VPredEligible(in.Class, in.Dst) {
+			s.vrun.Access(in.PC)
 		}
 		s.consume()
 		left--
@@ -1094,7 +1223,13 @@ func (s *simulator) skipFunctionalSoA(n uint64) error {
 			s.mem.Data(s.soa.Addr[i])
 		case cls.IsControl():
 			s.soa.InstAt(int(i), &in)
-			s.pred.Access(&in)
+			mis := s.pred.Access(&in)
+			if s.conf != nil && cls == isa.Branch {
+				s.conf.access(pc, mis)
+			}
+		}
+		if s.vrun != nil && overlay.VPredEligible(cls, s.soa.Dst[i]) {
+			s.vrun.Access(pc)
 		}
 		i++
 	}

@@ -1,0 +1,203 @@
+package uarch
+
+import (
+	"strings"
+	"testing"
+
+	"intervalsim/internal/overlay"
+	"intervalsim/internal/trace"
+	"intervalsim/internal/vpred"
+	"intervalsim/internal/workload"
+)
+
+// vspecTrace packs one suite workload at the given length.
+func vspecTrace(t *testing.T, name string, insts int) (workload.Config, *trace.SoA) {
+	t.Helper()
+	wc, ok := workload.SuiteConfig(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	tr, err := trace.ReadAll(workload.MustNew(wc, insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wc, trace.Pack(tr)
+}
+
+// vspecConfig returns the baseline machine with the named value-predictor
+// preset attached, its stream resolved from the workload.
+func vspecConfig(t *testing.T, wc workload.Config, kind string) Config {
+	t.Helper()
+	cfg := Baseline()
+	vp, ok := vpred.Preset(kind)
+	if !ok {
+		t.Fatalf("unknown vpred preset %s", kind)
+	}
+	vp.Stream = wc.ValueStream()
+	cfg.VPred = &vp
+	return cfg
+}
+
+// TestVPredReplayMatchesLive extends the overlay contract to value
+// speculation: a replay run consuming bits 6/7 of a vpred-aware overlay must
+// be bit-identical to a live run driving a vpred.Runner at fetch — for every
+// predictor kind, with and without fetch-rate throttling stacked on top.
+func TestVPredReplayMatchesLive(t *testing.T) {
+	for _, wname := range []string{"gzip", "crafty"} {
+		wc, soa := vspecTrace(t, wname, 40_000)
+		for _, kind := range vpred.PresetNames() {
+			for _, rate := range []float64{0, 0.5} {
+				cfg := vspecConfig(t, wc, kind)
+				cfg.FetchRate = rate
+				ov, err := overlay.ComputeSpec(soa, cfg.Pred, cfg.Mem, cfg.VPred)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := Options{RecordEvents: true, RecordMispredicts: true, WarmupInsts: 10_000}
+				live, err := Run(soa.Reader(), cfg, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.Overlay = ov
+				replay, err := Run(soa.Reader(), cfg, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if replay.Path != "soa+overlay" {
+					t.Fatalf("%s/%s rate=%v: replay took path %q (fallback %q)",
+						wname, kind, rate, replay.Path, replay.Fallback)
+				}
+				compareResults(t, live, replay)
+				if live.ValuePredHits == 0 {
+					t.Errorf("%s/%s: no value-prediction hits — the stream or predictor is broken", wname, kind)
+				}
+			}
+		}
+	}
+}
+
+// TestVPredBreaksDependences checks value prediction actually helps: on a
+// workload with predictable values, a value-predicting machine commits the
+// same instructions in no more cycles than the classic machine minus flush
+// costs — concretely, CPI must improve for the stride preset, whose hits
+// vastly outnumber its confident misses on the default stream.
+func TestVPredBreaksDependences(t *testing.T) {
+	wc, soa := vspecTrace(t, "mcf", 60_000)
+	baseRes, err := Run(soa.Reader(), Baseline(), Options{WarmupInsts: 15_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vspecConfig(t, wc, "stride")
+	res, err := Run(soa.Reader(), cfg, Options{WarmupInsts: 15_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ValuePredHits == 0 {
+		t.Fatal("no value-prediction hits")
+	}
+	if res.CPI() >= baseRes.CPI() {
+		t.Errorf("stride value prediction did not improve CPI: %.4f -> %.4f (hits %d, misspecs %d)",
+			baseRes.CPI(), res.CPI(), res.ValuePredHits, res.ValueMisspecs)
+	}
+}
+
+// TestFetchRateNeutralAtFullRate pins the byte-stability contract: FetchRate
+// 0 and 1 are both the classic machine, bit for bit.
+func TestFetchRateNeutralAtFullRate(t *testing.T) {
+	_, soa := vspecTrace(t, "gzip", 30_000)
+	opts := Options{RecordEvents: true, RecordMispredicts: true}
+	base, err := Run(soa.Reader(), Baseline(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Baseline()
+	full.FetchRate = 1
+	fullRes, err := Run(soa.Reader(), full, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The configs differ on purpose; everything measured must not.
+	fullRes.Config.FetchRate = 0
+	compareResults(t, base, fullRes)
+}
+
+// TestFetchRateThrottles checks the throttle engages: at a low fetch rate
+// the trace-driven model (which pays no wrong-path fetch cost by default)
+// can only lose cycles, and must lose at least some on a mispredict-heavy
+// workload.
+func TestFetchRateThrottles(t *testing.T) {
+	_, soa := vspecTrace(t, "crafty", 40_000)
+	base, err := Run(soa.Reader(), Baseline(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Baseline()
+	cfg.FetchRate = 0.25
+	res, err := Run(soa.Reader(), cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= base.Cycles {
+		t.Errorf("FetchRate 0.25 did not cost cycles: %d -> %d", base.Cycles, res.Cycles)
+	}
+}
+
+// TestVPredOverlayFingerprintGate pins the replay-validity rule: an overlay
+// computed under a different (or absent) value-predictor configuration is
+// rejected with live fallback, and the fallback is correct.
+func TestVPredOverlayFingerprintGate(t *testing.T) {
+	wc, soa := vspecTrace(t, "gzip", 20_000)
+	cfg := vspecConfig(t, wc, "last-value")
+	plain, err := overlay.Compute(soa, cfg.Pred, cfg.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(soa.Reader(), cfg, Options{Overlay: plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Path == "soa+overlay" {
+		t.Fatal("vpred config replayed a vpred-less overlay")
+	}
+	if !strings.Contains(got.Fallback, "value-predictor fingerprint mismatch") {
+		t.Errorf("Fallback = %q, want value-predictor fingerprint mismatch", got.Fallback)
+	}
+	live, err := Run(soa.Reader(), cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, live, got)
+
+	// And the reverse: a vpred-aware overlay must not replay on the classic
+	// machine.
+	vov, err := overlay.ComputeSpec(soa, cfg.Pred, cfg.Mem, cfg.VPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := Run(soa.Reader(), Baseline(), Options{Overlay: vov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Path == "soa+overlay" {
+		t.Fatal("classic config replayed a vpred overlay")
+	}
+}
+
+// TestVPredSampledWarming checks the functional fast-forward drives the
+// value predictor and confidence estimator: a sampled vpred run completes
+// and still reports value-speculation activity.
+func TestVPredSampledWarming(t *testing.T) {
+	wc, soa := vspecTrace(t, "gzip", 60_000)
+	cfg := vspecConfig(t, wc, "stride")
+	cfg.FetchRate = 0.5
+	res, err := Run(soa.Reader(), cfg, Options{SampleDetailed: 5_000, SampleSkip: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sampled {
+		t.Fatal("run did not sample")
+	}
+	if res.ValuePredHits == 0 {
+		t.Error("sampled run recorded no value-prediction hits")
+	}
+}

@@ -1,0 +1,131 @@
+// Package vpred implements value prediction: last-value, stride, and a
+// small context-based (FCM) predictor, each with a 2-bit confidence filter.
+// It mirrors package bpred's shape deliberately — canonical presets,
+// StorageBits accounting, ConfigForBudget sizing, and a canonical
+// Fingerprint — so value predictors slot into the same sweep, overlay, and
+// budget machinery as branch predictors.
+//
+// Value prediction is trace-level speculation on *data*: a predicted load or
+// ALU result lets dependents issue before the producer completes, and a
+// confident-but-wrong prediction costs a pipeline flush — a new miss-event
+// class for the interval model (Mitrevski & Gušev, "On the Performance
+// Potential of Speculative Execution based on Branch and Value Prediction").
+package vpred
+
+import "fmt"
+
+// Config selects and sizes the value prediction unit, plus the synthetic
+// value stream it predicts (traces carry no data values, so the stream
+// configuration is part of the speculation identity: two runs with the same
+// predictor but different streams see different outcomes).
+type Config struct {
+	Kind    string       // "last-value", "stride", "fcm"
+	Entries int          // value table entries
+	HistLen int          // fcm only: context depth in values (clamped to [1,4])
+	Stream  StreamConfig // synthetic value stream driving the unit
+}
+
+// Validate reports whether the configuration describes a buildable unit.
+func (c Config) Validate() error {
+	switch c.Kind {
+	case "last-value", "stride", "fcm":
+	default:
+		return fmt.Errorf("vpred: unknown value-predictor kind %q", c.Kind)
+	}
+	if c.Entries <= 0 {
+		return fmt.Errorf("vpred: Entries must be positive, got %d", c.Entries)
+	}
+	if c.Kind == "fcm" && (c.HistLen < 1 || c.HistLen > 4) {
+		return fmt.Errorf("vpred: fcm HistLen must be in [1,4], got %d", c.HistLen)
+	}
+	return c.Stream.Validate()
+}
+
+// Build constructs the configured value prediction unit.
+func (c Config) Build() (*Unit, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return newUnit(c), nil
+}
+
+// StorageBits returns the prediction state the configuration implies, in
+// bits, mirroring bpred.Config.StorageBits: per-entry payload plus the 2-bit
+// confidence counter every kind carries. The value stream is workload
+// identity, not hardware, and costs nothing.
+func (c Config) StorageBits() int64 {
+	e := int64(c.Entries)
+	switch c.Kind {
+	case "last-value":
+		// 64-bit last value + 2-bit confidence.
+		return e * (64 + 2)
+	case "stride":
+		// 64-bit last value + 16-bit stride + 2-bit confidence.
+		return e * (64 + 16 + 2)
+	case "fcm":
+		// L1: HistLen 16-bit value hashes per entry; L2: 64-bit value +
+		// 2-bit confidence per entry.
+		h := int64(c.HistLen)
+		if h < 1 {
+			h = 1
+		}
+		return e*16*h + e*(64+2)
+	default:
+		return 0
+	}
+}
+
+// Fingerprint returns a canonical stable hash of the configuration,
+// including the value stream: two Configs fingerprint equal if and only if
+// they produce identical speculation outcomes on a given trace. Tagged
+// field-by-field serialization, same scheme as bpred.Config.Fingerprint.
+func (c Config) Fingerprint() uint64 {
+	h := newFNV()
+	h.string("kind", c.Kind)
+	h.int("entries", int64(c.Entries))
+	h.int("histlen", int64(c.HistLen))
+	h.int("seed", int64(c.Stream.Seed))
+	h.int("constpct", int64(c.Stream.ConstPct))
+	h.int("stridepct", int64(c.Stream.StridePct))
+	h.int("patternpct", int64(c.Stream.PatternPct))
+	return h.sum
+}
+
+// fnv is a minimal FNV-1a 64-bit hasher over tagged fields, duplicated from
+// bpred so the two packages stay dependency-free of each other while using
+// the same byte-stream discipline.
+type fnv struct{ sum uint64 }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func newFNV() *fnv { return &fnv{sum: fnvOffset} }
+
+func (h *fnv) byte(b byte) {
+	h.sum ^= uint64(b)
+	h.sum *= fnvPrime
+}
+
+func (h *fnv) string(tag, s string) {
+	for i := 0; i < len(tag); i++ {
+		h.byte(tag[i])
+	}
+	h.byte('=')
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+	h.byte(';')
+}
+
+func (h *fnv) int(tag string, v int64) {
+	for i := 0; i < len(tag); i++ {
+		h.byte(tag[i])
+	}
+	h.byte('=')
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+	h.byte(';')
+}

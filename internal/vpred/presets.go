@@ -1,0 +1,57 @@
+package vpred
+
+import "sort"
+
+// presets are the canonical sizings for each value-predictor kind: what
+// "-vpred stride" on a sweep CLI and a stride row in the C1 potential study
+// both mean. Entry counts match the bpred table scale so equal-budget
+// comparisons land on familiar sizes. The Stream field is deliberately zero
+// here: the stream is workload identity and is filled in from the workload
+// configuration at run assembly.
+var presets = map[string]Config{
+	"last-value": {Kind: "last-value", Entries: 4096},
+	"stride":     {Kind: "stride", Entries: 4096},
+	"fcm":        {Kind: "fcm", Entries: 4096, HistLen: 4},
+}
+
+// Preset returns the canonical configuration for a value-predictor kind, and
+// whether the kind is known. Service and CLI layers use this to validate a
+// name at admission time, before any machine is built.
+func Preset(kind string) (Config, bool) {
+	c, ok := presets[kind]
+	return c, ok
+}
+
+// PresetNames returns every known value-predictor kind, sorted, for error
+// messages and usage strings.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for k := range presets {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ConfigForBudget returns the largest power-of-two sizing of kind whose
+// StorageBits fits within budgetBits, scaling the preset's entry count and
+// keeping its context geometry. It reports false for unknown kinds or
+// budgets too small for even a single-entry table.
+func ConfigForBudget(kind string, budgetBits int64) (Config, bool) {
+	c, ok := Preset(kind)
+	if !ok {
+		return Config{}, false
+	}
+	c.Entries = 1
+	if c.StorageBits() > budgetBits {
+		return Config{}, false
+	}
+	for {
+		next := c
+		next.Entries = c.Entries * 2
+		if next.StorageBits() > budgetBits {
+			return c, true
+		}
+		c = next
+	}
+}

@@ -1,0 +1,33 @@
+package vpred
+
+// Runner drives a Unit from the configured synthetic value stream: it
+// tracks per-PC occurrence counts so the k-th dynamic instance of each
+// static instruction produces the stream's k-th value for that PC. The
+// overlay pre-pass and the live simulator both consume value speculation
+// through a Runner, which is what makes their outcomes bit-identical — the
+// stream value, the occurrence index, and the table state all advance in
+// program order on eligible instructions only.
+type Runner struct {
+	unit   *Unit
+	stream StreamConfig
+	occ    map[uint64]uint64
+}
+
+// NewRunner builds the configured unit and wraps it with the configured
+// stream.
+func NewRunner(cfg Config) (*Runner, error) {
+	u, err := cfg.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{unit: u, stream: cfg.Stream, occ: make(map[uint64]uint64)}, nil
+}
+
+// Access synthesizes the next value produced at pc and runs one
+// prediction-then-update step. Must be called exactly once per eligible
+// instruction, in program order.
+func (r *Runner) Access(pc uint64) Outcome {
+	k := r.occ[pc]
+	r.occ[pc] = k + 1
+	return r.unit.Access(pc, r.stream.Value(pc, k))
+}

@@ -1,0 +1,75 @@
+package vpred
+
+import "fmt"
+
+// StreamConfig describes the synthetic value stream a trace's producing
+// instructions emit. Packed traces carry structure (PCs, classes, deps) but
+// no data values, so value locality is synthesized the same way branch
+// behavior is: deterministically from the configuration. Each static PC is
+// assigned a value class by hash — constant, strided, short repeating
+// pattern, or random — and its k-th dynamic instance produces a value that
+// is a pure function of (Seed, PC, k). The split controls how much of the
+// stream each predictor kind can capture: last-value catches constants,
+// stride catches constants+strides, fcm additionally catches patterns, and
+// the random remainder bounds everyone.
+type StreamConfig struct {
+	Seed       uint64 // stream seed; same seed, same values everywhere
+	ConstPct   int    // percent of static PCs producing a fixed value
+	StridePct  int    // percent producing an arithmetic sequence
+	PatternPct int    // percent producing a period-4 repeating pattern
+	// remainder: fresh pseudo-random value per instance (unpredictable)
+}
+
+// DefaultStream is the canonical value-locality mix: a majority of the
+// stream predictable in principle (constants + strides + short patterns),
+// a fifth genuinely random — roughly the locality published for integer
+// codes in the value-prediction literature.
+func DefaultStream() StreamConfig {
+	return StreamConfig{Seed: 1, ConstPct: 35, StridePct: 30, PatternPct: 15}
+}
+
+// Validate checks the class split is a well-formed percentage partition.
+func (s StreamConfig) Validate() error {
+	for _, p := range [...]struct {
+		name string
+		v    int
+	}{{"ConstPct", s.ConstPct}, {"StridePct", s.StridePct}, {"PatternPct", s.PatternPct}} {
+		if p.v < 0 || p.v > 100 {
+			return fmt.Errorf("vpred: stream %s must be in [0,100], got %d", p.name, p.v)
+		}
+	}
+	if sum := s.ConstPct + s.StridePct + s.PatternPct; sum > 100 {
+		return fmt.Errorf("vpred: stream class percentages sum to %d > 100", sum)
+	}
+	return nil
+}
+
+// Value returns the value produced by the k-th dynamic instance of the
+// instruction at pc. Pure and deterministic: the overlay pre-pass and the
+// live simulator call this independently and must agree byte for byte.
+func (s StreamConfig) Value(pc, k uint64) uint64 {
+	cls := hash64(s.Seed^hash64(pc)) % 100
+	switch {
+	case cls < uint64(s.ConstPct):
+		return hash64(pc ^ s.Seed ^ 0xC027)
+	case cls < uint64(s.ConstPct+s.StridePct):
+		base := hash64(pc ^ s.Seed ^ 0x57B1)
+		stride := hash64(pc^s.Seed^0x57B2)%8 + 1
+		return base + stride*k
+	case cls < uint64(s.ConstPct+s.StridePct+s.PatternPct):
+		return hash64(pc ^ s.Seed ^ 0xAA77 ^ (k%4)<<32)
+	default:
+		return hash64(pc ^ s.Seed ^ hash64(k^0xF00D))
+	}
+}
+
+// hash64 is SplitMix64's finalizer: a cheap, well-mixed 64-bit hash.
+func hash64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

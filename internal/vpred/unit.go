@@ -1,0 +1,122 @@
+package vpred
+
+// Outcome classifies one value-prediction access. Only confident
+// predictions act on the pipeline: a confident correct prediction breaks
+// the data dependence on the producer (Hit), a confident wrong one costs a
+// misspeculation flush (Miss), and everything else is architecturally
+// invisible (None). The 2-bit confidence filter is what makes value
+// speculation profitable at all — without it, every cold or noisy entry
+// would flush the pipeline.
+type Outcome uint8
+
+const (
+	None Outcome = iota // no confident prediction made
+	Hit                 // confident and correct: dependence broken
+	Miss                // confident and wrong: misspeculation flush
+)
+
+const (
+	confMax       = 3 // 2-bit saturating confidence counter
+	confThreshold = 3 // predict only at saturation
+)
+
+// Unit is a built value predictor: a per-PC table of the configured kind
+// plus the shared confidence filter. Access order defines its state, so a
+// Unit must see the instruction stream exactly once, in program order —
+// the same contract as bpred.Unit.
+type Unit struct {
+	kind    string
+	n       uint64
+	histLen uint
+
+	conf []uint8 // 2-bit confidence per entry
+
+	valid  []bool   // entry has seen at least one value
+	last   []uint64 // last-value, stride: last observed value
+	stride []uint64 // stride: last observed delta
+
+	hist    []uint64 // fcm L1: packed window of 16-bit value hashes
+	l2      []uint64 // fcm L2: context-indexed value table
+	l2valid []bool
+}
+
+func newUnit(c Config) *Unit {
+	u := &Unit{kind: c.Kind, n: uint64(c.Entries)}
+	u.conf = make([]uint8, c.Entries)
+	switch c.Kind {
+	case "last-value":
+		u.valid = make([]bool, c.Entries)
+		u.last = make([]uint64, c.Entries)
+	case "stride":
+		u.valid = make([]bool, c.Entries)
+		u.last = make([]uint64, c.Entries)
+		u.stride = make([]uint64, c.Entries)
+	case "fcm":
+		u.histLen = uint(c.HistLen)
+		u.hist = make([]uint64, c.Entries)
+		u.l2 = make([]uint64, c.Entries)
+		u.l2valid = make([]bool, c.Entries)
+	}
+	return u
+}
+
+// Access runs one prediction-then-update step for the instruction at pc
+// producing actual, and returns the speculation outcome.
+func (u *Unit) Access(pc, actual uint64) Outcome {
+	i := hash64(pc) % u.n
+	pred, ok := u.predict(i)
+	out := None
+	if ok && u.conf[i] >= confThreshold {
+		if pred == actual {
+			out = Hit
+		} else {
+			out = Miss
+		}
+	}
+	if ok && pred == actual {
+		if u.conf[i] < confMax {
+			u.conf[i]++
+		}
+	} else {
+		u.conf[i] = 0
+	}
+	u.update(i, actual)
+	return out
+}
+
+func (u *Unit) predict(i uint64) (uint64, bool) {
+	switch u.kind {
+	case "last-value":
+		return u.last[i], u.valid[i]
+	case "stride":
+		return u.last[i] + u.stride[i], u.valid[i]
+	default: // fcm
+		j := hash64(u.hist[i]) % u.n
+		return u.l2[j], u.l2valid[j]
+	}
+}
+
+func (u *Unit) update(i, actual uint64) {
+	switch u.kind {
+	case "last-value":
+		u.last[i] = actual
+		u.valid[i] = true
+	case "stride":
+		if u.valid[i] {
+			u.stride[i] = actual - u.last[i]
+		}
+		u.last[i] = actual
+		u.valid[i] = true
+	default: // fcm
+		j := hash64(u.hist[i]) % u.n
+		u.l2[j] = actual
+		u.l2valid[j] = true
+		// Slide the context window: keep the last histLen 16-bit value
+		// hashes packed in one word, oldest in the high bits.
+		keep := uint64(1)<<(16*u.histLen) - 1
+		if u.histLen >= 4 {
+			keep = ^uint64(0)
+		}
+		u.hist[i] = (u.hist[i]<<16 | hash64(actual)&0xFFFF) & keep
+	}
+}

@@ -1,0 +1,186 @@
+package vpred
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPresetsBuild(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, ok := Preset(name)
+		if !ok {
+			t.Fatalf("Preset(%q) not found", name)
+		}
+		if cfg.Kind != name {
+			t.Errorf("preset %q has kind %q", name, cfg.Kind)
+		}
+		if _, err := cfg.Build(); err != nil {
+			t.Errorf("preset %q does not build: %v", name, err)
+		}
+		if cfg.StorageBits() <= 0 {
+			t.Errorf("preset %q has non-positive storage", name)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Kind: "psychic", Entries: 16},
+		{Kind: "stride", Entries: 0},
+		{Kind: "fcm", Entries: 16, HistLen: 0},
+		{Kind: "fcm", Entries: 16, HistLen: 9},
+		{Kind: "last-value", Entries: 16, Stream: StreamConfig{ConstPct: 120}},
+		{Kind: "last-value", Entries: 16, Stream: StreamConfig{ConstPct: 60, StridePct: 50}},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) unexpectedly passed", c)
+		}
+	}
+}
+
+func TestConfigForBudget(t *testing.T) {
+	for _, kind := range PresetNames() {
+		prev := int64(-1)
+		for _, budget := range []int64{1 << 10, 1 << 14, 1 << 18, 1 << 22} {
+			cfg, ok := ConfigForBudget(kind, budget)
+			if !ok {
+				t.Fatalf("ConfigForBudget(%s, %d) found no sizing", kind, budget)
+			}
+			bits := cfg.StorageBits()
+			if bits > budget {
+				t.Errorf("%s at %d bits: sized config uses %d bits", kind, budget, bits)
+			}
+			if bits <= prev {
+				t.Errorf("%s: budget %d did not grow storage (%d <= %d)", kind, budget, bits, prev)
+			}
+			prev = bits
+		}
+	}
+	if _, ok := ConfigForBudget("psychic", 1<<20); ok {
+		t.Error("unknown kind unexpectedly sized")
+	}
+}
+
+// feed runs n accesses of a fixed value function through a fresh unit and
+// counts outcomes.
+func feed(t *testing.T, kind string, histLen int, n int, value func(k uint64) uint64) (hits, misses, none int) {
+	t.Helper()
+	u, err := Config{Kind: kind, Entries: 64, HistLen: histLen}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pc = 0x40be_ef00
+	for k := 0; k < n; k++ {
+		switch u.Access(pc, value(uint64(k))) {
+		case Hit:
+			hits++
+		case Miss:
+			misses++
+		default:
+			none++
+		}
+	}
+	return hits, misses, none
+}
+
+func TestLastValueLearnsConstants(t *testing.T) {
+	hits, misses, _ := feed(t, "last-value", 0, 100, func(uint64) uint64 { return 42 })
+	if misses != 0 || hits < 90 {
+		t.Errorf("constant stream: hits=%d misses=%d, want >=90 hits, 0 misses", hits, misses)
+	}
+}
+
+func TestStrideLearnsStrides(t *testing.T) {
+	hits, misses, _ := feed(t, "stride", 0, 100, func(k uint64) uint64 { return 1000 + 7*k })
+	if misses != 0 || hits < 90 {
+		t.Errorf("strided stream: hits=%d misses=%d, want >=90 hits, 0 misses", hits, misses)
+	}
+	// last-value cannot capture a stride: it never reaches confidence.
+	hits, _, _ = feed(t, "last-value", 0, 100, func(k uint64) uint64 { return 1000 + 7*k })
+	if hits != 0 {
+		t.Errorf("last-value on strided stream: hits=%d, want 0", hits)
+	}
+}
+
+func TestFCMLearnsPatterns(t *testing.T) {
+	pattern := [4]uint64{11, 99, 32, 7}
+	hits, misses, _ := feed(t, "fcm", 4, 200, func(k uint64) uint64 { return pattern[k%4] })
+	if hits < 150 {
+		t.Errorf("period-4 stream: fcm hits=%d misses=%d, want >=150 hits", hits, misses)
+	}
+	// stride sees alternating deltas and should stay unconfident.
+	hits, _, _ = feed(t, "stride", 0, 200, func(k uint64) uint64 { return pattern[k%4] })
+	if hits > 10 {
+		t.Errorf("stride on period-4 stream: hits=%d, want <=10", hits)
+	}
+}
+
+func TestConfidenceFiltersRandomStreams(t *testing.T) {
+	for _, kind := range PresetNames() {
+		histLen := 0
+		if kind == "fcm" {
+			histLen = 4
+		}
+		_, misses, _ := feed(t, kind, histLen, 500, func(k uint64) uint64 { return hash64(k ^ 0xD1CE) })
+		if misses > 25 {
+			t.Errorf("%s on random stream: %d confident misses in 500, confidence filter too eager", kind, misses)
+		}
+	}
+}
+
+func TestFingerprintCoversStream(t *testing.T) {
+	a := Config{Kind: "stride", Entries: 4096}
+	b := a
+	b.Stream.Seed = 7
+	c := a
+	c.Stream.ConstPct = 1
+	if a.Fingerprint() == b.Fingerprint() || a.Fingerprint() == c.Fingerprint() {
+		t.Error("stream fields do not alter the fingerprint")
+	}
+	if a.Fingerprint() != (Config{Kind: "stride", Entries: 4096}).Fingerprint() {
+		t.Error("fingerprint not deterministic")
+	}
+}
+
+func TestRunnerDeterministic(t *testing.T) {
+	cfg, _ := Preset("fcm")
+	cfg.Stream = DefaultStream()
+	r1, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcs := []uint64{0x400100, 0x400108, 0x400100, 0x400200, 0x400100, 0x400108}
+	var o1, o2 []Outcome
+	for i := 0; i < 400; i++ {
+		pc := pcs[i%len(pcs)]
+		o1 = append(o1, r1.Access(pc))
+		o2 = append(o2, r2.Access(pc))
+	}
+	if !reflect.DeepEqual(o1, o2) {
+		t.Error("identical runners diverged")
+	}
+}
+
+func TestStreamValueDeterministic(t *testing.T) {
+	s := DefaultStream()
+	if s.Value(0x400100, 3) != s.Value(0x400100, 3) {
+		t.Error("Value not pure")
+	}
+	// Different seeds reclassify PCs: over many PCs the streams must differ.
+	s2 := s
+	s2.Seed = 99
+	same := 0
+	for pc := uint64(0); pc < 64; pc++ {
+		if s.Value(0x400000+pc*8, 5) == s2.Value(0x400000+pc*8, 5) {
+			same++
+		}
+	}
+	if same > 4 {
+		t.Errorf("seeds 1 and 99 agree on %d/64 values", same)
+	}
+}

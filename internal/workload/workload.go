@@ -25,6 +25,7 @@ import (
 
 	"intervalsim/internal/isa"
 	"intervalsim/internal/rng"
+	"intervalsim/internal/vpred"
 )
 
 // Range is an inclusive integer interval sampled uniformly.
@@ -85,6 +86,31 @@ type Config struct {
 	DataFootprint int
 	StrideFrac    float64
 	Locality      float64
+
+	// Value stream: the data values producing instructions emit, as seen by
+	// value prediction (package vpred). Traces carry no value column — the
+	// stream is synthesized deterministically from these knobs downstream.
+	// All-zero fields select the canonical default mix; omitempty keeps
+	// pre-existing trace fingerprints and store keys byte-stable.
+	ValueSeed       uint64 `json:",omitempty"`
+	ValueConstPct   int    `json:",omitempty"`
+	ValueStridePct  int    `json:",omitempty"`
+	ValuePatternPct int    `json:",omitempty"`
+}
+
+// ValueStream resolves the workload's value-stream configuration. The
+// all-zero state (every pre-value-prediction workload) maps to the
+// canonical default stream, so value locality is always well-defined.
+func (c Config) ValueStream() vpred.StreamConfig {
+	if c.ValueSeed == 0 && c.ValueConstPct == 0 && c.ValueStridePct == 0 && c.ValuePatternPct == 0 {
+		return vpred.DefaultStream()
+	}
+	return vpred.StreamConfig{
+		Seed:       c.ValueSeed,
+		ConstPct:   c.ValueConstPct,
+		StridePct:  c.ValueStridePct,
+		PatternPct: c.ValuePatternPct,
+	}
 }
 
 // Validate reports the first configuration problem, if any.
@@ -126,6 +152,21 @@ func (c Config) Validate() error {
 	}
 	if c.RegionTheta < 0 || c.Locality < 0 {
 		return fmt.Errorf("workload %s: negative Zipf exponent", c.Name)
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"ValueConstPct", c.ValueConstPct},
+		{"ValueStridePct", c.ValueStridePct},
+		{"ValuePatternPct", c.ValuePatternPct},
+	} {
+		if p.v < 0 || p.v > 100 {
+			return fmt.Errorf("workload %s: %s = %d out of [0,100]", c.Name, p.name, p.v)
+		}
+	}
+	if s := c.ValueConstPct + c.ValueStridePct + c.ValuePatternPct; s > 100 {
+		return fmt.Errorf("workload %s: value class percentages sum to %d > 100", c.Name, s)
 	}
 	return nil
 }
